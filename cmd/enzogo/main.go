@@ -1,0 +1,98 @@
+// Command enzogo runs one of the built-in problems and reports the
+// hierarchy statistics, component-usage table and performance summary —
+// the reproduction's equivalent of the paper's production driver.
+//
+// Usage:
+//
+//	enzogo -problem collapse -steps 40 -rootn 16 -maxlevel 5
+//	enzogo -problem sedov -steps 20
+//	enzogo -problem pancake -steps 30
+//	enzogo -problem zoom -steps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/problems"
+)
+
+func main() {
+	problem := flag.String("problem", "collapse", "problem: collapse | sedov | pancake | zoom")
+	steps := flag.Int("steps", 20, "root-grid steps to run")
+	rootN := flag.Int("rootn", 16, "root grid size (power of two)")
+	maxLevel := flag.Int("maxlevel", 4, "maximum refinement level")
+	workers := flag.Int("workers", 1, "parallel grid workers")
+	chemistry := flag.Bool("chem", true, "enable 12-species chemistry (collapse/zoom)")
+	seed := flag.Int64("seed", 12345, "IC random seed (zoom)")
+	profileOut := flag.String("profile", "", "write a radial profile table to this file at the end")
+	flag.Parse()
+
+	var sim *core.Simulation
+	var err error
+	switch *problem {
+	case "collapse":
+		o := problems.DefaultCollapseOpts()
+		o.RootN = *rootN
+		o.MaxLevel = *maxLevel
+		o.Chemistry = *chemistry
+		o.Workers = *workers
+		sim, err = core.NewPrimordialCollapse(o)
+	case "sedov":
+		sim, err = core.NewSedov(*rootN, *maxLevel, 10.0)
+	case "pancake":
+		sim, err = core.NewPancake(problems.PancakeOpts{RootN: *rootN})
+	case "zoom":
+		sim, err = core.NewZoom(problems.ZoomOpts{
+			RootN: *rootN, StaticLevels: 2, MaxLevel: *maxLevel,
+			Seed: *seed, Chemistry: *chemistry,
+		})
+	default:
+		log.Fatalf("unknown problem %q", *problem)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("problem=%s rootN=%d maxLevel=%d grids=%d\n",
+		*problem, *rootN, *maxLevel, sim.H.NumGrids())
+	for s := 0; s < *steps; s++ {
+		dt := sim.Step()
+		h := sim.History[len(sim.History)-1]
+		fmt.Printf("step %3d  t=%.5f dt=%.2e  maxlevel=%d grids=%d  peak=%.4g\n",
+			s, h.Time, dt, h.MaxLevel, h.NumGrids, h.PeakRho)
+	}
+
+	fmt.Println()
+	fmt.Println(sim.UsageTable())
+	fmt.Println(sim.FlopReport())
+	fmt.Printf("SDR achieved: %.0f   grids created: %d   rebuilds: %d\n",
+		sim.H.SpatialDynamicRange(), sim.H.Stats.GridsCreated, sim.H.Stats.RebuildCount)
+
+	if *profileOut != "" {
+		pr, err := sim.RadialProfileAtPeak(24)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*profileOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		writeProfile(f, pr)
+		fmt.Printf("profile written to %s\n", *profileOut)
+	}
+}
+
+func writeProfile(f *os.File, pr *analysis.Profile) {
+	fmt.Fprintf(f, "# r[box] density enclosed T[K] vr cs fH2 fHI\n")
+	for b := range pr.R {
+		fmt.Fprintf(f, "%e %e %e %e %e %e %e %e\n",
+			pr.R[b], pr.Density[b], pr.Enclosed[b], pr.Temp[b],
+			pr.Vr[b], pr.Cs[b], pr.H2Frac[b], pr.HIFrac[b])
+	}
+}

@@ -1,0 +1,66 @@
+// Command jacques is the CLI stand-in for the paper's IDL visualization
+// tool (§6): it renders density slices of a run, zooming by a configurable
+// factor per frame about the densest point — the "zoom in by 10^10
+// button" reduced to a flag.
+//
+//	jacques -problem collapse -steps 20 -frames 4 -factor 10 -out frames
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/problems"
+)
+
+func main() {
+	problem := flag.String("problem", "collapse", "problem: collapse | sedov")
+	steps := flag.Int("steps", 12, "root steps to run before rendering")
+	frames := flag.Int("frames", 4, "number of zoom frames")
+	factor := flag.Float64("factor", 10, "zoom factor per frame (paper Fig 3: 10)")
+	res := flag.Int("res", 128, "pixels per side")
+	outDir := flag.String("out", "frames", "output directory for PGM images")
+	flag.Parse()
+
+	var sim *core.Simulation
+	var err error
+	switch *problem {
+	case "collapse":
+		o := problems.DefaultCollapseOpts()
+		o.MaxLevel = 4
+		sim, err = core.NewPrimordialCollapse(o)
+	case "sedov":
+		sim, err = core.NewSedov(32, 2, 10.0)
+	default:
+		log.Fatalf("unknown problem %q", *problem)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.RunSteps(*steps)
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	imgs := sim.ZoomFrames(*frames, *factor, *res)
+	for i, img := range imgs {
+		path := filepath.Join(*outDir, fmt.Sprintf("zoom_%02d.pgm", i))
+		if err := analysis.SavePGM(path, img); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("frame %d (zoom %gx): %s\n", i, pow(*factor, i), path)
+	}
+}
+
+func pow(f float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= f
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+// Command profiles runs the primordial collapse and prints Fig.-4 style
+// mass-weighted radial profiles at several output times: number density,
+// enclosed mass, H2/HI fractions, temperature, and radial velocity vs
+// sound speed.
+//
+//	profiles -outputs 4 -stepsper 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/problems"
+	"repro/internal/units"
+)
+
+func main() {
+	outputs := flag.Int("outputs", 4, "number of output times")
+	stepsPer := flag.Int("stepsper", 8, "root steps between outputs")
+	rootN := flag.Int("rootn", 16, "root grid size")
+	maxLevel := flag.Int("maxlevel", 4, "maximum level")
+	nbins := flag.Int("bins", 20, "radial bins")
+	flag.Parse()
+
+	o := problems.DefaultCollapseOpts()
+	o.RootN = *rootN
+	o.MaxLevel = *maxLevel
+	sim, err := core.NewPrimordialCollapse(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := sim.H.Cfg.Units
+
+	for out := 0; out < *outputs; out++ {
+		sim.RunSteps(*stepsPer)
+		pr, err := sim.RadialProfileAtPeak(*nbins)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := sim.H.Cfg.Cosmo.A
+		fmt.Printf("\n=== output %d  t=%.4f  z=%.2f  maxlevel=%d ===\n",
+			out, sim.H.Time, 1/a-1, sim.H.MaxLevel())
+		fmt.Printf("%12s %12s %12s %10s %10s %10s %10s\n",
+			"r[pc]", "n[cm^-3]", "Menc[Msun]", "T[K]", "vr[km/s]", "cs[km/s]", "fH2")
+		boxPc := u.Length / units.ParsecCM
+		for b := range pr.R {
+			if pr.Mass[b] == 0 {
+				continue
+			}
+			nH := u.NumberDensity(pr.Density[b], 1.22)
+			mSun := pr.Enclosed[b] * u.Density * u.Length * u.Length * u.Length / units.MSolarG
+			vkms := pr.Vr[b] * u.Velocity / 1e5
+			ckms := pr.Cs[b] * u.Velocity / 1e5
+			fmt.Printf("%12.4g %12.4g %12.4g %10.4g %10.3f %10.3f %10.3g\n",
+				pr.R[b]*boxPc, nH, mSun, pr.Temp[b], vkms, ckms, pr.H2Frac[b])
+		}
+	}
+}

@@ -1,0 +1,20 @@
+// Package repro is a from-scratch Go reproduction of "Achieving Extreme
+// Resolution in Numerical Cosmology Using Adaptive Mesh Refinement:
+// Resolving Primordial Star Formation" (Bryan, Abel & Norman, SC 2001) —
+// the Enzo cosmological AMR code and its primordial star formation
+// application.
+//
+// The library lives under internal/: the SAMR engine (internal/amr), two
+// hydro solvers (internal/hydro), FFT+multigrid gravity
+// (internal/gravity), adaptive particle-mesh N-body (internal/nbody), the
+// 12-species primordial chemistry network (internal/chem), 128-bit
+// extended precision arithmetic (internal/ep128), Berger–Rigoutsos
+// clustering (internal/clustering), the message-passing runtime model
+// (internal/mp), cosmological initial conditions (internal/cosmology),
+// analysis tools (internal/analysis) and the Simulation façade
+// (internal/core).
+//
+// bench_test.go in this directory regenerates every table and figure of
+// the paper's evaluation; see EXPERIMENTS.md for the paper-vs-measured
+// record.
+package repro

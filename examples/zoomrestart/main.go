@@ -1,0 +1,73 @@
+// Zoomrestart: the paper's §4 workflow end to end — generate nested
+// zoom-in initial conditions from the CDM power spectrum, run the
+// low-resolution pass, checkpoint, restart from the snapshot, and confirm
+// the evolution continues identically.
+//
+//	go run ./examples/zoomrestart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/problems"
+	"repro/internal/snapshot"
+)
+
+func main() {
+	fmt.Println("generating nested zoom-in ICs (64^3-effective over an 8^3 root)...")
+	h, zic, err := problems.CosmologicalZoom(problems.ZoomOpts{
+		RootN: 8, StaticLevels: 2, MaxLevel: 3, Seed: 20011110, Redshift: 99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  fine IC level: %d^3 modes; static region %v..%v\n",
+		zic.Levels[zic.FineLevel].N, h.Cfg.StaticLo, h.Cfg.StaticHi)
+	fmt.Printf("  hierarchy: %d grids over %d levels\n", h.NumGrids(), h.MaxLevel()+1)
+
+	fmt.Println("running 3 root steps of the low-resolution pass...")
+	for s := 0; s < 3; s++ {
+		h.Step()
+		pos, rho := analysis.DensestPoint(h)
+		fmt.Printf("  step %d: a=%.5f  peak=%.4g at (%.2f,%.2f,%.2f)\n",
+			s, h.Cfg.Cosmo.A, rho, pos[0], pos[1], pos[2])
+	}
+
+	dir, err := os.MkdirTemp("", "zoomrestart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "checkpoint.gob.gz")
+	if err := snapshot.Save(path, h); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	fmt.Printf("checkpoint written: %s (%d bytes)\n", path, st.Size())
+
+	// Restart (the paper restarted with additional static levels; here we
+	// restart with the same config and verify determinism). The restarted
+	// run needs its own expansion-factor integrator — Background is
+	// mutable state, not shareable between two evolving hierarchies.
+	cfg := h.Cfg
+	bg2 := *cfg.Cosmo
+	cfg.Cosmo = &bg2
+	h2, err := snapshot.Load(path, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h.Step()
+	h2.Step()
+	_, r1 := analysis.DensestPoint(h)
+	_, r2 := analysis.DensestPoint(h2)
+	fmt.Printf("continued peak density: original %.6g, restarted %.6g\n", r1, r2)
+	if r1 == r2 {
+		fmt.Println("restart is bit-identical ✓")
+	} else {
+		fmt.Println("WARNING: restart diverged")
+	}
+}

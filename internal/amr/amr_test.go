@@ -1,0 +1,396 @@
+package amr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ep128"
+	"repro/internal/hydro"
+)
+
+// uniformHierarchy builds a hierarchy with a uniform gas state and a
+// static refined region in the center.
+func uniformHierarchy(t *testing.T, rootN, staticLevels int) *Hierarchy {
+	t.Helper()
+	cfg := DefaultConfig(rootN)
+	cfg.SelfGravity = false
+	cfg.JeansN = 0
+	cfg.StaticLevels = staticLevels
+	cfg.StaticLo = [3]float64{0.25, 0.25, 0.25}
+	cfg.StaticHi = [3]float64{0.75, 0.75, 0.75}
+	cfg.MaxLevel = staticLevels
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := h.Root()
+	fillState(root.State, 1.0, 0, 0, 0, 1.0)
+	h.RebuildHierarchy(1)
+	return h
+}
+
+func fillState(s *hydro.State, rho, vx, vy, vz, eint float64) {
+	s.Rho.Fill(rho)
+	s.Vx.Fill(vx)
+	s.Vy.Fill(vy)
+	s.Vz.Fill(vz)
+	s.Eint.Fill(eint)
+	for i := range s.Etot.Data {
+		s.Etot.Data[i] = eint + 0.5*(vx*vx+vy*vy+vz*vz)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := DefaultConfig(12) // not a power of two
+	if err := bad.Validate(); err == nil {
+		t.Error("RootN=12 should fail")
+	}
+	bad = DefaultConfig(16)
+	bad.Refine = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("Refine=1 should fail")
+	}
+	if err := DefaultConfig(16).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestStaticRefinementCreatesGrids(t *testing.T) {
+	h := uniformHierarchy(t, 16, 2)
+	if h.MaxLevel() != 2 {
+		t.Fatalf("max level %d, want 2", h.MaxLevel())
+	}
+	if h.NumGrids() < 3 {
+		t.Fatalf("expected at least 3 grids, got %d", h.NumGrids())
+	}
+	// The static region center must be covered at level 2.
+	g := h.FinestGridAt(0.5, 0.5, 0.5)
+	if g.Level != 2 {
+		t.Fatalf("center covered at level %d, want 2", g.Level)
+	}
+	// Outside the static region: root only.
+	g = h.FinestGridAt(0.05, 0.05, 0.05)
+	if g.Level != 0 {
+		t.Fatalf("corner covered at level %d, want 0", g.Level)
+	}
+	// Children contained within parents.
+	for l := 1; l < len(h.Levels); l++ {
+		for _, g := range h.Levels[l] {
+			p := g.Parent
+			if p == nil {
+				t.Fatal("subgrid without parent")
+			}
+			r := h.Cfg.Refine
+			for d := 0; d < 3; d++ {
+				if g.Lo[d] < p.Lo[d]*r || g.Hi()[d] > p.Hi()[d]*r {
+					t.Fatalf("grid %v not contained in parent %v", g, p)
+				}
+			}
+		}
+	}
+}
+
+func TestSDRAndGridStats(t *testing.T) {
+	h := uniformHierarchy(t, 16, 2)
+	if sdr := h.SpatialDynamicRange(); sdr != 64 {
+		t.Errorf("SDR = %v, want 64 (16*2^2)", sdr)
+	}
+	gpl := h.GridsPerLevel()
+	if gpl[0] != 1 {
+		t.Errorf("root level grid count %d", gpl[0])
+	}
+	wpl := h.WorkPerLevel()
+	if len(wpl) != len(gpl) {
+		t.Error("work per level length mismatch")
+	}
+	// Work per cell grows with level (more steps).
+	if wpl[1] <= 0 {
+		t.Error("no work at level 1")
+	}
+}
+
+func TestUniformStateStaysUniform(t *testing.T) {
+	// The acid test of AMR plumbing: a uniform state must remain exactly
+	// uniform through boundary interpolation, stepping on all levels,
+	// flux correction and projection.
+	h := uniformHierarchy(t, 16, 2)
+	for s := 0; s < 2; s++ {
+		h.Step()
+	}
+	root := h.Root()
+	for k := 0; k < 16; k++ {
+		for j := 0; j < 16; j++ {
+			for i := 0; i < 16; i++ {
+				if d := math.Abs(root.State.Rho.At(i, j, k) - 1); d > 1e-10 {
+					t.Fatalf("root density perturbed at (%d,%d,%d) by %e", i, j, k, d)
+				}
+			}
+		}
+	}
+	for _, g := range h.Levels[h.MaxLevel()] {
+		mn, mx := g.State.Rho.MinMaxActive()
+		if mx-mn > 1e-10 {
+			t.Fatalf("fine grid density spread %e", mx-mn)
+		}
+	}
+}
+
+func TestWCycleTimestepOrder(t *testing.T) {
+	// Subgrids must take multiple smaller steps per parent step and end
+	// exactly at the parent time (Fig 2).
+	h := uniformHierarchy(t, 16, 1)
+	h.Step()
+	rootTime := h.Root().Time
+	for _, g := range h.Levels[1] {
+		if math.Abs(g.Time-rootTime) > 1e-12 {
+			t.Fatalf("subgrid time %v != root time %v", g.Time, rootTime)
+		}
+	}
+	if h.Time != rootTime {
+		t.Fatalf("hierarchy time %v != root time %v", h.Time, rootTime)
+	}
+}
+
+func TestMassConservationWithRefinement(t *testing.T) {
+	// A dense blob inside the refined region; total root-grid mass after
+	// projection must be conserved through steps.
+	h := uniformHierarchy(t, 16, 1)
+	root := h.Root()
+	for k := 6; k < 10; k++ {
+		for j := 6; j < 10; j++ {
+			for i := 6; i < 10; i++ {
+				root.State.Rho.Set(i, j, k, 3.0)
+				root.State.Eint.Set(i, j, k, 2.0)
+				root.State.Etot.Set(i, j, k, 2.0)
+			}
+		}
+	}
+	// Force a from-scratch rebuild so the blob (set on the root after the
+	// helper's rebuild) is prolonged into the fine grids rather than
+	// overwritten by the pre-blob fine data.
+	h.Levels = h.Levels[:1]
+	root.Children = nil
+	h.RebuildHierarchy(1)
+	m0 := h.TotalGasMass()
+	for s := 0; s < 3; s++ {
+		h.Step()
+	}
+	m1 := h.TotalGasMass()
+	if rel := math.Abs(m1-m0) / m0; rel > 1e-10 {
+		t.Fatalf("mass drift %e across AMR steps", rel)
+	}
+}
+
+func TestDynamicRefinementOnOverdensity(t *testing.T) {
+	cfg := DefaultConfig(16)
+	cfg.SelfGravity = false
+	cfg.JeansN = 0
+	cfg.MassThresholdGas = 2.0 / (16.0 * 16 * 16) // cells above rho~2 refine
+	cfg.MaxLevel = 2
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillState(h.Root().State, 1, 0, 0, 0, 1)
+	// Overdense clump.
+	for k := 7; k < 9; k++ {
+		for j := 7; j < 9; j++ {
+			for i := 7; i < 9; i++ {
+				h.Root().State.Rho.Set(i, j, k, 10)
+			}
+		}
+	}
+	h.RebuildHierarchy(1)
+	if h.MaxLevel() < 1 {
+		t.Fatal("overdensity did not trigger refinement")
+	}
+	g := h.FinestGridAt(0.5, 0.5, 0.5)
+	if g.Level < 1 {
+		t.Fatal("clump not covered by fine grid")
+	}
+	// The fine grid inherited the overdensity via prolongation.
+	mn, mx := g.State.Rho.MinMaxActive()
+	if mx < 5 {
+		t.Errorf("fine grid max density %v; prolongation lost the clump", mx)
+	}
+	if mn <= 0 {
+		t.Errorf("negative density after prolongation")
+	}
+}
+
+func TestJeansRefinement(t *testing.T) {
+	cfg := DefaultConfig(16)
+	cfg.SelfGravity = true
+	cfg.GravConst = 100.0 // strong gravity: short Jeans lengths
+	cfg.JeansN = 4
+	cfg.MaxLevel = 1
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillState(h.Root().State, 1, 0, 0, 0, 1)
+	// Cold dense cell -> tiny Jeans length -> refinement.
+	h.Root().State.Rho.Set(8, 8, 8, 50)
+	h.Root().State.Eint.Set(8, 8, 8, 1e-4)
+	h.RebuildHierarchy(1)
+	if h.MaxLevel() != 1 {
+		t.Fatal("Jeans criterion did not refine")
+	}
+}
+
+func TestParticleAssignmentAndLifting(t *testing.T) {
+	h := uniformHierarchy(t, 16, 1)
+	root := h.Root()
+	// A particle inside the static region must belong to the fine grid
+	// after rebuild.
+	root.Parts.Add(ep128.FromFloat64(0.5), ep128.FromFloat64(0.5), ep128.FromFloat64(0.5),
+		0, 0, 0, 1e-3, 42)
+	// One outside stays on the root.
+	root.Parts.Add(ep128.FromFloat64(0.05), ep128.FromFloat64(0.05), ep128.FromFloat64(0.05),
+		0, 0, 0, 1e-3, 43)
+	h.RebuildHierarchy(1)
+	if root.Parts.Len() != 1 || root.Parts.ID[0] != 43 {
+		t.Fatalf("root should keep only particle 43, has %d", root.Parts.Len())
+	}
+	var fine *Grid
+	for _, g := range h.Levels[1] {
+		if g.Parts.Len() > 0 {
+			fine = g
+		}
+	}
+	if fine == nil || fine.Parts.ID[0] != 42 {
+		t.Fatal("particle 42 not moved to fine grid")
+	}
+	// Teleport the fine particle outside its grid and lift.
+	fine.Parts.X[0] = ep128.FromFloat64(0.02)
+	h.liftEscapedParticles(fine)
+	if fine.Parts.Len() != 0 {
+		t.Fatal("escaped particle not lifted")
+	}
+	if root.Parts.Len() != 2 {
+		t.Fatalf("root should now hold 2 particles, has %d", root.Parts.Len())
+	}
+}
+
+func TestShockCrossingRefinedRegion(t *testing.T) {
+	// Drive a planar shock through a statically refined slab; the shock
+	// must emerge without blowing up, and total mass must be conserved.
+	cfg := DefaultConfig(16)
+	cfg.SelfGravity = false
+	cfg.JeansN = 0
+	cfg.StaticLevels = 1
+	cfg.StaticLo = [3]float64{0.375, 0, 0}
+	cfg.StaticHi = [3]float64{0.625, 1, 1}
+	cfg.MaxLevel = 1
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := h.Root()
+	fillState(root.State, 1, 0, 0, 0, 1)
+	// High-pressure region on the left (periodic box: two shocks, but
+	// the left-driven one crosses the refined slab first).
+	for k := 0; k < 16; k++ {
+		for j := 0; j < 16; j++ {
+			for i := 0; i < 4; i++ {
+				root.State.Rho.Set(i, j, k, 4)
+				root.State.Eint.Set(i, j, k, 10)
+				root.State.Etot.Set(i, j, k, 10)
+			}
+		}
+	}
+	h.RebuildHierarchy(1)
+	m0 := h.TotalGasMass()
+	for s := 0; s < 6; s++ {
+		h.Step()
+	}
+	m1 := h.TotalGasMass()
+	if rel := math.Abs(m1-m0) / m0; rel > 1e-9 {
+		t.Fatalf("mass drift %e through refined shock", rel)
+	}
+	// Sanity: no NaNs or negative densities anywhere.
+	for _, lv := range h.Levels {
+		for _, g := range lv {
+			mn, _ := g.State.Rho.MinMaxActive()
+			if mn <= 0 || math.IsNaN(mn) {
+				t.Fatalf("bad density %v on %v", mn, g)
+			}
+		}
+	}
+}
+
+func TestSelfGravityCollapseDeepensHierarchy(t *testing.T) {
+	// A cold massive clump under self-gravity must trigger progressively
+	// deeper refinement — the paper's central phenomenon (Fig 5: levels
+	// appear as collapse proceeds).
+	cfg := DefaultConfig(16)
+	cfg.SelfGravity = true
+	cfg.GravConst = 30.0
+	cfg.MeanRho = 1.0
+	cfg.JeansN = 4
+	cfg.MaxLevel = 3
+	cfg.Hydro.CFL = 0.3
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := h.Root()
+	fillState(root.State, 1, 0, 0, 0, 0.05)
+	// Spherical overdensity in the center.
+	for k := 0; k < 16; k++ {
+		for j := 0; j < 16; j++ {
+			for i := 0; i < 16; i++ {
+				dx := (float64(i) + 0.5 - 8) / 16
+				dy := (float64(j) + 0.5 - 8) / 16
+				dz := (float64(k) + 0.5 - 8) / 16
+				r2 := dx*dx + dy*dy + dz*dz
+				root.State.Rho.Set(i, j, k, 1+8*math.Exp(-r2*200))
+			}
+		}
+	}
+	h.RebuildHierarchy(1)
+	lvl0 := h.MaxLevel()
+	for s := 0; s < 12; s++ {
+		h.Step()
+		if h.MaxLevel() >= 2 {
+			break
+		}
+	}
+	if h.MaxLevel() <= lvl0 && h.MaxLevel() < 2 {
+		t.Fatalf("collapse did not deepen hierarchy: level stuck at %d", h.MaxLevel())
+	}
+	if h.Stats.GridsCreated == 0 {
+		t.Error("no grids created during collapse")
+	}
+}
+
+func TestTimestepHierarchyScaling(t *testing.T) {
+	// A level-1 grid's stable dt must be about half the root's for the
+	// same state (dx halves).
+	h := uniformHierarchy(t, 16, 1)
+	dt0 := h.ComputeTimestep(0)
+	dt1 := h.ComputeTimestep(1)
+	if math.Abs(dt1/dt0-0.5) > 0.05 {
+		t.Errorf("dt ratio %v, want ~0.5", dt1/dt0)
+	}
+}
+
+func BenchmarkAMRStepStatic2Levels(b *testing.B) {
+	cfg := DefaultConfig(16)
+	cfg.SelfGravity = false
+	cfg.JeansN = 0
+	cfg.StaticLevels = 2
+	cfg.StaticLo = [3]float64{0.25, 0.25, 0.25}
+	cfg.StaticHi = [3]float64{0.75, 0.75, 0.75}
+	cfg.MaxLevel = 2
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fillState(h.Root().State, 1, 0.1, 0, 0, 1)
+	h.RebuildHierarchy(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Step()
+	}
+}

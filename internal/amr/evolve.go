@@ -1,0 +1,813 @@
+package amr
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/chem"
+	"repro/internal/gravity"
+	"repro/internal/hydro"
+	"repro/internal/mesh"
+	"repro/internal/nbody"
+	"repro/internal/units"
+)
+
+// Timing accumulates wall-clock time per science component, reproducing
+// the paper's §5 component-usage table.
+type Timing struct {
+	Hydro     time.Duration
+	Gravity   time.Duration
+	Chemistry time.Duration
+	NBody     time.Duration
+	Rebuild   time.Duration
+	Boundary  time.Duration
+	Other     time.Duration
+}
+
+// Total returns the summed component time.
+func (t Timing) Total() time.Duration {
+	return t.Hydro + t.Gravity + t.Chemistry + t.NBody + t.Rebuild + t.Boundary + t.Other
+}
+
+// Step advances the whole hierarchy by one root-grid timestep, running the
+// full W-cycle over all refined levels, and returns the dt taken.
+func (h *Hierarchy) Step() float64 {
+	dt := h.ComputeTimestep(0)
+	target := h.levelTime(0) + dt
+	h.EvolveLevel(0, target)
+	h.Time = target
+	if h.Cfg.Cosmo != nil {
+		h.Cfg.Cosmo.Advance(dt * h.Cfg.Units.Time)
+	}
+	h.Stats.StepsTaken++
+	return dt
+}
+
+// levelTime returns the current time of the given level (all grids on a
+// level advance together).
+func (h *Hierarchy) levelTime(level int) float64 {
+	if level >= len(h.Levels) || len(h.Levels[level]) == 0 {
+		return h.Time
+	}
+	return h.Levels[level][0].Time
+}
+
+// EvolveLevel is the recursive heart of the method (paper §3.2): advance
+// the grids on one level to ParentTime with as many of their own (smaller)
+// timesteps as needed, recursively advancing all finer levels after each,
+// then restoring coarse/fine consistency.
+func (h *Hierarchy) EvolveLevel(level int, parentTime float64) {
+	if level >= len(h.Levels) || len(h.Levels[level]) == 0 {
+		return
+	}
+	h.setBoundaries(level)
+	for {
+		now := h.levelTime(level)
+		if now >= parentTime-1e-14*math.Max(1, math.Abs(parentTime)) {
+			break
+		}
+		dt := h.ComputeTimestep(level)
+		if now+dt > parentTime {
+			dt = parentTime - now
+		}
+		if h.Cfg.SelfGravity {
+			t0 := time.Now()
+			h.solveGravityLevel(level)
+			h.Timing.Gravity += time.Since(t0)
+		}
+		h.installTaps(level)
+		h.stepLevelGrids(level, dt)
+		t0 := time.Now()
+		h.setBoundaries(level)
+		h.Timing.Boundary += time.Since(t0)
+
+		h.EvolveLevel(level+1, h.levelTime(level))
+
+		t0 = time.Now()
+		h.reconcileSiblingFluxes(level + 1)
+		h.fluxCorrect(level)
+		h.project(level)
+		h.Timing.Other += time.Since(t0)
+
+		t0 = time.Now()
+		h.RebuildHierarchy(level + 1)
+		h.Timing.Rebuild += time.Since(t0)
+		h.parity++
+	}
+}
+
+// stepLevelGrids advances every grid on a level by dt, optionally with a
+// worker pool (grids are independent once boundaries and taps are set; the
+// particle-lift pass mutates ancestors and runs serially afterwards).
+func (h *Hierarchy) stepLevelGrids(level int, dt float64) {
+	grids := h.Levels[level]
+	if h.Cfg.Workers <= 1 || len(grids) == 1 {
+		for _, g := range grids {
+			h.stepGrid(g, dt)
+			h.liftEscapedParticles(g)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, h.Cfg.Workers)
+	timings := make([]Timing, len(grids))
+	stats := make([]Stats, len(grids))
+	for i, g := range grids {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, g *Grid) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			// Each worker accumulates into a private shadow view (Cfg is
+			// copied by value); deltas merge after the barrier.
+			sub := &Hierarchy{Cfg: h.Cfg, Levels: h.Levels, Time: h.Time, parity: h.parity}
+			sub.stepGrid(g, dt)
+			timings[i] = sub.Timing
+			stats[i] = sub.Stats
+		}(i, g)
+	}
+	wg.Wait()
+	for i, g := range grids {
+		h.Timing.Hydro += timings[i].Hydro
+		h.Timing.Chemistry += timings[i].Chemistry
+		h.Timing.NBody += timings[i].NBody
+		h.Stats.CellUpdates += stats[i].CellUpdates
+		h.Stats.ChemCellCalls += stats[i].ChemCellCalls
+		h.Stats.ParticleKicks += stats[i].ParticleKicks
+		h.liftEscapedParticles(g)
+	}
+}
+
+// stepGrid advances one grid by dt: gravity half-kick, hydro sweep set,
+// half-kick, particle KDK, expansion drag, chemistry.
+func (h *Hierarchy) stepGrid(g *Grid, dt float64) {
+	cfg := &h.Cfg
+	if cfg.SelfGravity && g.GAcc[0] != nil {
+		hydro.KickGravity(g.State, g.GAcc[0], g.GAcc[1], g.GAcc[2], dt/2)
+	}
+
+	t0 := time.Now()
+	var bc func(*hydro.State)
+	if g.Level == 0 {
+		bc = func(s *hydro.State) {
+			for _, f := range s.Fields() {
+				f.ApplyPeriodicBC()
+			}
+		}
+	}
+	hydro.Step3D(g.State, g.Dx, dt, cfg.Hydro, cfg.Solver, h.parity, bc, g.Reg, g.Taps)
+	h.Timing.Hydro += time.Since(t0)
+	h.Stats.CellUpdates += int64(g.NumCells())
+
+	if cfg.SelfGravity && g.GAcc[0] != nil {
+		hydro.KickGravity(g.State, g.GAcc[0], g.GAcc[1], g.GAcc[2], dt/2)
+	}
+
+	// Particles: KDK with the level's acceleration field.
+	if g.Parts.Len() > 0 {
+		t0 = time.Now()
+		if cfg.SelfGravity && g.GAcc[0] != nil {
+			nbody.Kick(g.Parts, g.GAcc[0], g.GAcc[1], g.GAcc[2], g.Geom(), dt/2)
+		}
+		g.Parts.Drift(dt)
+		if cfg.SelfGravity && g.GAcc[0] != nil {
+			nbody.Kick(g.Parts, g.GAcc[0], g.GAcc[1], g.GAcc[2], g.Geom(), dt/2)
+		}
+		h.Stats.ParticleKicks += int64(g.Parts.Len())
+		h.Timing.NBody += time.Since(t0)
+	}
+
+	// Comoving expansion drag.
+	if cfg.Cosmo != nil {
+		aH := cfg.Cosmo.Params.Hubble(cfg.Cosmo.A) * cfg.Units.Time
+		hydro.ApplyExpansion(g.State, aH, dt)
+		g.Parts.ApplyExpansion(aH, dt)
+	}
+
+	if cfg.Chemistry {
+		t0 = time.Now()
+		h.stepChemistry(g, dt)
+		h.Timing.Chemistry += time.Since(t0)
+	}
+
+	g.Time += dt
+}
+
+// ComputeTimestep returns the stable dt for a level: the minimum hydro CFL
+// over its grids, a particle-crossing limit, and (cosmology) a 2% limit on
+// the expansion-factor change.
+func (h *Hierarchy) ComputeTimestep(level int) float64 {
+	dt := math.Inf(1)
+	if level < len(h.Levels) {
+		for _, g := range h.Levels[level] {
+			if d := hydro.Timestep(g.State, g.Dx, h.Cfg.Hydro); d < dt {
+				dt = d
+			}
+			for i := 0; i < g.Parts.Len(); i++ {
+				v := math.Abs(g.Parts.Vx[i]) + math.Abs(g.Parts.Vy[i]) + math.Abs(g.Parts.Vz[i])
+				if v > 0 {
+					if d := 0.4 * g.Dx / v; d < dt {
+						dt = d
+					}
+				}
+			}
+		}
+	}
+	if h.Cfg.Cosmo != nil {
+		aH := h.Cfg.Cosmo.Params.Hubble(h.Cfg.Cosmo.A) * h.Cfg.Units.Time
+		if d := 0.02 / aH; d < dt {
+			dt = d
+		}
+	}
+	if math.IsInf(dt, 1) {
+		dt = 1e-3
+	}
+	return dt
+}
+
+// setBoundaries fills the ghost zones of every grid on a level: periodic
+// for the root, parent interpolation then sibling exchange for subgrids
+// (paper §3.2.1, the two-step procedure).
+func (h *Hierarchy) setBoundaries(level int) {
+	if level >= len(h.Levels) {
+		return
+	}
+	for _, g := range h.Levels[level] {
+		h.Stats.BoundaryFills++
+		if g.Level == 0 {
+			for _, f := range g.totalFields() {
+				f.ApplyPeriodicBC()
+			}
+			continue
+		}
+		fillGhostsFromParent(g, h.Cfg.Refine)
+	}
+	// Sibling pass: overwrite ghost values where a same-level grid has
+	// the higher-resolution answer. Periodic images are included (a grid
+	// spanning the box is its own periodic sibling), so fine data wins
+	// over coarse parent interpolation across the box boundary too.
+	B := h.levelBoxCells(level)
+	for _, g := range h.Levels[level] {
+		if g.Level == 0 {
+			continue
+		}
+		for _, s := range h.Levels[level] {
+			for _, sh := range periodicShifts(B) {
+				if s == g && sh == [3]int{} {
+					continue
+				}
+				di := s.Lo[0] + sh[0] - g.Lo[0]
+				dj := s.Lo[1] + sh[1] - g.Lo[1]
+				dk := s.Lo[2] + sh[2] - g.Lo[2]
+				// Quick reject: no overlap within ghost halo.
+				if di > g.Nx+hydro.NGhost || di+s.Nx < -hydro.NGhost ||
+					dj > g.Ny+hydro.NGhost || dj+s.Ny < -hydro.NGhost ||
+					dk > g.Nz+hydro.NGhost || dk+s.Nz < -hydro.NGhost {
+					continue
+				}
+				gf := g.totalFields()
+				sf := s.totalFields()
+				for fi := range gf {
+					mesh.CopyOverlap(gf[fi], sf[fi], di, dj, dk, hydro.NGhost)
+				}
+			}
+		}
+	}
+}
+
+// levelBoxCells returns the number of cells spanning the periodic box at
+// the given level.
+func (h *Hierarchy) levelBoxCells(level int) int {
+	n := h.Cfg.RootN
+	for l := 0; l < level; l++ {
+		n *= h.Cfg.Refine
+	}
+	return n
+}
+
+// periodicShifts enumerates the 27 periodic image offsets for box size B.
+func periodicShifts(B int) [][3]int {
+	out := make([][3]int, 0, 27)
+	for _, sx := range [3]int{0, -B, B} {
+		for _, sy := range [3]int{0, -B, B} {
+			for _, sz := range [3]int{0, -B, B} {
+				out = append(out, [3]int{sx, sy, sz})
+			}
+		}
+	}
+	return out
+}
+
+// fillGhostsFromParent interpolates every ghost cell of the child from its
+// parent with limited linear reconstruction (all boundary values "first
+// interpolated from the grid's parent").
+func fillGhostsFromParent(g *Grid, refine int) {
+	p := g.Parent
+	if p == nil {
+		return
+	}
+	oi, oj, ok := offsetWithin(p, g, refine)
+	pf := p.totalFields()
+	cf := g.totalFields()
+	ng := hydro.NGhost
+	rf := float64(refine)
+	for fi := range cf {
+		pField := pf[fi]
+		cField := cf[fi]
+		for k := -ng; k < g.Nz+ng; k++ {
+			kGhost := k < 0 || k >= g.Nz
+			for j := -ng; j < g.Ny+ng; j++ {
+				jGhost := j < 0 || j >= g.Ny
+				for i := -ng; i < g.Nx+ng; i++ {
+					if !(kGhost || jGhost || i < 0 || i >= g.Nx) {
+						i = g.Nx - 1 // skip interior span
+						continue
+					}
+					fi3 := oi + i
+					fj3 := oj + j
+					fk3 := ok + k
+					pi := floorDiv(fi3, refine)
+					pj := floorDiv(fj3, refine)
+					pk := floorDiv(fk3, refine)
+					zi := (float64(fi3-pi*refine)+0.5)/rf - 0.5
+					zj := (float64(fj3-pj*refine)+0.5)/rf - 0.5
+					zk := (float64(fk3-pk*refine)+0.5)/rf - 0.5
+					c := pField.At(pi, pj, pk)
+					sx := minmod3(pField.At(pi-1, pj, pk), c, pField.At(pi+1, pj, pk))
+					sy := minmod3(pField.At(pi, pj-1, pk), c, pField.At(pi, pj+1, pk))
+					sz := minmod3(pField.At(pi, pj, pk-1), c, pField.At(pi, pj, pk+1))
+					cField.Set(i, j, k, c+sx*zi+sy*zj+sz*zk)
+				}
+			}
+		}
+	}
+}
+
+func minmod3(l, c, r float64) float64 {
+	dl := c - l
+	dr := r - c
+	if dl*dr <= 0 {
+		return 0
+	}
+	if math.Abs(dl) < math.Abs(dr) {
+		return dl
+	}
+	return dr
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// installTaps prepares each grid's interior flux taps at the boundary
+// planes of its children, and zeroes the children's registers, readying
+// one coarse step of flux bookkeeping.
+func (h *Hierarchy) installTaps(level int) {
+	r := h.Cfg.Refine
+	for _, g := range h.Levels[level] {
+		g.Taps = g.Taps[:0]
+		for _, c := range g.Children {
+			c.Reg.Zero()
+			lo := [3]int{
+				c.Lo[0]/r - g.Lo[0],
+				c.Lo[1]/r - g.Lo[1],
+				c.Lo[2]/r - g.Lo[2],
+			}
+			hi := [3]int{lo[0] + c.Nx/r, lo[1] + c.Ny/r, lo[2] + c.Nz/r}
+			nsp := len(g.State.Species)
+			// x faces: transverse (j,k); y faces: (i,k); z faces: (i,j).
+			g.Taps = append(g.Taps,
+				hydro.NewFluxTap(0, lo[0], lo[1], hi[1], lo[2], hi[2], nsp),
+				hydro.NewFluxTap(0, hi[0], lo[1], hi[1], lo[2], hi[2], nsp),
+				hydro.NewFluxTap(1, lo[1], lo[0], hi[0], lo[2], hi[2], nsp),
+				hydro.NewFluxTap(1, hi[1], lo[0], hi[0], lo[2], hi[2], nsp),
+				hydro.NewFluxTap(2, lo[2], lo[0], hi[0], lo[1], hi[1], nsp),
+				hydro.NewFluxTap(2, hi[2], lo[0], hi[0], lo[1], hi[1], nsp),
+			)
+		}
+	}
+}
+
+// solveGravityLevel solves the Poisson equation on every grid of a level:
+// FFT on the periodic root, multigrid with parent-interpolated Dirichlet
+// boundaries plus an iterative sibling exchange on subgrids (§3.3).
+func (h *Hierarchy) solveGravityLevel(level int) {
+	gc := h.gravConstNow()
+	grids := h.Levels[level]
+	for _, g := range grids {
+		h.depositDM(g)
+	}
+	const siblingIters = 2
+	for pass := 0; pass < siblingIters; pass++ {
+		for _, g := range grids {
+			h.Stats.GravitySolves++
+			rhs := mesh.NewField3(g.Nx, g.Ny, g.Nz, 1)
+			for k := 0; k < g.Nz; k++ {
+				for j := 0; j < g.Ny; j++ {
+					for i := 0; i < g.Nx; i++ {
+						rhs.Set(i, j, k, gc*(g.State.Rho.At(i, j, k)+g.DMRho.At(i, j, k)-h.Cfg.MeanRho))
+					}
+				}
+			}
+			if g.Level == 0 {
+				total := mesh.NewField3(g.Nx, g.Ny, g.Nz, 1)
+				for idx := range rhs.Data {
+					total.Data[idx] = rhs.Data[idx]
+				}
+				phi, err := gravity.SolvePeriodic(total, g.Dx, 1.0)
+				if err == nil {
+					// Copy into the grid's wider-ghost field.
+					for k := 0; k < g.Nz; k++ {
+						for j := 0; j < g.Ny; j++ {
+							for i := 0; i < g.Nx; i++ {
+								g.Phi.Set(i, j, k, phi.At(i, j, k))
+							}
+						}
+					}
+					g.Phi.ApplyPeriodicBC()
+				}
+				continue
+			}
+			// Subgrid: Dirichlet ghosts from the parent potential, then
+			// overwrite with any sibling's fresher values.
+			fillPhiGhosts(g, h.Cfg.Refine)
+			for _, s := range grids {
+				if s == g {
+					continue
+				}
+				mesh.CopyOverlap(g.Phi, s.Phi, s.Lo[0]-g.Lo[0], s.Lo[1]-g.Lo[1], s.Lo[2]-g.Lo[2], 1)
+			}
+			gravity.SolveMultigrid(g.Phi, rhs, g.Dx, gravity.DefaultMGParams())
+			g.Phi.ApplyOutflowBC()
+		}
+	}
+	for _, g := range grids {
+		gx, gy, gz := gravity.Accelerations(g.Phi, g.Dx)
+		if g.Level == 0 {
+			gx.ApplyPeriodicBC()
+			gy.ApplyPeriodicBC()
+			gz.ApplyPeriodicBC()
+		} else {
+			gx.ApplyOutflowBC()
+			gy.ApplyOutflowBC()
+			gz.ApplyOutflowBC()
+		}
+		g.GAcc = [3]*mesh.Field3{gx, gy, gz}
+	}
+}
+
+// fillPhiGhosts interpolates the parent's potential into the child's first
+// ghost layer (the multigrid Dirichlet boundary).
+func fillPhiGhosts(g *Grid, refine int) {
+	p := g.Parent
+	if p == nil {
+		return
+	}
+	oi, oj, ok := offsetWithin(p, g, refine)
+	rf := float64(refine)
+	for k := -1; k <= g.Nz; k++ {
+		kGhost := k < 0 || k >= g.Nz
+		for j := -1; j <= g.Ny; j++ {
+			jGhost := j < 0 || j >= g.Ny
+			for i := -1; i <= g.Nx; i++ {
+				if !(kGhost || jGhost || i < 0 || i >= g.Nx) {
+					i = g.Nx - 1
+					continue
+				}
+				fi3, fj3, fk3 := oi+i, oj+j, ok+k
+				pi := floorDiv(fi3, refine)
+				pj := floorDiv(fj3, refine)
+				pk := floorDiv(fk3, refine)
+				zi := (float64(fi3-pi*refine)+0.5)/rf - 0.5
+				zj := (float64(fj3-pj*refine)+0.5)/rf - 0.5
+				zk := (float64(fk3-pk*refine)+0.5)/rf - 0.5
+				c := p.Phi.At(pi, pj, pk)
+				sx := 0.5 * (p.Phi.At(pi+1, pj, pk) - p.Phi.At(pi-1, pj, pk))
+				sy := 0.5 * (p.Phi.At(pi, pj+1, pk) - p.Phi.At(pi, pj-1, pk))
+				sz := 0.5 * (p.Phi.At(pi, pj, pk+1) - p.Phi.At(pi, pj, pk-1))
+				g.Phi.Set(i, j, k, c+sx*zi+sy*zj+sz*zk)
+			}
+		}
+	}
+}
+
+// depositDM deposits every particle in the hierarchy onto g's DM density
+// field (particles outside the grid's halo are skipped by the CIC kernel).
+func (h *Hierarchy) depositDM(g *Grid) {
+	g.DMRho.Fill(0)
+	geom := g.Geom()
+	for _, lv := range h.Levels {
+		for _, o := range lv {
+			if o.Parts.Len() > 0 {
+				nbody.DepositCIC(o.Parts, g.DMRho, geom)
+			}
+		}
+	}
+	if g.Level == 0 {
+		nbody.FoldGhostsPeriodic(g.DMRho)
+	}
+}
+
+// liftEscapedParticles moves particles that drifted out of the grid's
+// active region up to the first ancestor that contains them (or wraps them
+// periodically at the root).
+func (h *Hierarchy) liftEscapedParticles(g *Grid) {
+	if g.Parent == nil {
+		g.Parts.WrapPeriodic()
+		return
+	}
+	kept := nbody.New(g.Parts.Len())
+	for i := 0; i < g.Parts.Len(); i++ {
+		if g.ContainsPos(g.Parts.X[i], g.Parts.Y[i], g.Parts.Z[i]) {
+			kept.Add(g.Parts.X[i], g.Parts.Y[i], g.Parts.Z[i],
+				g.Parts.Vx[i], g.Parts.Vy[i], g.Parts.Vz[i], g.Parts.Mass[i], g.Parts.ID[i])
+			continue
+		}
+		anc := g.Parent
+		for anc.Parent != nil && !anc.ContainsPos(g.Parts.X[i], g.Parts.Y[i], g.Parts.Z[i]) {
+			anc = anc.Parent
+		}
+		anc.Parts.Add(g.Parts.X[i], g.Parts.Y[i], g.Parts.Z[i],
+			g.Parts.Vx[i], g.Parts.Vy[i], g.Parts.Vz[i], g.Parts.Mass[i], g.Parts.ID[i])
+	}
+	g.Parts = kept
+}
+
+// stepChemistry advances the 12-species network and radiative cooling in
+// every active cell of the grid, sub-cycled inside the hydro step.
+func (h *Hierarchy) stepChemistry(g *Grid, dtCode float64) {
+	u := h.Cfg.Units
+	dtSec := dtCode * u.Time
+	aFac := 1.0
+	if h.Cfg.Cosmo != nil && h.Cfg.InitialA > 0 {
+		r := h.Cfg.InitialA / h.Cfg.Cosmo.A
+		aFac = r * r * r
+		h.Cfg.CoolParams.Redshift = 1/h.Cfg.Cosmo.A - 1
+	}
+	st := g.State
+	for k := 0; k < g.Nz; k++ {
+		for j := 0; j < g.Ny; j++ {
+			for i := 0; i < g.Nx; i++ {
+				h.Stats.ChemCellCalls++
+				var cs chem.State
+				for sp := 0; sp < chem.NumSpecies; sp++ {
+					w := chem.AtomicWeight[sp]
+					if w == 0 {
+						w = 1 // electrons stored as n_e * m_p
+					}
+					cs[sp] = st.Species[sp].At(i, j, k) * u.Density * aFac / (w * units.MProton)
+				}
+				eint := st.Eint.At(i, j, k) * u.Velocity * u.Velocity
+				out, e1, _ := chem.EvolveCell(cs, eint, dtSec, h.Cfg.CoolParams, h.Cfg.ChemParams)
+				for sp := 0; sp < chem.NumSpecies; sp++ {
+					w := chem.AtomicWeight[sp]
+					if w == 0 {
+						w = 1
+					}
+					st.Species[sp].Set(i, j, k, out[sp]*w*units.MProton/(u.Density*aFac))
+				}
+				newEint := e1 / (u.Velocity * u.Velocity)
+				dE := newEint - st.Eint.At(i, j, k)
+				st.Eint.Set(i, j, k, newEint)
+				st.Etot.Add(i, j, k, dE)
+			}
+		}
+	}
+}
+
+// fluxCorrect replaces the coarse flux through each child-boundary face
+// with the time-accumulated fine flux, correcting the adjacent uncovered
+// coarse cells (paper §3.2.1: mass, momentum and energy conservation as
+// material flows into and out of refined regions).
+func (h *Hierarchy) fluxCorrect(level int) {
+	if level >= len(h.Levels) {
+		return
+	}
+	r := h.Cfg.Refine
+	r2 := float64(r * r)
+	for _, g := range h.Levels[level] {
+		for ci, c := range g.Children {
+			taps := g.Taps[6*ci : 6*ci+6]
+			lo := [3]int{c.Lo[0]/r - g.Lo[0], c.Lo[1]/r - g.Lo[1], c.Lo[2]/r - g.Lo[2]}
+			hi := [3]int{lo[0] + c.Nx/r, lo[1] + c.Ny/r, lo[2] + c.Nz/r}
+			for face := 0; face < 6; face++ {
+				dir := face / 2
+				high := face%2 == 1
+				// Coarse cell just outside the face.
+				var ci0 int
+				if high {
+					ci0 = hi[dir]
+				} else {
+					ci0 = lo[dir] - 1
+				}
+				n := [3]int{g.Nx, g.Ny, g.Nz}
+				if ci0 < 0 || ci0 >= n[dir] {
+					if g.Level == 0 {
+						// The root is periodic: wrap to the image cell.
+						ci0 = ((ci0 % n[dir]) + n[dir]) % n[dir]
+					} else {
+						continue // neighbour cell belongs to a sibling/parent
+					}
+				}
+				t1lo, t1hi, t2lo, t2hi := tapTransverse(lo, hi, dir)
+				for c2 := t2lo; c2 < t2hi; c2++ {
+					for c1 := t1lo; c1 < t1hi; c1++ {
+						i, j, k := cellFromFace(dir, ci0, c1, c2)
+						if h.coveredByChild(g, i, j, k) {
+							continue
+						}
+						// Fine flux: average child register over r^2
+						// fine faces (dt-integrated).
+						h.applyCorrection(g, c, taps[face], face, dir, high, i, j, k, c1, c2, r, r2)
+					}
+				}
+			}
+		}
+	}
+}
+
+func tapTransverse(lo, hi [3]int, dir int) (int, int, int, int) {
+	switch dir {
+	case 0:
+		return lo[1], hi[1], lo[2], hi[2]
+	case 1:
+		return lo[0], hi[0], lo[2], hi[2]
+	default:
+		return lo[0], hi[0], lo[1], hi[1]
+	}
+}
+
+func cellFromFace(dir, ci0, c1, c2 int) (int, int, int) {
+	switch dir {
+	case 0:
+		return ci0, c1, c2
+	case 1:
+		return c1, ci0, c2
+	default:
+		return c1, c2, ci0
+	}
+}
+
+// applyCorrection adjusts one coarse cell for one face's flux mismatch.
+func (h *Hierarchy) applyCorrection(g, c *Grid, tap *hydro.FluxTap, face, dir int, high bool, i, j, k, c1, c2, r int, r2 float64) {
+	// Child register face index layout matches hydro.FluxRegister.
+	reg := c.Reg
+	nf := reg.NFields
+	fine := make([]float64, nf)
+	// Child-local transverse ranges of the r^2 fine faces for this
+	// coarse face cell. c1/c2 are in g's active coords; child-local
+	// coarse offsets:
+	lo := [3]int{c.Lo[0]/r - g.Lo[0], c.Lo[1]/r - g.Lo[1], c.Lo[2]/r - g.Lo[2]}
+	var f1, f2 int // fine transverse start indices in child coords
+	switch dir {
+	case 0:
+		f1 = (c1 - lo[1]) * r
+		f2 = (c2 - lo[2]) * r
+	case 1:
+		f1 = (c1 - lo[0]) * r
+		f2 = (c2 - lo[2]) * r
+	default:
+		f1 = (c1 - lo[0]) * r
+		f2 = (c2 - lo[1]) * r
+	}
+	for q := 0; q < nf; q++ {
+		var s float64
+		for b := 0; b < r; b++ {
+			for a := 0; a < r; a++ {
+				s += regFaceAt(reg, face, q, f1+a, f2+b)
+			}
+		}
+		fine[q] = s / r2
+	}
+	h.Stats.FluxCorrCells++
+
+	st := g.State
+	rho := st.Rho.At(i, j, k)
+	mom := [3]float64{
+		rho * st.Vx.At(i, j, k),
+		rho * st.Vy.At(i, j, k),
+		rho * st.Vz.At(i, j, k),
+	}
+	etot := rho * st.Etot.At(i, j, k)
+
+	sign := 1.0 // low face: cell to the left, face is its right face
+	if high {
+		sign = -1.0
+	}
+	inv := sign / g.Dx
+	coarse := func(q int) float64 { return tap.At(q, c1, c2) }
+
+	nrho := rho + inv*(coarse(hydro.FluxMass)-fine[hydro.FluxMass])
+	if nrho <= h.Cfg.Hydro.FloorRho {
+		return // refuse corrections that would evacuate the cell
+	}
+	mom[0] += inv * (coarse(hydro.FluxMomX) - fine[hydro.FluxMomX])
+	mom[1] += inv * (coarse(hydro.FluxMomY) - fine[hydro.FluxMomY])
+	mom[2] += inv * (coarse(hydro.FluxMomZ) - fine[hydro.FluxMomZ])
+	etot += inv * (coarse(hydro.FluxEnergy) - fine[hydro.FluxEnergy])
+
+	st.Rho.Set(i, j, k, nrho)
+	st.Vx.Set(i, j, k, mom[0]/nrho)
+	st.Vy.Set(i, j, k, mom[1]/nrho)
+	st.Vz.Set(i, j, k, mom[2]/nrho)
+	if e := etot / nrho; e > 0 {
+		st.Etot.Set(i, j, k, e)
+	}
+	for sp := range st.Species {
+		v := st.Species[sp].At(i, j, k) + inv*(coarse(hydro.FluxNumBase+sp)-fine[hydro.FluxNumBase+sp])
+		if v < 0 {
+			v = 0
+		}
+		st.Species[sp].Set(i, j, k, v)
+	}
+}
+
+// regFaceAt reads a child's register face with the FluxRegister layout.
+func regFaceAt(reg *hydro.FluxRegister, face, field, c1, c2 int) float64 {
+	var stride int
+	switch face / 2 {
+	case 0:
+		stride = reg.Ny
+	default:
+		stride = reg.Nx
+	}
+	return reg.Face[face][field][c1+stride*c2]
+}
+
+// coveredByChild reports whether coarse cell (i,j,k) of g lies under any
+// of g's children.
+func (h *Hierarchy) coveredByChild(g *Grid, i, j, k int) bool {
+	r := h.Cfg.Refine
+	gi, gj, gk := (g.Lo[0]+i)*r, (g.Lo[1]+j)*r, (g.Lo[2]+k)*r
+	for _, c := range g.Children {
+		if c.ContainsGlobal(gi, gj, gk) {
+			return true
+		}
+	}
+	return false
+}
+
+// project replaces every covered coarse cell with the conservative average
+// of the fine solution (paper §3.2.1, the Projection step).
+func (h *Hierarchy) project(level int) {
+	if level+1 >= len(h.Levels) {
+		return
+	}
+	r := h.Cfg.Refine
+	r3 := float64(r * r * r)
+	for _, g := range h.Levels[level] {
+		for _, c := range g.Children {
+			lo := [3]int{c.Lo[0]/r - g.Lo[0], c.Lo[1]/r - g.Lo[1], c.Lo[2]/r - g.Lo[2]}
+			cs := c.State
+			gs := g.State
+			for pk := 0; pk < c.Nz/r; pk++ {
+				for pj := 0; pj < c.Ny/r; pj++ {
+					for pi := 0; pi < c.Nx/r; pi++ {
+						var mRho, mMx, mMy, mMz, mE, mEi float64
+						nsp := len(gs.Species)
+						spSum := make([]float64, nsp)
+						for dk := 0; dk < r; dk++ {
+							for dj := 0; dj < r; dj++ {
+								for di := 0; di < r; di++ {
+									fi := pi*r + di
+									fj := pj*r + dj
+									fk := pk*r + dk
+									rho := cs.Rho.At(fi, fj, fk)
+									mRho += rho
+									mMx += rho * cs.Vx.At(fi, fj, fk)
+									mMy += rho * cs.Vy.At(fi, fj, fk)
+									mMz += rho * cs.Vz.At(fi, fj, fk)
+									mE += rho * cs.Etot.At(fi, fj, fk)
+									mEi += rho * cs.Eint.At(fi, fj, fk)
+									for sp := 0; sp < nsp; sp++ {
+										spSum[sp] += cs.Species[sp].At(fi, fj, fk)
+									}
+								}
+							}
+						}
+						i, j, k := lo[0]+pi, lo[1]+pj, lo[2]+pk
+						if i < 0 || i >= g.Nx || j < 0 || j >= g.Ny || k < 0 || k >= g.Nz {
+							continue
+						}
+						h.Stats.ProjectedCells++
+						rho := mRho / r3
+						gs.Rho.Set(i, j, k, rho)
+						gs.Vx.Set(i, j, k, mMx/mRho)
+						gs.Vy.Set(i, j, k, mMy/mRho)
+						gs.Vz.Set(i, j, k, mMz/mRho)
+						gs.Etot.Set(i, j, k, mE/mRho)
+						gs.Eint.Set(i, j, k, mEi/mRho)
+						for sp := 0; sp < nsp; sp++ {
+							gs.Species[sp].Set(i, j, k, spSum[sp]/r3)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package amr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ep128"
+)
+
+// Integration-level checks of the full machinery beyond single features:
+// deep hierarchies, refinement-factor 4, EPA grid edges, and failure
+// injection (pathological states must not take the hierarchy down).
+
+func TestRefinementFactor4(t *testing.T) {
+	cfg := DefaultConfig(16)
+	cfg.Refine = 4
+	cfg.SelfGravity = false
+	cfg.JeansN = 0
+	cfg.StaticLevels = 1
+	cfg.StaticLo = [3]float64{0.25, 0.25, 0.25}
+	cfg.StaticHi = [3]float64{0.75, 0.75, 0.75}
+	cfg.MaxLevel = 1
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillState(h.Root().State, 1, 0, 0, 0, 1)
+	h.RebuildHierarchy(1)
+	if h.MaxLevel() != 1 {
+		t.Fatal("r=4 static refinement failed")
+	}
+	if sdr := h.SpatialDynamicRange(); sdr != 64 {
+		t.Fatalf("SDR %v, want 64 (16*4)", sdr)
+	}
+	m0 := h.TotalGasMass()
+	for s := 0; s < 2; s++ {
+		h.Step()
+	}
+	if rel := math.Abs(h.TotalGasMass()-m0) / m0; rel > 1e-9 {
+		t.Fatalf("r=4 mass drift %e", rel)
+	}
+	// A subgrid at r=4 takes 4 sub-steps per root step and ends
+	// synchronized.
+	for _, g := range h.Levels[1] {
+		if math.Abs(g.Time-h.Time) > 1e-12 {
+			t.Fatalf("r=4 subgrid time %v != %v", g.Time, h.Time)
+		}
+	}
+}
+
+func TestGridEdgeExtendedPrecision(t *testing.T) {
+	// At deep levels the grid edge must resolve positions that float64
+	// cannot: level 30 at RootN 16 has dx = 1/(16*2^30) ~ 5.8e-11, and
+	// edges are exact dyadic rationals in ep128.
+	g := NewGrid(30, [3]int{1<<34 + 1, 0, 0}, 4, 4, 4, 16, 2, 0)
+	cells := 16.0 * math.Pow(2, 30)
+	wantDx := 1.0 / cells
+	if math.Abs(g.Dx-wantDx)/wantDx > 1e-14 {
+		t.Fatalf("dx %v, want %v", g.Dx, wantDx)
+	}
+	// Edge - (Lo-1)*dx must equal exactly dx even though the absolute
+	// positions differ at the 1e-11 level.
+	edgePrev := ep128.FromInt(int64(1 << 34)).DivFloat(cells)
+	diff := g.Edge[0].Sub(edgePrev)
+	if rel := math.Abs(diff.Float64()-wantDx) / wantDx; rel > 1e-14 {
+		t.Fatalf("adjacent edge separation %v, want dx=%v", diff.Float64(), wantDx)
+	}
+}
+
+func TestFailureInjectionExtremeState(t *testing.T) {
+	// A near-vacuum cell next to a hot dense cell must not produce NaNs
+	// or crash the AMR step (floors + robust Riemann).
+	cfg := DefaultConfig(16)
+	cfg.SelfGravity = false
+	cfg.JeansN = 0
+	cfg.MassThresholdGas = 3.0 / (16. * 16 * 16)
+	cfg.MaxLevel = 2
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillState(h.Root().State, 1, 0, 0, 0, 1)
+	h.Root().State.Rho.Set(8, 8, 8, 1e-18) // near vacuum
+	h.Root().State.Rho.Set(9, 8, 8, 1e6)   // huge spike
+	h.Root().State.Eint.Set(9, 8, 8, 1e6)
+	h.Root().State.Etot.Set(9, 8, 8, 1e6)
+	h.RebuildHierarchy(1)
+	for s := 0; s < 3; s++ {
+		h.Step()
+	}
+	for _, lv := range h.Levels {
+		for _, g := range lv {
+			for _, v := range g.State.Rho.Data {
+				if math.IsNaN(v) || v < 0 {
+					t.Fatalf("bad density %v after extreme state", v)
+				}
+			}
+			for _, v := range g.State.Eint.Data {
+				if math.IsNaN(v) {
+					t.Fatal("NaN energy after extreme state")
+				}
+			}
+		}
+	}
+}
+
+func TestParallelWorkersMatchSerial(t *testing.T) {
+	// The worker pool must produce bit-identical physics to the serial
+	// path (grids are independent within a level).
+	run := func(workers int) *Hierarchy {
+		cfg := DefaultConfig(16)
+		cfg.SelfGravity = false
+		cfg.JeansN = 0
+		cfg.StaticLevels = 1
+		cfg.StaticLo = [3]float64{0.2, 0.2, 0.2}
+		cfg.StaticHi = [3]float64{0.8, 0.8, 0.8}
+		cfg.MaxLevel = 1
+		cfg.MaxGridSize = 8 // force several subgrids
+		cfg.Workers = workers
+		h, err := NewHierarchy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := h.Root()
+		fillState(root.State, 1, 0, 0, 0, 1)
+		for k := 0; k < 16; k++ {
+			for j := 0; j < 16; j++ {
+				for i := 0; i < 16; i++ {
+					root.State.Rho.Set(i, j, k, 1+0.5*math.Sin(float64(i+2*j+3*k)))
+				}
+			}
+		}
+		h.RebuildHierarchy(1)
+		for s := 0; s < 2; s++ {
+			h.Step()
+		}
+		return h
+	}
+	hs := run(1)
+	hp := run(4)
+	if len(hs.Levels[1]) != len(hp.Levels[1]) {
+		t.Fatalf("grid structure diverged: %d vs %d", len(hs.Levels[1]), len(hp.Levels[1]))
+	}
+	for k := 0; k < 16; k++ {
+		for j := 0; j < 16; j++ {
+			for i := 0; i < 16; i++ {
+				a := hs.Root().State.Rho.At(i, j, k)
+				b := hp.Root().State.Rho.At(i, j, k)
+				if a != b {
+					t.Fatalf("parallel/serial mismatch at (%d,%d,%d): %v vs %v", i, j, k, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestDeepHierarchyCascade(t *testing.T) {
+	// Force a 4-level cascade with nested static regions and verify
+	// nesting, dx halving and EPA edge consistency at every level.
+	cfg := DefaultConfig(16)
+	cfg.SelfGravity = false
+	cfg.JeansN = 0
+	cfg.StaticLevels = 4
+	cfg.StaticLo = [3]float64{0.375, 0.375, 0.375}
+	cfg.StaticHi = [3]float64{0.625, 0.625, 0.625}
+	cfg.MaxLevel = 4
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillState(h.Root().State, 1, 0, 0, 0, 1)
+	h.RebuildHierarchy(1)
+	if h.MaxLevel() != 4 {
+		t.Fatalf("cascade depth %d, want 4", h.MaxLevel())
+	}
+	if sdr := h.SpatialDynamicRange(); sdr != 256 {
+		t.Fatalf("SDR %v, want 256", sdr)
+	}
+	for l := 1; l <= 4; l++ {
+		for _, g := range h.Levels[l] {
+			if math.Abs(g.Dx*float64(int(1)<<l)*16-1) > 1e-12 {
+				t.Fatalf("level %d dx wrong: %v", l, g.Dx)
+			}
+			// EPA edge equals Lo*dx to double-double accuracy.
+			want := ep128.FromInt(int64(g.Lo[0])).DivFloat(16 * math.Pow(2, float64(l)))
+			if !g.Edge[0].Sub(want).Abs().Less(ep128.FromFloat64(1e-25)) {
+				t.Fatalf("level %d EPA edge mismatch", l)
+			}
+		}
+	}
+	// One step through the full cascade must conserve mass.
+	m0 := h.TotalGasMass()
+	h.Step()
+	if rel := math.Abs(h.TotalGasMass()-m0) / m0; rel > 1e-9 {
+		t.Fatalf("deep cascade mass drift %e", rel)
+	}
+}
+
+func TestSpeciesThroughHierarchy(t *testing.T) {
+	// Advected species must survive prolongation, projection and flux
+	// correction with conserved totals.
+	cfg := DefaultConfig(16)
+	cfg.SelfGravity = false
+	cfg.JeansN = 0
+	cfg.StaticLevels = 1
+	cfg.StaticLo = [3]float64{0.25, 0.25, 0.25}
+	cfg.StaticHi = [3]float64{0.75, 0.75, 0.75}
+	cfg.MaxLevel = 1
+	cfg.NSpecies = 2
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := h.Root()
+	fillState(root.State, 1, 0.2, 0, 0, 1)
+	root.State.Species[0].Fill(0.76)
+	root.State.Species[1].Fill(0.24)
+	h.RebuildHierarchy(1)
+	vol := root.CellVolume()
+	s0 := root.State.Species[0].SumActive() * vol
+	for s := 0; s < 3; s++ {
+		h.Step()
+	}
+	s1 := root.State.Species[0].SumActive() * vol
+	if rel := math.Abs(s1-s0) / s0; rel > 1e-9 {
+		t.Fatalf("species mass drift %e through hierarchy", rel)
+	}
+	// Fractions preserved everywhere (uniform fractions stay uniform).
+	for _, g := range h.Levels[1] {
+		for k := 0; k < g.Nz; k++ {
+			for j := 0; j < g.Ny; j++ {
+				for i := 0; i < g.Nx; i++ {
+					f := g.State.Species[0].At(i, j, k) / g.State.Rho.At(i, j, k)
+					if math.Abs(f-0.76) > 1e-9 {
+						t.Fatalf("species fraction drifted: %v", f)
+					}
+				}
+			}
+		}
+	}
+}

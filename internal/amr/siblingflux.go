@@ -1,0 +1,147 @@
+package amr
+
+import "repro/internal/hydro"
+
+// reconcileSiblingFluxes restores exact conservation across faces shared
+// by two same-level grids. During the directionally split step each grid
+// computes its own flux at a shared face; after the first sweep the two
+// estimates can differ slightly (the neighbour's intermediate state is not
+// visible mid-step), so one grid's loss is not exactly the other's gain.
+// This pass replaces both with their average using the dt-integrated
+// fluxes already accumulated in the grids' boundary registers — the flux
+// side of the same bookkeeping the coarse/fine correction uses.
+func (h *Hierarchy) reconcileSiblingFluxes(level int) {
+	if level <= 0 || level >= len(h.Levels) {
+		return
+	}
+	grids := h.Levels[level]
+	B := h.levelBoxCells(level)
+	// Ordered enumeration: every physical shared face has exactly one
+	// (left grid, right grid, shift) triple with a.Hi == b.Lo + shift.
+	for _, a := range grids {
+		for _, b := range grids {
+			for _, sh := range periodicShifts(B) {
+				if a == b && sh == [3]int{} {
+					continue
+				}
+				for dir := 0; dir < 3; dir++ {
+					if a.Hi()[dir] == b.Lo[dir]+sh[dir] {
+						reconcilePair(a, b, dir, sh, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+// reconcilePair handles grid a's high face touching grid b's low face
+// along dir, with b displaced by the periodic shift sh. Transverse overlap
+// is computed in a's face coordinates.
+func reconcilePair(a, b *Grid, dir int, sh [3]int, h *Hierarchy) {
+	// Transverse dims (t1, t2) and sizes for the two grids.
+	var an1, an2, bn1, bn2 int
+	var aOff1, aOff2 int // b's (shifted) origin minus a's origin, transverse
+	switch dir {
+	case 0:
+		an1, an2, bn1, bn2 = a.Ny, a.Nz, b.Ny, b.Nz
+		aOff1, aOff2 = b.Lo[1]+sh[1]-a.Lo[1], b.Lo[2]+sh[2]-a.Lo[2]
+	case 1:
+		an1, an2, bn1, bn2 = a.Nx, a.Nz, b.Nx, b.Nz
+		aOff1, aOff2 = b.Lo[0]+sh[0]-a.Lo[0], b.Lo[2]+sh[2]-a.Lo[2]
+	default:
+		an1, an2, bn1, bn2 = a.Nx, a.Ny, b.Nx, b.Ny
+		aOff1, aOff2 = b.Lo[0]+sh[0]-a.Lo[0], b.Lo[1]+sh[1]-a.Lo[1]
+	}
+	lo1 := maxI(0, aOff1)
+	hi1 := minI(an1, aOff1+bn1)
+	lo2 := maxI(0, aOff2)
+	hi2 := minI(an2, aOff2+bn2)
+	if lo1 >= hi1 || lo2 >= hi2 {
+		return
+	}
+	faceA := 2*dir + 1 // a's high face
+	faceB := 2 * dir   // b's low face
+	// a's last interior cell index along dir and b's first.
+	aCell := [3]int{a.Nx - 1, a.Ny - 1, a.Nz - 1}[dir]
+	nf := a.Reg.NFields
+	for c2 := lo2; c2 < hi2; c2++ {
+		for c1 := lo1; c1 < hi1; c1++ {
+			// Register transverse strides per face orientation.
+			ta := regAt(a.Reg, faceA, c1, c2)
+			tb := regAt(b.Reg, faceB, c1-aOff1, c2-aOff2)
+			for q := 0; q < nf; q++ {
+				avg := 0.5 * (ta[q] + tb[q])
+				dA := (ta[q] - avg) / a.Dx
+				dB := (avg - tb[q]) / b.Dx
+				applyFaceDelta(a, dir, aCell, c1, c2, q, dA, h)
+				applyFaceDelta(b, dir, 0, c1-aOff1, c2-aOff2, q, dB, h)
+			}
+		}
+	}
+}
+
+// regAt returns the per-field dt-integrated fluxes of one face cell.
+func regAt(reg *hydro.FluxRegister, face, c1, c2 int) []float64 {
+	var stride int
+	if face/2 == 0 {
+		stride = reg.Ny
+	} else {
+		stride = reg.Nx
+	}
+	out := make([]float64, reg.NFields)
+	idx := c1 + stride*c2
+	for q := 0; q < reg.NFields; q++ {
+		out[q] = reg.Face[face][q][idx]
+	}
+	return out
+}
+
+// applyFaceDelta adds a conserved-variable increment to the cell adjacent
+// to a face. cAlong is the cell index along dir; (c1,c2) are transverse.
+func applyFaceDelta(g *Grid, dir, cAlong, c1, c2, field int, delta float64, h *Hierarchy) {
+	if delta == 0 {
+		return
+	}
+	var i, j, k int
+	switch dir {
+	case 0:
+		i, j, k = cAlong, c1, c2
+	case 1:
+		i, j, k = c1, cAlong, c2
+	default:
+		i, j, k = c1, c2, cAlong
+	}
+	st := g.State
+	rho := st.Rho.At(i, j, k)
+	switch field {
+	case hydro.FluxMass:
+		nrho := rho + delta
+		if nrho <= h.Cfg.Hydro.FloorRho {
+			return
+		}
+		// Keep velocity and specific energies fixed under a pure mass
+		// change of the conserved set: momenta and E are corrected by
+		// their own field updates below; here adjust rho and rescale.
+		st.Vx.Set(i, j, k, st.Vx.At(i, j, k)*rho/nrho)
+		st.Vy.Set(i, j, k, st.Vy.At(i, j, k)*rho/nrho)
+		st.Vz.Set(i, j, k, st.Vz.At(i, j, k)*rho/nrho)
+		st.Etot.Set(i, j, k, st.Etot.At(i, j, k)*rho/nrho)
+		st.Eint.Set(i, j, k, st.Eint.At(i, j, k)*rho/nrho)
+		st.Rho.Set(i, j, k, nrho)
+	case hydro.FluxMomX:
+		st.Vx.Add(i, j, k, delta/rho)
+	case hydro.FluxMomY:
+		st.Vy.Add(i, j, k, delta/rho)
+	case hydro.FluxMomZ:
+		st.Vz.Add(i, j, k, delta/rho)
+	case hydro.FluxEnergy:
+		st.Etot.Add(i, j, k, delta/rho)
+	default:
+		sp := field - hydro.FluxNumBase
+		v := st.Species[sp].At(i, j, k) + delta
+		if v < 0 {
+			v = 0
+		}
+		st.Species[sp].Set(i, j, k, v)
+	}
+}

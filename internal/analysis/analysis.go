@@ -1,0 +1,270 @@
+// Package analysis implements the paper's §6 analysis toolkit: finding
+// collapsed objects (densest points), mass-weighted spherically averaged
+// radial profiles about them (the Fig. 4 quantities: number density,
+// enclosed gas mass, species mass fractions, temperature, radial velocity
+// and sound speed), and hierarchy-aware slice extraction for the zooming
+// visualizations of Fig. 3. All routines understand the structure of the
+// hierarchy: each point of space is represented by its finest covering
+// grid, and coarse cells under refined regions are skipped.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/amr"
+	"repro/internal/chem"
+	"repro/internal/units"
+)
+
+// DensestPoint returns the box-unit position and density of the maximum
+// gas density cell at the finest resolution available.
+func DensestPoint(h *amr.Hierarchy) (pos [3]float64, rho float64) {
+	rho = math.Inf(-1)
+	ForEachFinestCell(h, func(g *amr.Grid, i, j, k int, x, y, z float64) {
+		if v := g.State.Rho.At(i, j, k); v > rho {
+			rho = v
+			pos = [3]float64{x, y, z}
+		}
+	})
+	return
+}
+
+// ForEachFinestCell visits every cell of the composite (finest-available)
+// solution exactly once, passing the owning grid, cell indices, and the
+// cell-center position in box units.
+func ForEachFinestCell(h *amr.Hierarchy, fn func(g *amr.Grid, i, j, k int, x, y, z float64)) {
+	r := h.Cfg.Refine
+	for _, lv := range h.Levels {
+		for _, g := range lv {
+			ex := g.Edge[0].Float64()
+			ey := g.Edge[1].Float64()
+			ez := g.Edge[2].Float64()
+			for k := 0; k < g.Nz; k++ {
+				for j := 0; j < g.Ny; j++ {
+				cell:
+					for i := 0; i < g.Nx; i++ {
+						// Skip if covered by a child.
+						gi, gj, gk := (g.Lo[0]+i)*r, (g.Lo[1]+j)*r, (g.Lo[2]+k)*r
+						for _, c := range g.Children {
+							if c.ContainsGlobal(gi, gj, gk) {
+								continue cell
+							}
+						}
+						fn(g, i, j, k,
+							ex+(float64(i)+0.5)*g.Dx,
+							ey+(float64(j)+0.5)*g.Dx,
+							ez+(float64(k)+0.5)*g.Dx)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Profile holds mass-weighted spherical averages in logarithmic radial
+// bins about a center, mirroring the panels of Fig. 4.
+type Profile struct {
+	Center [3]float64
+	// Per-bin geometric quantities.
+	R         []float64 // bin-center radius [box units]
+	Mass      []float64 // gas mass in bin [code units]
+	Enclosed  []float64 // cumulative gas mass within R [code units]
+	Density   []float64 // mean gas density [code units]
+	DMDensity []float64 // mean dark-matter density [code units]
+	Temp      []float64 // mass-weighted temperature [K] (chemistry runs)
+	Vr        []float64 // mass-weighted radial velocity [code units]
+	Cs        []float64 // mass-weighted sound speed [code units]
+	H2Frac    []float64 // H2 mass fraction
+	HIFrac    []float64 // HI mass fraction
+	CellsUsed int
+}
+
+// ProfileParams configures the binning.
+type ProfileParams struct {
+	RMin, RMax float64 // radial range [box units]
+	NBins      int
+	Gamma      float64
+	// Units converts code energies to temperatures when the run carries
+	// no chemistry fields; with chemistry, mu comes from the species.
+	Units units.Units
+}
+
+// RadialProfile computes mass-weighted spherical averages about center,
+// using the minimum-image convention in the periodic box.
+func RadialProfile(h *amr.Hierarchy, center [3]float64, p ProfileParams) (*Profile, error) {
+	if p.NBins < 1 || p.RMin <= 0 || p.RMax <= p.RMin {
+		return nil, fmt.Errorf("analysis: bad profile params %+v", p)
+	}
+	pr := &Profile{Center: center}
+	pr.R = make([]float64, p.NBins)
+	lrMin, lrMax := math.Log(p.RMin), math.Log(p.RMax)
+	dlr := (lrMax - lrMin) / float64(p.NBins)
+	for b := 0; b < p.NBins; b++ {
+		pr.R[b] = math.Exp(lrMin + (float64(b)+0.5)*dlr)
+	}
+	nb := p.NBins
+	pr.Mass = make([]float64, nb)
+	pr.Enclosed = make([]float64, nb)
+	pr.Density = make([]float64, nb)
+	pr.DMDensity = make([]float64, nb)
+	pr.Temp = make([]float64, nb)
+	pr.Vr = make([]float64, nb)
+	pr.Cs = make([]float64, nb)
+	pr.H2Frac = make([]float64, nb)
+	pr.HIFrac = make([]float64, nb)
+	vol := make([]float64, nb)
+	dmMass := make([]float64, nb)
+
+	gamma := p.Gamma
+	if gamma <= 1 {
+		gamma = 5.0 / 3.0
+	}
+	hasChem := h.Cfg.Chemistry
+
+	ForEachFinestCell(h, func(g *amr.Grid, i, j, k int, x, y, z float64) {
+		dx := minImage(x - center[0])
+		dy := minImage(y - center[1])
+		dz := minImage(z - center[2])
+		rr := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		if rr < 1e-12 {
+			rr = 1e-12
+		}
+		b := int((math.Log(rr) - lrMin) / dlr)
+		if b < 0 || b >= nb {
+			return
+		}
+		cv := g.CellVolume()
+		rho := g.State.Rho.At(i, j, k)
+		m := rho * cv
+		pr.Mass[b] += m
+		vol[b] += cv
+		dmMass[b] += g.DMRho.At(i, j, k) * cv
+		vr := (g.State.Vx.At(i, j, k)*dx + g.State.Vy.At(i, j, k)*dy + g.State.Vz.At(i, j, k)*dz) / rr
+		pr.Vr[b] += m * vr
+		eint := g.State.Eint.At(i, j, k)
+		pr.Cs[b] += m * math.Sqrt(gamma*(gamma-1)*eint)
+		if hasChem {
+			mu := cellMu(g, i, j, k)
+			tK := eint * p.Units.Velocity * p.Units.Velocity * (gamma - 1) * mu * units.MProton / units.KBoltzmann
+			pr.Temp[b] += m * tK
+			hi := g.State.Species[chem.HI].At(i, j, k)
+			h2 := g.State.Species[chem.H2I].At(i, j, k)
+			pr.H2Frac[b] += m * h2 / rho
+			pr.HIFrac[b] += m * hi / rho
+		} else {
+			pr.Temp[b] += m * p.Units.TempFromE(eint, gamma, units.MeanMolecularWeightNeutral)
+		}
+		pr.CellsUsed++
+	})
+
+	var cum float64
+	for b := 0; b < nb; b++ {
+		cum += pr.Mass[b]
+		pr.Enclosed[b] = cum
+		if pr.Mass[b] > 0 {
+			pr.Vr[b] /= pr.Mass[b]
+			pr.Cs[b] /= pr.Mass[b]
+			pr.Temp[b] /= pr.Mass[b]
+			pr.H2Frac[b] /= pr.Mass[b]
+			pr.HIFrac[b] /= pr.Mass[b]
+		}
+		if vol[b] > 0 {
+			pr.Density[b] = pr.Mass[b] / vol[b]
+			pr.DMDensity[b] = dmMass[b] / vol[b]
+		}
+	}
+	return pr, nil
+}
+
+// cellMu returns the mean molecular weight from the cell's species fields.
+func cellMu(g *amr.Grid, i, j, k int) float64 {
+	var massD, numD float64
+	for sp := 0; sp < chem.NumSpecies && sp < len(g.State.Species); sp++ {
+		w := chem.AtomicWeight[sp]
+		if w == 0 {
+			w = 1 // electron field stored as n_e * m_p
+		}
+		d := g.State.Species[sp].At(i, j, k)
+		if sp != chem.Elec {
+			massD += d
+		}
+		numD += d / w
+	}
+	if numD <= 0 {
+		return units.MeanMolecularWeightNeutral
+	}
+	return massD / numD
+}
+
+// minImage folds a separation into [-0.5, 0.5) for the unit periodic box.
+func minImage(d float64) float64 {
+	for d >= 0.5 {
+		d--
+	}
+	for d < -0.5 {
+		d++
+	}
+	return d
+}
+
+// Slice samples a 2-D plane of the composite solution. axis selects the
+// normal (0=x: plane spans y,z); coord is the plane position in box units;
+// the window [lo0,hi0)x[lo1,hi1) is sampled at n×n points. value extracts
+// the quantity from the finest covering grid.
+func Slice(h *amr.Hierarchy, axis int, coord float64, lo0, hi0, lo1, hi1 float64, n int,
+	value func(g *amr.Grid, i, j, k int) float64) [][]float64 {
+	out := make([][]float64, n)
+	for b := range out {
+		out[b] = make([]float64, n)
+	}
+	for b := 0; b < n; b++ {
+		c1 := lo1 + (float64(b)+0.5)*(hi1-lo1)/float64(n)
+		for a := 0; a < n; a++ {
+			c0 := lo0 + (float64(a)+0.5)*(hi0-lo0)/float64(n)
+			var x, y, z float64
+			switch axis {
+			case 0:
+				x, y, z = coord, c0, c1
+			case 1:
+				x, y, z = c0, coord, c1
+			default:
+				x, y, z = c0, c1, coord
+			}
+			g := h.FinestGridAt(wrap01(x), wrap01(y), wrap01(z))
+			i := int((wrap01(x) - g.Edge[0].Float64()) / g.Dx)
+			j := int((wrap01(y) - g.Edge[1].Float64()) / g.Dx)
+			k := int((wrap01(z) - g.Edge[2].Float64()) / g.Dx)
+			i = clampI(i, g.Nx-1)
+			j = clampI(j, g.Ny-1)
+			k = clampI(k, g.Nz-1)
+			out[b][a] = value(g, i, j, k)
+		}
+	}
+	return out
+}
+
+// DensitySlice is the Fig. 3 quantity: log10 of gas density.
+func DensitySlice(h *amr.Hierarchy, axis int, coord float64, lo0, hi0, lo1, hi1 float64, n int) [][]float64 {
+	return Slice(h, axis, coord, lo0, hi0, lo1, hi1, n, func(g *amr.Grid, i, j, k int) float64 {
+		return math.Log10(math.Max(g.State.Rho.At(i, j, k), 1e-300))
+	})
+}
+
+func wrap01(x float64) float64 {
+	x = math.Mod(x, 1)
+	if x < 0 {
+		x++
+	}
+	return x
+}
+
+func clampI(v, max int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > max {
+		return max
+	}
+	return v
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/amr"
+	"repro/internal/units"
+)
+
+// buildTestHierarchy makes a 2-level hierarchy with a central overdensity.
+func buildTestHierarchy(t *testing.T) *amr.Hierarchy {
+	t.Helper()
+	cfg := amr.DefaultConfig(16)
+	cfg.SelfGravity = false
+	cfg.JeansN = 0
+	cfg.StaticLevels = 1
+	cfg.StaticLo = [3]float64{0.25, 0.25, 0.25}
+	cfg.StaticHi = [3]float64{0.75, 0.75, 0.75}
+	cfg.MaxLevel = 1
+	h, err := amr.NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := h.Root()
+	for k := 0; k < 16; k++ {
+		for j := 0; j < 16; j++ {
+			for i := 0; i < 16; i++ {
+				dx := (float64(i)+0.5)/16 - 0.5
+				dy := (float64(j)+0.5)/16 - 0.5
+				dz := (float64(k)+0.5)/16 - 0.5
+				r2 := dx*dx + dy*dy + dz*dz
+				rho := 1 + 20*math.Exp(-r2*100)
+				root.State.Rho.Set(i, j, k, rho)
+				root.State.Eint.Set(i, j, k, 1.0)
+				root.State.Etot.Set(i, j, k, 1.0)
+				// Inward radial flow.
+				r := math.Sqrt(r2) + 1e-9
+				root.State.Vx.Set(i, j, k, -0.3*dx/r)
+				root.State.Vy.Set(i, j, k, -0.3*dy/r)
+				root.State.Vz.Set(i, j, k, -0.3*dz/r)
+			}
+		}
+	}
+	h.RebuildHierarchy(1)
+	return h
+}
+
+func TestDensestPoint(t *testing.T) {
+	h := buildTestHierarchy(t)
+	pos, rho := DensestPoint(h)
+	for d := 0; d < 3; d++ {
+		if math.Abs(pos[d]-0.5) > 0.1 {
+			t.Errorf("densest point at %v, want center", pos)
+		}
+	}
+	if rho < 10 {
+		t.Errorf("peak density %v too low", rho)
+	}
+}
+
+func TestForEachFinestCellCoversBoxOnce(t *testing.T) {
+	h := buildTestHierarchy(t)
+	var vol float64
+	ForEachFinestCell(h, func(g *amr.Grid, i, j, k int, x, y, z float64) {
+		vol += g.CellVolume()
+		if x < 0 || x >= 1 || y < 0 || y >= 1 || z < 0 || z >= 1 {
+			t.Fatalf("cell center outside box: %v %v %v", x, y, z)
+		}
+	})
+	if math.Abs(vol-1) > 1e-12 {
+		t.Fatalf("composite volume %v, want 1 (each point exactly once)", vol)
+	}
+}
+
+func TestRadialProfile(t *testing.T) {
+	h := buildTestHierarchy(t)
+	u := units.Cosmological(256*units.KpcCM, 1, 0.5, 0.05)
+	pr, err := RadialProfile(h, [3]float64{0.5, 0.5, 0.5}, ProfileParams{
+		RMin: 0.05, RMax: 0.5, NBins: 8, Gamma: 5.0 / 3.0, Units: u,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Density decreases outward for the Gaussian clump.
+	if pr.Density[0] <= pr.Density[len(pr.Density)-1] {
+		t.Errorf("profile not decreasing: %v .. %v", pr.Density[0], pr.Density[len(pr.Density)-1])
+	}
+	// Enclosed mass is monotonic and approaches the total.
+	for b := 1; b < len(pr.Enclosed); b++ {
+		if pr.Enclosed[b] < pr.Enclosed[b-1] {
+			t.Fatal("enclosed mass not monotonic")
+		}
+	}
+	total := h.TotalGasMass()
+	last := pr.Enclosed[len(pr.Enclosed)-1]
+	if last < 0.5*total || last > 1.01*total {
+		t.Errorf("enclosed %v vs total %v", last, total)
+	}
+	// Inward flow: mass-weighted radial velocity negative in inner bins.
+	if pr.Vr[1] >= 0 {
+		t.Errorf("radial velocity %v, want negative (infall)", pr.Vr[1])
+	}
+	// Sound speed positive.
+	if pr.Cs[0] <= 0 {
+		t.Error("sound speed not positive")
+	}
+	if pr.CellsUsed == 0 {
+		t.Error("no cells used")
+	}
+}
+
+func TestRadialProfileBadParams(t *testing.T) {
+	h := buildTestHierarchy(t)
+	if _, err := RadialProfile(h, [3]float64{0.5, 0.5, 0.5}, ProfileParams{}); err == nil {
+		t.Fatal("zero params should fail")
+	}
+}
+
+func TestSliceResolvesFineData(t *testing.T) {
+	h := buildTestHierarchy(t)
+	// Slice through the center: the peak must appear, values finite.
+	img := DensitySlice(h, 2, 0.5, 0.3, 0.7, 0.3, 0.7, 32)
+	if len(img) != 32 || len(img[0]) != 32 {
+		t.Fatal("bad image shape")
+	}
+	peak := math.Inf(-1)
+	for _, row := range img {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("bad pixel value")
+			}
+			if v > peak {
+				peak = v
+			}
+		}
+	}
+	if peak < 1 { // log10(~20)
+		t.Errorf("slice missed the peak: max log rho %v", peak)
+	}
+}
+
+func TestMinImage(t *testing.T) {
+	cases := [][2]float64{{0.4, 0.4}, {0.6, -0.4}, {-0.6, 0.4}, {-0.5, -0.5}, {1.2, 0.2}}
+	for _, c := range cases {
+		if got := minImage(c[0]); math.Abs(got-c[1]) > 1e-14 {
+			t.Errorf("minImage(%v) = %v, want %v", c[0], got, c[1])
+		}
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	data := [][]float64{{0, 1}, {2, 3}}
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if !bytes.HasPrefix(b, []byte("P5\n2 2\n255\n")) {
+		t.Fatalf("bad header: %q", b[:12])
+	}
+	px := b[len(b)-4:]
+	// Row order flipped: last row written first. data[1]={2,3} maps to
+	// {170, 255}; data[0]={0,1} maps to {0, 85}.
+	if px[0] != 170 || px[1] != 255 || px[2] != 0 || px[3] != 85 {
+		t.Fatalf("pixels %v", px)
+	}
+	if err := WritePGM(&buf, nil); err == nil {
+		t.Fatal("empty data should fail")
+	}
+}

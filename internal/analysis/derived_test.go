@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSurfaceDensityUniform(t *testing.T) {
+	h := buildTestHierarchy(t)
+	// Column through a uniform region far from the clump integrates to
+	// ~rho*1 = 1 (full box length).
+	sd := SurfaceDensity(h, 2, 0.0, 0.12, 0.0, 0.12, 4, 32)
+	for _, row := range sd {
+		for _, v := range row {
+			// The line of sight passes near the clump plane once, so
+			// expect slightly above 1.
+			if v < 0.9 || v > 3 {
+				t.Fatalf("surface density %v out of range", v)
+			}
+		}
+	}
+	// Column through the clump center exceeds the corner column.
+	cen := SurfaceDensity(h, 2, 0.49, 0.51, 0.49, 0.51, 1, 64)
+	cor := SurfaceDensity(h, 2, 0.01, 0.03, 0.01, 0.03, 1, 64)
+	if cen[0][0] <= cor[0][0] {
+		t.Fatalf("central column %v not above corner %v", cen[0][0], cor[0][0])
+	}
+}
+
+func TestInertiaTensorSphericalClump(t *testing.T) {
+	h := buildTestHierarchy(t)
+	tensor, mass := InertiaTensor(h, [3]float64{0.5, 0.5, 0.5}, 0.2)
+	if mass <= 0 {
+		t.Fatal("no mass in sphere")
+	}
+	// A spherical clump: diagonal entries roughly equal, off-diagonal
+	// near zero, flattening near 1.
+	d := []float64{tensor[0][0], tensor[1][1], tensor[2][2]}
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			if a != b && math.Abs(tensor[a][b]) > 0.05*d[0] {
+				t.Errorf("large off-diagonal inertia [%d][%d]=%v", a, b, tensor[a][b])
+			}
+		}
+	}
+	if f := Flattening(tensor); f < 0.8 {
+		t.Errorf("spherical clump flattening %v, want ~1", f)
+	}
+}
+
+func TestFlatteningDetectsDisk(t *testing.T) {
+	// Synthetic disk-like tensor: z moment much smaller.
+	tensor := [3][3]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 0.05}}
+	if f := Flattening(tensor); f > 0.1 {
+		t.Errorf("disk flattening %v, want ~0.05", f)
+	}
+	// Rotated version must give the same answer (eigenvalues invariant).
+	c, s := math.Cos(0.7), math.Sin(0.7)
+	// R_z rotation of the disk tensor mixes x/y (no change); rotate
+	// about x to mix y/z instead.
+	r := [3][3]float64{{1, 0, 0}, {0, c, -s}, {0, s, c}}
+	var tmp, rot [3][3]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				tmp[i][j] += r[i][k] * tensor[k][j]
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				rot[i][j] += tmp[i][k] * r[j][k]
+			}
+		}
+	}
+	if f := Flattening(rot); math.Abs(f-0.05) > 1e-6 {
+		t.Errorf("rotated disk flattening %v, want 0.05", f)
+	}
+}
+
+func TestFindCollapsedObjects(t *testing.T) {
+	h := buildTestHierarchy(t)
+	objs := FindCollapsedObjects(h, 5.0, 0.2)
+	if len(objs) != 1 {
+		t.Fatalf("found %d objects, want 1", len(objs))
+	}
+	o := objs[0]
+	for d := 0; d < 3; d++ {
+		if math.Abs(o.Center[d]-0.5) > 0.1 {
+			t.Errorf("object center %v, want box center", o.Center)
+		}
+	}
+	if o.Mass <= 0 || o.PeakRho < 10 {
+		t.Errorf("bad object %+v", o)
+	}
+	// Impossible threshold: nothing found.
+	if objs := FindCollapsedObjects(h, 1e9, 0.2); len(objs) != 0 {
+		t.Errorf("found %d objects above impossible threshold", len(objs))
+	}
+}
+
+func TestDynamicalTime(t *testing.T) {
+	h := buildTestHierarchy(t)
+	// Use cosmological-style units for conversion.
+	g := h.FinestGridAt(0.5, 0.5, 0.5)
+	// Configure units so conversions are defined.
+	cfg := h.Cfg
+	cfg.Units.Density = 1e-24
+	cfg.Units.Length = 1e21
+	cfg.Units.Time = 1e13
+	cfg.Units.Derive()
+	h.Cfg = cfg
+	i := int((0.5 - g.Edge[0].Float64()) / g.Dx)
+	tdynDense := DynamicalTime(h, g, i, i, i)
+	gc := h.FinestGridAt(0.05, 0.05, 0.05)
+	tdynThin := DynamicalTime(h, gc, 0, 0, 0)
+	if !(tdynDense < tdynThin) {
+		t.Errorf("dynamical time not shorter in dense gas: %v vs %v", tdynDense, tdynThin)
+	}
+	if tdynDense <= 0 || math.IsNaN(tdynDense) {
+		t.Errorf("bad dynamical time %v", tdynDense)
+	}
+}
+
+func TestEigenvalues3KnownMatrix(t *testing.T) {
+	// diag(3,1,2) in a rotated basis... use the plain diagonal case and
+	// a known symmetric matrix with analytic eigenvalues.
+	m := [3][3]float64{{2, 1, 0}, {1, 2, 0}, {0, 0, 5}}
+	ev := eigenvalues3(m)
+	want := [3]float64{1, 3, 5}
+	for i := 0; i < 3; i++ {
+		if math.Abs(ev[i]-want[i]) > 1e-10 {
+			t.Fatalf("eigenvalues %v, want %v", ev, want)
+		}
+	}
+}

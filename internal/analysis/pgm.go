@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// PGM output for the Jacques-style slice renders (Fig. 3): each frame is a
+// grayscale image of log density, auto-scaled to the data range.
+
+// WritePGM writes a 2-D field as an 8-bit binary PGM image, mapping
+// [min,max] of the data to [0,255].
+func WritePGM(w io.Writer, data [][]float64) error {
+	n1 := len(data)
+	if n1 == 0 {
+		return fmt.Errorf("analysis: empty slice data")
+	}
+	n0 := len(data[0])
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range data {
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P5\n%d %d\n255\n", n0, n1)
+	for i := n1 - 1; i >= 0; i-- { // flip so +axis1 points up
+		for _, v := range data[i] {
+			bw.WriteByte(byte(255 * (v - lo) / (hi - lo)))
+		}
+	}
+	return bw.Flush()
+}
+
+// SavePGM writes the image to a file path.
+func SavePGM(path string, data [][]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WritePGM(f, data)
+}

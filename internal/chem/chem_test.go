@@ -1,0 +1,278 @@
+package chem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestPrimordialComposition(t *testing.T) {
+	s := Primordial(1.0, 1e-4, 1e-6)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.HNuclei()-1.0) > 1e-12 {
+		t.Errorf("H nuclei = %v, want 1", s.HNuclei())
+	}
+	// He/H mass ratio 24/76.
+	heMass := s.HeNuclei() * 4
+	hMass := s.HNuclei() * 1
+	if r := heMass / hMass; math.Abs(r-0.24/0.76) > 1e-12 {
+		t.Errorf("He/H mass ratio %v", r)
+	}
+	if math.Abs(s.Charge()) > 1e-18 {
+		t.Errorf("initial charge imbalance %v", s.Charge())
+	}
+	if s.ElectronFraction() != 1e-4 {
+		t.Errorf("xe = %v", s.ElectronFraction())
+	}
+}
+
+func TestMeanMolecularWeight(t *testing.T) {
+	// Neutral primordial gas: mu ~ 1.22; fully ionized: mu ~ 0.59.
+	n := Primordial(1, 0, 0)
+	mu := n.MeanMolecularWeight()
+	if mu < 1.21 || mu > 1.24 {
+		t.Errorf("neutral mu = %v", mu)
+	}
+	var ion State
+	ion[HII] = 1
+	ion[HeIII] = (0.24 / 4) / 0.76
+	ion[Elec] = ion[HII] + 2*ion[HeIII]
+	mu = ion.MeanMolecularWeight()
+	if mu < 0.57 || mu > 0.62 {
+		t.Errorf("ionized mu = %v", mu)
+	}
+}
+
+func TestRatesPositiveAndFinite(t *testing.T) {
+	for _, T := range []float64{2.7, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e8} {
+		r := RatesAt(T)
+		vals := []float64{r.K1, r.K2, r.K3, r.K4, r.K5, r.K6, r.K7, r.K8, r.K9,
+			r.K10, r.K11, r.K12, r.K13, r.K14, r.K15, r.K16, r.K17, r.K18,
+			r.K19, r.K21, r.K22, r.KD1, r.KD2, r.KD3, r.KD4, r.KD5, r.KD6}
+		for i, v := range vals {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("rate %d at T=%v is %v", i, T, v)
+			}
+		}
+	}
+}
+
+func TestRecombinationBeatsIonizationAtLowT(t *testing.T) {
+	r := RatesAt(1e3)
+	if r.K1 >= r.K2 {
+		t.Errorf("at 1e3 K ionization %e should be tiny vs recombination %e", r.K1, r.K2)
+	}
+	r = RatesAt(2e5)
+	if r.K1 <= r.K2 {
+		t.Errorf("at 2e5 K ionization %e should beat recombination %e", r.K1, r.K2)
+	}
+}
+
+func TestThreeBodyRateGrowsAtLowT(t *testing.T) {
+	if RatesAt(200).K21 <= RatesAt(2000).K21 {
+		t.Error("3-body rate should increase toward low T")
+	}
+}
+
+func TestH2CoolingShape(t *testing.T) {
+	// The low-density H2 cooling function rises steeply from ~100 K to
+	// ~1000 K (rotational ladder), enabling cooling to a few hundred K.
+	l100 := h2CoolingLowDensity(100)
+	l1000 := h2CoolingLowDensity(1000)
+	if l100 <= 0 || l1000 <= 0 {
+		t.Fatal("H2 cooling non-positive in valid range")
+	}
+	if l1000 < 100*l100 {
+		t.Errorf("H2 cooling rise too shallow: %e -> %e", l100, l1000)
+	}
+	if h2CoolingLowDensity(5) != 0 {
+		t.Error("H2 cooling should vanish below 13 K")
+	}
+}
+
+func TestH2CoolingDensitySaturation(t *testing.T) {
+	// Per-molecule cooling must saturate (LTE) at high density: going
+	// from n_H = 1e2 to 1e12 must raise the total rate by far less than
+	// the density ratio.
+	T := 1000.0
+	s1 := Primordial(1e2, 1e-4, 1e-3)
+	s2 := Primordial(1e12, 1e-4, 1e-3)
+	c1 := H2Cooling(s1, T)
+	c2 := H2Cooling(s2, T)
+	// Total scales as n^2 in the low-density limit; at LTE it scales as
+	// n. The jump across ten decades must be well under n^2 scaling.
+	if c2/c1 > 1e18 {
+		t.Errorf("no LTE saturation: ratio %e", c2/c1)
+	}
+	if c2 <= c1 {
+		t.Errorf("cooling should still grow with density")
+	}
+}
+
+func TestComptonSign(t *testing.T) {
+	cp := CoolParams{Redshift: 20}
+	var s State
+	s[Elec] = 1
+	if ComptonCooling(s, 1000, cp) <= 0 {
+		t.Error("gas hotter than CMB should Compton-cool")
+	}
+	if ComptonCooling(s, 10, cp) >= 0 {
+		t.Error("gas colder than CMB should Compton-heat")
+	}
+}
+
+func TestChemicalHeatingSign(t *testing.T) {
+	r := RatesAt(1000)
+	// Pure atomic gas at huge density: 3-body formation dominates ->
+	// net heating (negative cooling).
+	s := Primordial(1e12, 1e-6, 1e-8)
+	if ChemicalHeating(s, r) >= 0 {
+		t.Error("3-body formation should heat")
+	}
+}
+
+func TestEvolveConservesNuclei(t *testing.T) {
+	s := Primordial(1e4, 1e-3, 1e-5)
+	eint := EintFromT(s, 800, 5.0/3.0)
+	cp := CoolParams{Redshift: 19}
+	sp := DefaultSolverParams()
+	h0, he0, d0 := s.HNuclei(), s.HeNuclei(), s.DNuclei()
+	out, _, _ := EvolveCell(s, eint, 1e10, cp, sp)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(out.HNuclei()-h0) / h0; rel > 1e-6 {
+		t.Errorf("H nuclei drift %e", rel)
+	}
+	if rel := math.Abs(out.HeNuclei()-he0) / he0; rel > 1e-6 {
+		t.Errorf("He nuclei drift %e", rel)
+	}
+	if rel := math.Abs(out.DNuclei()-d0) / d0; rel > 1e-4 {
+		t.Errorf("D nuclei drift %e", rel)
+	}
+	if math.Abs(out.Charge()) > 1e-9*out.HNuclei() {
+		t.Errorf("charge imbalance %e", out.Charge())
+	}
+}
+
+func TestH2FormsInCoolDenseGas(t *testing.T) {
+	// The H- channel must build molecular fraction ~1e-4..1e-3 in the
+	// protogalactic core regime (paper Fig 4C: f_H2 ~ 1e-3).
+	s := Primordial(1e3, 3e-4, 1e-8)
+	eint := EintFromT(s, 1000, 5.0/3.0)
+	cp := CoolParams{Redshift: 19}
+	sp := DefaultSolverParams()
+	sp.MaxSubcycles = 20000
+	// Evolve for ~10 Myr.
+	out, _, _ := EvolveCell(s, eint, 10*units.MyrSeconds, cp, sp)
+	f := out.H2Fraction()
+	if f < 1e-5 || f > 1e-2 {
+		t.Errorf("H2 fraction after 10 Myr = %e, want ~1e-4..1e-3", f)
+	}
+	if f <= s.H2Fraction() {
+		t.Error("H2 fraction did not grow")
+	}
+}
+
+func TestThreeBodyTurnsGasMolecular(t *testing.T) {
+	// Above n ~ 1e11 the 3-body reaction must drive f_H2 toward unity
+	// (paper: "at central densities ~1e11 атomic and molecular hydrogen
+	// exist in similar abundance").
+	s := Primordial(1e12, 1e-8, 1e-3)
+	eint := EintFromT(s, 800, 5.0/3.0)
+	cp := CoolParams{Redshift: 19}
+	sp := DefaultSolverParams()
+	sp.MaxSubcycles = 50000
+	out, _, _ := EvolveCell(s, eint, 1000*units.YearSeconds, cp, sp)
+	if out.H2Fraction() < 0.3 {
+		t.Errorf("3-body H2 fraction = %e, want > 0.3", out.H2Fraction())
+	}
+}
+
+func TestCoolingDropsTemperature(t *testing.T) {
+	// Gas at 3000 K with an H2 fraction must cool toward a few hundred K.
+	s := Primordial(1e4, 1e-4, 5e-4)
+	gamma := 5.0 / 3.0
+	eint := EintFromT(s, 3000, gamma)
+	cp := CoolParams{Redshift: 19}
+	sp := DefaultSolverParams()
+	sp.MaxSubcycles = 50000
+	out, e1, _ := EvolveCell(s, eint, 30*units.MyrSeconds, cp, sp)
+	T1 := Temperature(out, e1, gamma)
+	if T1 > 1000 {
+		t.Errorf("gas failed to cool: T = %v", T1)
+	}
+	if T1 < cp.TCMB() {
+		t.Errorf("cooled below CMB floor: %v < %v", T1, cp.TCMB())
+	}
+}
+
+func TestHotGasIonizes(t *testing.T) {
+	s := Primordial(1, 1e-4, 0)
+	gamma := 5.0 / 3.0
+	eint := EintFromT(s, 5e4, gamma)
+	cp := CoolParams{Redshift: 5}
+	sp := DefaultSolverParams()
+	sp.TFloorCMB = true
+	sp.MaxSubcycles = 20000
+	// Hold temperature conceptually: short evolution, check ionization
+	// moves upward.
+	out, _, _ := EvolveCell(s, eint, 3*units.MyrSeconds, cp, sp)
+	if out.ElectronFraction() <= 1e-4 {
+		t.Errorf("hot gas did not ionize: xe = %e", out.ElectronFraction())
+	}
+}
+
+func TestTemperatureRoundTrip(t *testing.T) {
+	s := Primordial(100, 1e-4, 1e-4)
+	gamma := 5.0 / 3.0
+	for _, T := range []float64{10, 200, 1e4} {
+		e := EintFromT(s, T, gamma)
+		if b := Temperature(s, e, gamma); math.Abs(b-T)/T > 1e-12 {
+			t.Errorf("T round trip %v -> %v", T, b)
+		}
+	}
+}
+
+func TestPropEvolvePreservesPositivity(t *testing.T) {
+	cp := CoolParams{Redshift: 19}
+	sp := DefaultSolverParams()
+	f := func(seed uint8, logn uint8, logT uint8) bool {
+		nH := math.Pow(10, float64(logn%13)-1) // 0.1 .. 1e11
+		T := math.Pow(10, 1+float64(logT%4))   // 10 .. 1e4
+		xe := math.Pow(10, -1-float64(seed%6)) // 1e-1 .. 1e-6
+		s := Primordial(nH, xe, 1e-6)
+		eint := EintFromT(s, T, sp.Gamma)
+		out, e1, _ := EvolveCell(s, eint, 0.1*units.MyrSeconds, cp, sp)
+		if e1 <= 0 {
+			return false
+		}
+		return out.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEvolveCell(b *testing.B) {
+	s := Primordial(1e4, 1e-3, 1e-5)
+	eint := EintFromT(s, 1000, 5.0/3.0)
+	cp := CoolParams{Redshift: 19}
+	sp := DefaultSolverParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvolveCell(s, eint, 1e9, cp, sp)
+	}
+}
+
+func BenchmarkRatesAt(b *testing.B) {
+	var r Rates
+	for i := 0; i < b.N; i++ {
+		r = RatesAt(500 + float64(i%1000))
+	}
+	_ = r
+}

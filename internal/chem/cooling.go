@@ -1,0 +1,124 @@
+package chem
+
+import "math"
+
+// Cooling and heating rates for metal-free primordial gas, all in
+// erg cm⁻³ s⁻¹ (positive = energy loss). The inventory follows the paper
+// (§2.2): "all known radiative loss terms due to atoms, ions, and molecules
+// appropriate for our primordial gas", plus Compton exchange with the CMB.
+
+// CoolParams bundles the radiation-background inputs.
+type CoolParams struct {
+	Redshift float64 // sets the CMB temperature 2.725(1+z)
+}
+
+// TCMB returns the CMB temperature at the configured redshift.
+func (cp CoolParams) TCMB() float64 { return 2.725 * (1 + cp.Redshift) }
+
+// h2CoolingLowDensity returns the Galli & Palla (1998) low-density-limit
+// H₂ cooling function per H₂ molecule per H atom [erg cm³ s⁻¹],
+// valid 13 K < T < 10⁵ K.
+func h2CoolingLowDensity(T float64) float64 {
+	if T < 13 {
+		return 0
+	}
+	if T > 1e5 {
+		T = 1e5
+	}
+	lt := math.Log10(T)
+	logL := -103.0 + 97.59*lt - 48.05*lt*lt + 10.80*lt*lt*lt - 0.9032*lt*lt*lt*lt
+	return math.Pow(10, logL)
+}
+
+// h2CoolingLTE returns the Hollenbach & McKee (1979) LTE H₂ cooling rate
+// per H₂ molecule [erg s⁻¹].
+func h2CoolingLTE(T float64) float64 {
+	t3 := T / 1000
+	if t3 <= 0 {
+		return 0
+	}
+	rotLow := 9.5e-22 * math.Pow(t3, 3.76) / (1 + 0.12*math.Pow(t3, 2.1)) *
+		math.Exp(-math.Pow(0.13/t3, 3))
+	rotHigh := 3.0e-24 * math.Exp(-0.51/t3)
+	vib := 6.7e-19*math.Exp(-5.86/t3) + 1.6e-18*math.Exp(-11.7/t3)
+	return rotLow + rotHigh + vib
+}
+
+// H2Cooling returns the density-interpolated H₂ cooling rate
+// [erg cm⁻³ s⁻¹]: low-density limit ∝ n_H2·n_H at small n, saturating to
+// the LTE rate ∝ n_H2 at high n.
+func H2Cooling(s State, T float64) float64 {
+	nH := s[HI]
+	lowPerH2 := h2CoolingLowDensity(T) * nH
+	lte := h2CoolingLTE(T)
+	if lowPerH2 <= 0 {
+		return 0
+	}
+	perH2 := lte / (1 + lte/lowPerH2)
+	return perH2 * s[H2I]
+}
+
+// HDCooling returns an approximate HD cooling rate [erg cm⁻³ s⁻¹]
+// (Galli & Palla 1998 magnitude; HD matters below ~200 K).
+func HDCooling(s State, T float64) float64 {
+	if T < 10 {
+		return 0
+	}
+	perPair := 3.5e-27 * (T / 100) * math.Exp(-128/T)
+	return perPair * s[HD] * s[HI]
+}
+
+// AtomicCooling returns the sum of the atomic processes (Cen 1992 fits):
+// collisional excitation (Lyα and He), collisional ionization,
+// recombination, and bremsstrahlung.
+func AtomicCooling(s State, T float64) float64 {
+	if T < 5 {
+		return 0
+	}
+	sqT := math.Sqrt(T)
+	t5 := math.Sqrt(T / 1e5)
+	ne := s[Elec]
+	var lam float64
+	// Collisional excitation: H Lyα and He+ (n=2).
+	lam += 7.50e-19 * math.Exp(-118348/T) / (1 + t5) * ne * s[HI]
+	lam += 5.54e-17 * math.Pow(T, -0.397) * math.Exp(-473638/T) / (1 + t5) * ne * s[HeII]
+	// Collisional ionization.
+	lam += 1.27e-21 * sqT * math.Exp(-157809.1/T) / (1 + t5) * ne * s[HI]
+	lam += 9.38e-22 * sqT * math.Exp(-285335.4/T) / (1 + t5) * ne * s[HeI]
+	lam += 4.95e-22 * sqT * math.Exp(-631515.0/T) / (1 + t5) * ne * s[HeIII]
+	// Recombination.
+	lam += 8.70e-27 * sqT * math.Pow(T/1e3, -0.2) / (1 + math.Pow(T/1e6, 0.7)) * ne * s[HII]
+	lam += 1.55e-26 * math.Pow(T, 0.3647) * ne * s[HeII]
+	lam += 3.48e-26 * sqT * math.Pow(T/1e3, -0.2) / (1 + math.Pow(T/1e6, 0.7)) * ne * s[HeIII]
+	// Bremsstrahlung (Gaunt factor 1.3).
+	lam += 1.42e-27 * 1.3 * sqT * (s[HII] + s[HeII] + 4*s[HeIII]) * ne
+	return lam
+}
+
+// ComptonCooling returns the Compton energy exchange with the CMB
+// [erg cm⁻³ s⁻¹]; negative below the CMB temperature (heating), as the
+// paper notes ("Compton heating and cooling").
+func ComptonCooling(s State, T float64, cp CoolParams) float64 {
+	tcmb := cp.TCMB()
+	return 1.017e-37 * math.Pow(tcmb, 4) * (T - tcmb) * s[Elec]
+}
+
+// ChemicalHeating returns the heat released by three-body H₂ formation
+// minus that absorbed by collisional dissociation [erg cm⁻³ s⁻¹ as a
+// *negative* cooling contribution]. Each H₂ formed by the three-body
+// reaction releases its 4.48 eV binding energy; each collisional
+// dissociation absorbs it.
+func ChemicalHeating(s State, r Rates) float64 {
+	const bindErg = 4.48 * 1.602176634e-12
+	nH := s[HI]
+	form := r.K21*nH*nH*nH + r.K22*nH*nH*s[H2I]
+	diss := r.K13*s[H2I]*nH + r.K12*s[H2I]*s[Elec]
+	return bindErg * (diss - form) // positive when dissociating (cooling)
+}
+
+// NetCooling returns the total net cooling rate [erg cm⁻³ s⁻¹]: positive
+// means the gas loses energy.
+func NetCooling(s State, T float64, r Rates, cp CoolParams) float64 {
+	return H2Cooling(s, T) + HDCooling(s, T) + AtomicCooling(s, T) +
+		ComptonCooling(s, T, cp) + ChemicalHeating(s, r)
+}

@@ -1,0 +1,118 @@
+package chem
+
+import "math"
+
+// Rates holds the reaction rate coefficients at one temperature.
+// Numbering follows Abel et al. (1997) table 3 where applicable.
+type Rates struct {
+	K1  float64 // H    + e  -> H+   + 2e   (collisional ionization)
+	K2  float64 // H+   + e  -> H    + γ    (radiative recombination)
+	K3  float64 // He   + e  -> He+  + 2e
+	K4  float64 // He+  + e  -> He   + γ    (incl. dielectronic)
+	K5  float64 // He+  + e  -> He++ + 2e
+	K6  float64 // He++ + e  -> He+  + γ
+	K7  float64 // H    + e  -> H-   + γ
+	K8  float64 // H-   + H  -> H2   + e
+	K9  float64 // H    + H+ -> H2+  + γ
+	K10 float64 // H2+  + H  -> H2   + H+
+	K11 float64 // H2   + H+ -> H2+  + H
+	K12 float64 // H2   + e  -> 2H   + e
+	K13 float64 // H2   + H  -> 3H           (collisional dissociation)
+	K14 float64 // H-   + e  -> H    + 2e
+	K15 float64 // H-   + H  -> 2H   + e
+	K16 float64 // H-   + H+ -> 2H
+	K17 float64 // H-   + H+ -> H2+  + e
+	K18 float64 // H2+  + e  -> 2H
+	K19 float64 // H2+  + H- -> H2   + H
+	K21 float64 // 3H        -> H2   + H     (three-body, cm^6/s)
+	K22 float64 // 2H + H2   -> 2H2          (three-body, cm^6/s)
+	// Deuterium network (Galli & Palla 1998).
+	KD1 float64 // D+  + H  -> D   + H+  (charge exchange)
+	KD2 float64 // D   + H+ -> D+  + H
+	KD3 float64 // D+  + H2 -> HD  + H+
+	KD4 float64 // HD  + H+ -> H2  + D+
+	KD5 float64 // D   + e  -> D+  + 2e
+	KD6 float64 // D+  + e  -> D   + γ
+}
+
+// RatesAt evaluates all rate coefficients at gas temperature T [K].
+func RatesAt(T float64) Rates {
+	if T < 1 {
+		T = 1
+	}
+	tev := T / 11604.5 // temperature in eV
+	sqT := math.Sqrt(T)
+	t5 := math.Sqrt(T / 1e5)
+	var r Rates
+
+	// Atomic H/He rates: Cen (1992), as used by Anninos et al. (1997).
+	r.K1 = 5.85e-11 * sqT * math.Exp(-157809.1/T) / (1 + t5)
+	r.K2 = 8.4e-11 / sqT * math.Pow(T/1e3, -0.2) / (1 + math.Pow(T/1e6, 0.7))
+	r.K3 = 2.38e-11 * sqT * math.Exp(-285335.4/T) / (1 + t5)
+	r.K4 = 1.5e-10*math.Pow(T, -0.6353) +
+		1.9e-3*math.Pow(T, -1.5)*math.Exp(-470000/T)*(1+0.3*math.Exp(-94000/T))
+	r.K5 = 5.68e-12 * sqT * math.Exp(-631515.0/T) / (1 + t5)
+	r.K6 = 3.36e-10 / sqT * math.Pow(T/1e3, -0.2) / (1 + math.Pow(T/1e6, 0.7))
+
+	// H- channel of H2 formation (Galli & Palla 1998 fits).
+	r.K7 = 1.4e-18 * math.Pow(T, 0.928) * math.Exp(-T/16200)
+	if T < 300 {
+		r.K8 = 1.5e-9
+	} else {
+		r.K8 = 4.0e-9 * math.Pow(T, -0.17)
+	}
+
+	// H2+ channel.
+	if T < 6700 {
+		r.K9 = 1.85e-23 * math.Pow(T, 1.8)
+	} else {
+		r.K9 = 5.81e-16 * math.Pow(T/56200, -0.6657*math.Log10(T/56200))
+	}
+	r.K10 = 6.0e-10
+
+	// H2 destruction.
+	r.K11 = 3.0e-10 * math.Exp(-21050/T)
+	r.K12 = 4.38e-10 * math.Exp(-102000/T) * math.Pow(T, 0.35)
+	// Collisional dissociation by H (low-density limit, Abel et al. 97
+	// fit 13).
+	if tev > 0.1 {
+		r.K13 = 1.067e-10 * math.Pow(tev, 2.012) * math.Exp(-4.463/tev) /
+			math.Pow(1+0.2472*tev, 3.512)
+	}
+
+	// H- destruction channels. K14 (electron collisional detachment,
+	// threshold 0.755 eV) is approximated by a thresholded power law;
+	// it is subdominant to K8/K16 everywhere in the collapse.
+	r.K14 = 7.0e-12 * math.Sqrt(tev) * math.Exp(-0.755/tev)
+	r.K15 = 5.3e-20 * T * T * math.Exp(-8750/T) // mutual neutralization by H
+	if T > 1e4 {
+		r.K15 = 5.3e-20 * 1e8 * math.Exp(-8750/1e4)
+	}
+	r.K16 = 7.0e-8 * math.Pow(T/100, -0.5)
+	r.K17 = 1.0e-8 * math.Pow(T, -0.4)
+	if T > 1e4 {
+		r.K17 = 4.0e-4 * math.Pow(T, -1.4) * math.Exp(-15100/T)
+	}
+	r.K18 = 1.0e-8 // H2+ dissociative recombination (weak T dependence)
+	if T > 617 {
+		r.K18 = 1.32e-6 * math.Pow(T, -0.76)
+	}
+	r.K19 = 5.0e-7 * math.Sqrt(100/T)
+
+	// Three-body H2 formation (Palla, Salpeter & Stahler 1983) and its
+	// companion with H2 as third body.
+	r.K21 = 5.5e-29 / T
+	r.K22 = r.K21 / 8
+
+	// Deuterium (Galli & Palla 1998 magnitudes).
+	r.KD1 = 2.0e-10 * math.Pow(T, 0.402) * math.Exp(-37.1/T)
+	if r.KD1 > 3e-9 {
+		r.KD1 = 3e-9
+	}
+	r.KD2 = r.KD1 * math.Exp(-43.0/T) // endothermic by 43 K
+	r.KD3 = 2.1e-9
+	r.KD4 = 1.0e-9 * math.Exp(-464/T)
+	r.KD5 = r.K1 // same as H ionization to good accuracy
+	r.KD6 = r.K2
+	return r
+}

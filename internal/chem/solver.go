@@ -1,0 +1,254 @@
+package chem
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// The stiff network integrator of Anninos et al. (1997), as the paper
+// describes (§3.3): "Because the equations are stiff, we use a backward
+// finite-difference technique for stability, sub-cycling within a fluid
+// timestep for additional accuracy."
+//
+// Each species is updated with the linearized backward-Euler form
+//
+//	n_new = (n_old + C·dt) / (1 + D·dt)
+//
+// where C collects creation terms and D·n destruction terms, evaluated
+// Gauss–Seidel style (each update sees the freshest neighbours). The two
+// fast intermediaries H⁻ and H₂⁺ are set to their local equilibrium values,
+// exactly as in the original scheme. The sub-cycle step is limited by the
+// electron-density and internal-energy change rates.
+
+// SolverParams configures the sub-cycled integrator.
+type SolverParams struct {
+	Gamma        float64 // adiabatic index
+	MaxSubcycles int     // hard cap on sub-steps per cell per call
+	ChangeLimit  float64 // max fractional change of n_e or e per sub-step
+	TFloorCMB    bool    // do not cool below the CMB temperature
+}
+
+// DefaultSolverParams returns the production configuration.
+func DefaultSolverParams() SolverParams {
+	return SolverParams{
+		Gamma:        5.0 / 3.0,
+		MaxSubcycles: 500,
+		ChangeLimit:  0.1,
+		TFloorCMB:    true,
+	}
+}
+
+// Temperature computes T [K] from the specific internal energy
+// e [erg/g] and the state's mean molecular weight.
+func Temperature(s State, eint float64, gamma float64) float64 {
+	mu := s.MeanMolecularWeight()
+	t := eint * (gamma - 1) * mu * units.MProton / units.KBoltzmann
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// EintFromT converts a temperature to specific internal energy [erg/g].
+func EintFromT(s State, T, gamma float64) float64 {
+	mu := s.MeanMolecularWeight()
+	return T * units.KBoltzmann / ((gamma - 1) * mu * units.MProton)
+}
+
+// EvolveCell advances one cell's chemical state and specific internal
+// energy [erg/g] over dt [s] at fixed density, returning the new state,
+// energy, and the number of sub-cycles used.
+func EvolveCell(s State, eint, dt float64, cp CoolParams, sp SolverParams) (State, float64, int) {
+	rhoCGS := s.MassDensity() * units.MProton // g/cm^3
+	// Nuclei totals to conserve (the linearized Gauss-Seidel update is
+	// not exactly conservative; the original solver renormalizes each
+	// family after the update, and so do we).
+	h0 := s[HI] + s[HII] + s[Hm] + 2*s[H2I] + 2*s[H2p]
+	he0 := s.HeNuclei()
+	d0 := s.DNuclei()
+	tLeft := dt
+	sub := 0
+	for tLeft > 0 && sub < sp.MaxSubcycles {
+		T := Temperature(s, eint, sp.Gamma)
+		r := RatesAt(T)
+
+		// Equilibrium fast species.
+		s[Hm] = equilibriumHm(s, r)
+		s[H2p] = equilibriumH2p(s, r)
+
+		// Sub-step limiter: electron and energy change rates.
+		dtSub := tLeft
+		neDot := electronDot(s, r)
+		if ne := s[Elec]; ne > 0 && neDot != 0 {
+			if lim := sp.ChangeLimit * ne / math.Abs(neDot); lim < dtSub {
+				dtSub = lim
+			}
+		}
+		lam := NetCooling(s, T, r, cp)
+		eDotSpecific := -lam / rhoCGS
+		if eDotSpecific != 0 {
+			if lim := sp.ChangeLimit * eint / math.Abs(eDotSpecific); lim < dtSub {
+				dtSub = lim
+			}
+		}
+		if dtSub < 1e-10*dt {
+			dtSub = 1e-10 * dt
+		}
+
+		s = speciesBackwardEuler(s, r, dtSub)
+		s = renormalizeNuclei(s, h0, he0, d0)
+		// Charge conservation closes the electron density.
+		ne := s[HII] + s[HeII] + 2*s[HeIII] + s[H2p] + s[DII] - s[Hm]
+		if ne < 0 {
+			ne = 0
+		}
+		s[Elec] = ne
+
+		// Energy update (explicit within the limited sub-step).
+		eint += eDotSpecific * dtSub
+		if sp.TFloorCMB {
+			if tFloor := cp.TCMB(); Temperature(s, eint, sp.Gamma) < tFloor {
+				eint = EintFromT(s, tFloor, sp.Gamma)
+			}
+		}
+		if eint < 0 {
+			eint = EintFromT(s, 1, sp.Gamma)
+		}
+
+		tLeft -= dtSub
+		sub++
+	}
+	return s, eint, sub
+}
+
+// renormalizeNuclei rescales each element family so that nuclei counts are
+// exactly conserved. HD is counted in the deuterium family (its hydrogen
+// atom is a ~4e-5 perturbation on the H budget, ignored as in the original
+// code).
+func renormalizeNuclei(s State, h0, he0, d0 float64) State {
+	if h := s[HI] + s[HII] + s[Hm] + 2*s[H2I] + 2*s[H2p]; h > 0 && h0 > 0 {
+		f := h0 / h
+		s[HI] *= f
+		s[HII] *= f
+		s[Hm] *= f
+		s[H2I] *= f
+		s[H2p] *= f
+	}
+	if he := s.HeNuclei(); he > 0 && he0 > 0 {
+		f := he0 / he
+		s[HeI] *= f
+		s[HeII] *= f
+		s[HeIII] *= f
+	}
+	if d := s.DNuclei(); d > 0 && d0 > 0 {
+		f := d0 / d
+		s[DI] *= f
+		s[DII] *= f
+		s[HD] *= f
+	}
+	return s
+}
+
+// equilibriumHm returns the equilibrium H⁻ abundance (fast intermediary).
+func equilibriumHm(s State, r Rates) float64 {
+	num := r.K7 * s[HI] * s[Elec]
+	den := r.K8*s[HI] + r.K14*s[Elec] + r.K15*s[HI] +
+		(r.K16+r.K17)*s[HII] + r.K19*s[H2p]
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// equilibriumH2p returns the equilibrium H₂⁺ abundance.
+func equilibriumH2p(s State, r Rates) float64 {
+	num := r.K9*s[HI]*s[HII] + r.K11*s[H2I]*s[HII] + r.K17*s[Hm]*s[HII]
+	den := r.K10*s[HI] + r.K18*s[Elec] + r.K19*s[Hm]
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// electronDot estimates dn_e/dt for the sub-step limiter.
+func electronDot(s State, r Rates) float64 {
+	create := r.K1*s[HI]*s[Elec] + r.K3*s[HeI]*s[Elec] + r.K5*s[HeII]*s[Elec] +
+		r.K8*s[Hm]*s[HI] + r.K15*s[Hm]*s[HI] + r.K17*s[Hm]*s[HII]
+	destroy := r.K2*s[HII]*s[Elec] + r.K4*s[HeII]*s[Elec] + r.K6*s[HeIII]*s[Elec] +
+		r.K7*s[HI]*s[Elec] + r.K18*s[H2p]*s[Elec]
+	return create - destroy
+}
+
+// speciesBackwardEuler applies one linearized BE step to the slow species,
+// Gauss–Seidel ordering: H⁺, H, He ladder, H₂, deuterium.
+func speciesBackwardEuler(s State, r Rates, dt float64) State {
+	ne := s[Elec]
+
+	// --- HII ---
+	{
+		c := r.K1*s[HI]*ne + r.K10*s[H2p]*s[HI] + r.KD1*s[DII]*s[HI]
+		d := r.K2*ne + r.K9*s[HI] + r.K11*s[H2I] + (r.K16+r.K17)*s[Hm] + r.KD2*s[DI] + r.KD4*s[HD]
+		s[HII] = be(s[HII], c, d, dt)
+	}
+
+	// --- HI ---
+	// Reactions with net H production enter C (with current GS values);
+	// reactions with net H consumption enter D, scaled by the net number
+	// of H consumed per reaction.
+	{
+		nH := s[HI]
+		c := r.K2*s[HII]*ne + 2*r.K12*s[H2I]*ne + 2*r.K13*s[H2I]*nH +
+			r.K15*s[Hm]*nH + 2*r.K16*s[Hm]*s[HII] + 2*r.K18*s[H2p]*ne +
+			r.K19*s[H2p]*s[Hm] + r.KD2*s[DI]*s[HII]
+		d := r.K1*ne + r.K7*ne + r.K8*s[Hm] + r.K9*s[HII] + r.K10*s[H2p] +
+			2*r.K21*nH*nH + 2*r.K22*nH*s[H2I] + r.KD1*s[DII]
+		s[HI] = be(s[HI], c, d, dt)
+	}
+
+	// --- Helium ladder ---
+	s[HeI] = be(s[HeI], r.K4*s[HeII]*ne, r.K3*ne, dt)
+	s[HeII] = be(s[HeII], r.K3*s[HeI]*ne+r.K6*s[HeIII]*ne, (r.K4+r.K5)*ne, dt)
+	s[HeIII] = be(s[HeIII], r.K5*s[HeII]*ne, r.K6*ne, dt)
+
+	// --- H2 ---
+	// K22 (2H + H2 -> 2H2) nets +1 H2 per reaction; it enters C with the
+	// current H2 value (quasi-linearized production).
+	{
+		nH := s[HI]
+		c := r.K8*s[Hm]*nH + r.K10*s[H2p]*nH + r.K19*s[H2p]*s[Hm] +
+			r.K21*nH*nH*nH + r.K22*nH*nH*s[H2I] + r.KD4*s[HD]*s[HII]
+		d := r.K11*s[HII] + r.K12*ne + r.K13*nH + r.KD3*s[DII]
+		s[H2I] = be(s[H2I], c, d, dt)
+	}
+
+	// --- Deuterium ---
+	{
+		c := r.KD1*s[DII]*s[HI] + r.KD6*s[DII]*ne
+		d := r.KD2*s[HII] + r.KD5*ne
+		s[DI] = be(s[DI], c, d, dt)
+	}
+	{
+		c := r.KD2*s[DI]*s[HII] + r.KD5*s[DI]*ne + r.KD4*s[HD]*s[HII]
+		d := r.KD1*s[HI] + r.KD6*ne + r.KD3*s[H2I]
+		s[DII] = be(s[DII], c, d, dt)
+	}
+	s[HD] = be(s[HD], r.KD3*s[DII]*s[H2I], r.KD4*s[HII], dt)
+
+	for i := range s {
+		if s[i] < 0 || math.IsNaN(s[i]) {
+			s[i] = 0
+		}
+	}
+	return s
+}
+
+// be is the linearized backward-Euler update n' = (n + C dt)/(1 + D dt).
+// A negative effective destruction rate (from folded net-production terms)
+// is clamped to explicit forward production to preserve positivity.
+func be(n, c, d, dt float64) float64 {
+	if d < 0 {
+		return n + (c-d*n)*dt
+	}
+	return (n + c*dt) / (1 + d*dt)
+}

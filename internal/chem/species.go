@@ -1,0 +1,138 @@
+// Package chem implements the paper's 12-species non-equilibrium primordial
+// chemistry and radiative cooling (§2.2, §3.3): the time-dependent reaction
+// network for H, H⁺, He, He⁺, He⁺⁺, e⁻, H⁻, H₂, H₂⁺, D, D⁺ and HD, solved
+// with the backward-differenced, sub-cycled scheme of Anninos, Zhang, Abel
+// & Norman (1997), plus the radiative loss terms appropriate for metal-free
+// gas: H₂ ro-vibrational line cooling (the dominant coolant below 10⁴ K),
+// atomic line excitation, recombination, bremsstrahlung and Compton
+// coupling to the CMB. Three-body H₂ formation — the reaction that turns
+// the cloud fully molecular above n ≈ 10⁹ cm⁻³ and triggers the final
+// collapse — is included.
+//
+// Rate coefficients follow the standard compilations used by the original
+// code (Cen 1992; Abel et al. 1997; Galli & Palla 1998). All rates are CGS:
+// number densities in cm⁻³, temperatures in K, two-body rates in cm³ s⁻¹,
+// three-body in cm⁶ s⁻¹, cooling in erg cm⁻³ s⁻¹.
+package chem
+
+import "fmt"
+
+// Species indices within a chemical state vector.
+const (
+	HI = iota
+	HII
+	HeI
+	HeII
+	HeIII
+	Elec
+	Hm  // H⁻
+	H2I // H₂
+	H2p // H₂⁺
+	DI
+	DII
+	HD
+	NumSpecies
+)
+
+// Names maps species indices to display names.
+var Names = [NumSpecies]string{
+	"HI", "HII", "HeI", "HeII", "HeIII", "e-", "H-", "H2", "H2+", "DI", "DII", "HD",
+}
+
+// AtomicWeight gives the mass of one particle of each species in proton
+// masses (electrons counted as ~0 for baryon bookkeeping).
+var AtomicWeight = [NumSpecies]float64{
+	1, 1, 4, 4, 4, 0, 1, 2, 2, 2, 2, 3,
+}
+
+// State is a vector of species number densities [cm⁻³].
+type State [NumSpecies]float64
+
+// Primordial returns a neutral primordial composition for a total hydrogen
+// nuclei density nH [cm⁻³]: 76%/24% H/He by mass, trace ionization xe, a
+// trace H₂ fraction fH2, and the cosmological D/H ratio.
+func Primordial(nH, xe, fH2 float64) State {
+	var s State
+	const dToH = 4e-5 // D/H number ratio (primordial)
+	s[HI] = nH * (1 - xe - 2*fH2)
+	s[HII] = nH * xe
+	s[Elec] = nH * xe
+	s[H2I] = nH * fH2
+	// n_He = (0.24/4) / (0.76/1) * nH
+	s[HeI] = nH * (0.24 / 4) / 0.76
+	s[DI] = nH * dToH
+	return s
+}
+
+// HNuclei returns the total hydrogen nuclei density.
+func (s State) HNuclei() float64 {
+	return s[HI] + s[HII] + s[Hm] + 2*s[H2I] + 2*s[H2p] + s[HD]
+}
+
+// HeNuclei returns the total helium nuclei density.
+func (s State) HeNuclei() float64 { return s[HeI] + s[HeII] + s[HeIII] }
+
+// DNuclei returns the total deuterium nuclei density.
+func (s State) DNuclei() float64 { return s[DI] + s[DII] + s[HD] }
+
+// Charge returns the net positive charge density minus electrons (should
+// be ~0 when consistent).
+func (s State) Charge() float64 {
+	return s[HII] + s[HeII] + 2*s[HeIII] + s[H2p] + s[DII] - s[Hm] - s[Elec]
+}
+
+// TotalNumber returns the total particle number density (for mean
+// molecular weight), counting electrons.
+func (s State) TotalNumber() float64 {
+	var n float64
+	for i := 0; i < NumSpecies; i++ {
+		n += s[i]
+	}
+	return n
+}
+
+// MassDensity returns the baryon mass density in proton masses per cm³.
+func (s State) MassDensity() float64 {
+	var m float64
+	for i := 0; i < NumSpecies; i++ {
+		m += s[i] * AtomicWeight[i]
+	}
+	return m
+}
+
+// MeanMolecularWeight returns mu = mass density / (total number * m_p).
+func (s State) MeanMolecularWeight() float64 {
+	n := s.TotalNumber()
+	if n == 0 {
+		return 1
+	}
+	return s.MassDensity() / n
+}
+
+// H2Fraction returns the H₂ mass fraction relative to all hydrogen.
+func (s State) H2Fraction() float64 {
+	h := s.HNuclei()
+	if h == 0 {
+		return 0
+	}
+	return 2 * s[H2I] / h
+}
+
+// ElectronFraction returns n_e / n_H.
+func (s State) ElectronFraction() float64 {
+	h := s.HNuclei()
+	if h == 0 {
+		return 0
+	}
+	return s[Elec] / h
+}
+
+// Validate reports negative or non-finite abundances.
+func (s State) Validate() error {
+	for i := 0; i < NumSpecies; i++ {
+		if s[i] < 0 || s[i] != s[i] {
+			return fmt.Errorf("chem: species %s has bad density %g", Names[i], s[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package clustering
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func covered(f *Flags, boxes []Box) bool {
+	for k := 0; k < f.Nz; k++ {
+		for j := 0; j < f.Ny; j++ {
+			for i := 0; i < f.Nx; i++ {
+				if !f.At(i, j, k) {
+					continue
+				}
+				in := false
+				for _, b := range boxes {
+					if b.Contains(i, j, k) {
+						in = true
+						break
+					}
+				}
+				if !in {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestEmptyFlags(t *testing.T) {
+	f := NewFlags(8, 8, 8)
+	if boxes := Cluster(f, DefaultParams()); boxes != nil {
+		t.Fatalf("empty flags produced %d boxes", len(boxes))
+	}
+}
+
+func TestSingleCell(t *testing.T) {
+	f := NewFlags(8, 8, 8)
+	f.Set(3, 4, 5, true)
+	boxes := Cluster(f, DefaultParams())
+	if len(boxes) != 1 {
+		t.Fatalf("%d boxes for single cell", len(boxes))
+	}
+	if !boxes[0].Contains(3, 4, 5) || boxes[0].Volume() != 1 {
+		t.Fatalf("box %v wrong", boxes[0])
+	}
+}
+
+func TestCompactBlock(t *testing.T) {
+	f := NewFlags(16, 16, 16)
+	for k := 4; k < 8; k++ {
+		for j := 4; j < 8; j++ {
+			for i := 4; i < 8; i++ {
+				f.Set(i, j, k, true)
+			}
+		}
+	}
+	boxes := Cluster(f, DefaultParams())
+	if len(boxes) != 1 {
+		t.Fatalf("compact block should give one box, got %d", len(boxes))
+	}
+	if boxes[0].Volume() != 64 {
+		t.Fatalf("box volume %d, want 64", boxes[0].Volume())
+	}
+}
+
+func TestTwoSeparatedClusters(t *testing.T) {
+	f := NewFlags(32, 8, 8)
+	for i := 2; i < 6; i++ {
+		f.Set(i, 3, 3, true)
+	}
+	for i := 24; i < 28; i++ {
+		f.Set(i, 4, 4, true)
+	}
+	boxes := Cluster(f, DefaultParams())
+	if !covered(f, boxes) {
+		t.Fatal("not all flags covered")
+	}
+	if len(boxes) != 2 {
+		t.Fatalf("expected 2 boxes via hole cut, got %d: %v", len(boxes), boxes)
+	}
+	// Efficiency: total box volume should be close to flag count.
+	vol := 0
+	for _, b := range boxes {
+		vol += b.Volume()
+	}
+	if vol > 2*f.Count() {
+		t.Errorf("boxes too loose: volume %d for %d flags", vol, f.Count())
+	}
+}
+
+func TestLShapeSplits(t *testing.T) {
+	// An L-shape has poor bounding-box efficiency and must be split by
+	// the inflection cut.
+	f := NewFlags(16, 16, 4)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 3; j++ {
+			f.Set(i, j, 1, true)
+		}
+	}
+	for j := 0; j < 12; j++ {
+		for i := 0; i < 3; i++ {
+			f.Set(i, j, 1, true)
+		}
+	}
+	p := DefaultParams()
+	boxes := Cluster(f, p)
+	if !covered(f, boxes) {
+		t.Fatal("L-shape not covered")
+	}
+	if len(boxes) < 2 {
+		t.Fatalf("L-shape should split, got %d boxes", len(boxes))
+	}
+	vol := 0
+	for _, b := range boxes {
+		vol += b.Volume()
+	}
+	if float64(f.Count())/float64(vol) < 0.5 {
+		t.Errorf("overall efficiency too low: %d flags in %d cells", f.Count(), vol)
+	}
+}
+
+func TestMaxSizeCap(t *testing.T) {
+	f := NewFlags(64, 4, 4)
+	for i := 0; i < 64; i++ {
+		f.Set(i, 1, 1, true)
+	}
+	p := DefaultParams()
+	p.MaxSize = 16
+	boxes := Cluster(f, p)
+	if !covered(f, boxes) {
+		t.Fatal("not covered")
+	}
+	for _, b := range boxes {
+		for d := 0; d < 3; d++ {
+			if b.Hi[d]-b.Lo[d] > 16 {
+				t.Fatalf("box %v exceeds MaxSize", b)
+			}
+		}
+	}
+	if len(boxes) < 4 {
+		t.Fatalf("64-cell line with cap 16 should give >=4 boxes, got %d", len(boxes))
+	}
+}
+
+func TestBoxIntersect(t *testing.T) {
+	a := Box{Lo: [3]int{0, 0, 0}, Hi: [3]int{4, 4, 4}}
+	b := Box{Lo: [3]int{2, 2, 2}, Hi: [3]int{6, 6, 6}}
+	r, ok := a.Intersect(b)
+	if !ok || r.Volume() != 8 {
+		t.Fatalf("intersect %v ok=%v", r, ok)
+	}
+	c := Box{Lo: [3]int{5, 5, 5}, Hi: [3]int{6, 6, 6}}
+	if _, ok := a.Intersect(c); ok {
+		t.Fatal("disjoint boxes intersected")
+	}
+}
+
+func TestPropAllFlagsCovered(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fl := NewFlags(12, 12, 12)
+		// Random blobs.
+		for b := 0; b < 3; b++ {
+			ci, cj, ck := rng.Intn(12), rng.Intn(12), rng.Intn(12)
+			r := 1 + rng.Intn(3)
+			for k := 0; k < 12; k++ {
+				for j := 0; j < 12; j++ {
+					for i := 0; i < 12; i++ {
+						d2 := (i-ci)*(i-ci) + (j-cj)*(j-cj) + (k-ck)*(k-ck)
+						if d2 <= r*r {
+							fl.Set(i, j, k, true)
+						}
+					}
+				}
+			}
+		}
+		boxes := Cluster(fl, DefaultParams())
+		return covered(fl, boxes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEfficiencyReasonable(t *testing.T) {
+	// Overall covering efficiency should never collapse to near zero for
+	// blob-like flag sets.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fl := NewFlags(16, 16, 16)
+		ci, cj, ck := 4+rng.Intn(8), 4+rng.Intn(8), 4+rng.Intn(8)
+		for k := 0; k < 16; k++ {
+			for j := 0; j < 16; j++ {
+				for i := 0; i < 16; i++ {
+					d2 := (i-ci)*(i-ci) + (j-cj)*(j-cj) + (k-ck)*(k-ck)
+					if d2 <= 9 {
+						fl.Set(i, j, k, true)
+					}
+				}
+			}
+		}
+		boxes := Cluster(fl, DefaultParams())
+		if !covered(fl, boxes) {
+			return false
+		}
+		vol := 0
+		for _, b := range boxes {
+			vol += b.Volume()
+		}
+		return float64(fl.Count())/float64(vol) > 0.35
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCluster32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	fl := NewFlags(32, 32, 32)
+	for n := 0; n < 5; n++ {
+		ci, cj, ck := rng.Intn(32), rng.Intn(32), rng.Intn(32)
+		for k := 0; k < 32; k++ {
+			for j := 0; j < 32; j++ {
+				for i := 0; i < 32; i++ {
+					d2 := (i-ci)*(i-ci) + (j-cj)*(j-cj) + (k-ck)*(k-ck)
+					if d2 <= 16 {
+						fl.Set(i, j, k, true)
+					}
+				}
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cluster(fl, DefaultParams())
+	}
+}

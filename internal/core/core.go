@@ -1,0 +1,183 @@
+// Package core is the public façade of the reproduction: a Simulation
+// wraps the AMR hierarchy, problem setup, analysis shortcuts and the
+// structure/performance series the paper's evaluation section plots.
+//
+// Typical use:
+//
+//	sim, err := core.NewPrimordialCollapse(core.CollapseOptions{})
+//	sim.RunSteps(50)
+//	profile, _ := sim.RadialProfileAtPeak(24)
+//	fmt.Println(sim.UsageTable())
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/amr"
+	"repro/internal/analysis"
+	"repro/internal/perf"
+	"repro/internal/problems"
+)
+
+// Simulation bundles a hierarchy with its evolution history.
+type Simulation struct {
+	H *amr.Hierarchy
+	// History records hierarchy-structure samples per root step (the
+	// Fig. 5 time series).
+	History []StructureSample
+	started time.Time
+	wall    time.Duration
+}
+
+// StructureSample is one Fig.-5 data point.
+type StructureSample struct {
+	Time      float64 // code units
+	MaxLevel  int
+	NumGrids  int
+	GridsPer  []int
+	WorkPer   []float64
+	PeakRho   float64
+	Expansion float64 // a, when cosmological
+}
+
+// CollapseOptions re-exports the primordial-collapse configuration.
+type CollapseOptions = problems.CollapseOpts
+
+// NewPrimordialCollapse builds the headline simulation. Zero-valued
+// options are filled with the defaults of DefaultCollapseOpts.
+func NewPrimordialCollapse(o CollapseOptions) (*Simulation, error) {
+	def := problems.DefaultCollapseOpts()
+	if o.RootN == 0 {
+		o = def
+	}
+	h, err := problems.PrimordialCollapse(o)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{H: h}, nil
+}
+
+// NewSedov builds the Sedov blast validation problem.
+func NewSedov(rootN, maxLevel int, e0 float64) (*Simulation, error) {
+	h, err := problems.Sedov(rootN, maxLevel, e0)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{H: h}, nil
+}
+
+// NewPancake builds the Zel'dovich pancake validation problem.
+func NewPancake(o problems.PancakeOpts) (*Simulation, error) {
+	h, err := problems.Pancake(o)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{H: h}, nil
+}
+
+// NewZoom builds the nested zoom-in cosmological run of §4.
+func NewZoom(o problems.ZoomOpts) (*Simulation, error) {
+	h, _, err := problems.CosmologicalZoom(o)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{H: h}, nil
+}
+
+// Step advances one root timestep and records a structure sample.
+func (s *Simulation) Step() float64 {
+	t0 := time.Now()
+	dt := s.H.Step()
+	s.wall += time.Since(t0)
+	s.record()
+	return dt
+}
+
+// RunSteps advances n root steps.
+func (s *Simulation) RunSteps(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// RunUntil advances until code time t (or maxSteps).
+func (s *Simulation) RunUntil(t float64, maxSteps int) int {
+	steps := 0
+	for s.H.Time < t && steps < maxSteps {
+		s.Step()
+		steps++
+	}
+	return steps
+}
+
+func (s *Simulation) record() {
+	_, peak := analysis.DensestPoint(s.H)
+	a := 0.0
+	if s.H.Cfg.Cosmo != nil {
+		a = s.H.Cfg.Cosmo.A
+	}
+	s.History = append(s.History, StructureSample{
+		Time:      s.H.Time,
+		MaxLevel:  s.H.MaxLevel(),
+		NumGrids:  s.H.NumGrids(),
+		GridsPer:  s.H.GridsPerLevel(),
+		WorkPer:   s.H.WorkPerLevel(),
+		PeakRho:   peak,
+		Expansion: a,
+	})
+}
+
+// RadialProfileAtPeak computes a Fig.-4 style profile about the current
+// densest point.
+func (s *Simulation) RadialProfileAtPeak(nbins int) (*analysis.Profile, error) {
+	pos, _ := analysis.DensestPoint(s.H)
+	rmin := s.finestDx() * 0.5
+	return analysis.RadialProfile(s.H, pos, analysis.ProfileParams{
+		RMin:  rmin,
+		RMax:  0.5,
+		NBins: nbins,
+		Gamma: s.H.Cfg.Hydro.Gamma,
+		Units: s.H.Cfg.Units,
+	})
+}
+
+func (s *Simulation) finestDx() float64 {
+	lv := s.H.MaxLevel()
+	if len(s.H.Levels[lv]) == 0 {
+		return 1.0 / float64(s.H.Cfg.RootN)
+	}
+	return s.H.Levels[lv][0].Dx
+}
+
+// UsageTable renders the §5 component-usage table for the run so far.
+func (s *Simulation) UsageTable() string {
+	return perf.FormatUsageTable(perf.UsageTable(s.H.Timing))
+}
+
+// FlopReport summarizes the performance accounting (§5): estimated
+// operations, sustained rate, and the virtual-rate comparison against a
+// uniform grid at the current spatial dynamic range.
+func (s *Simulation) FlopReport() string {
+	flops := perf.EstimateFlops(s.H.Stats)
+	rate := perf.SustainedRate(flops, s.wall.Seconds())
+	sdr := s.H.SpatialDynamicRange()
+	speedup := perf.SpeedupVsUniform(s.H.Stats, sdr, float64(s.H.Stats.StepsTaken))
+	return fmt.Sprintf(
+		"estimated flops:     %.3g\nwall time:           %.2fs\nsustained rate:      %.3g flop/s\nSDR:                 %.0f\nspeedup vs uniform:  %.3g×\n",
+		flops, s.wall.Seconds(), rate, sdr, speedup)
+}
+
+// ZoomFrames renders n Fig.-3 style density slices, each zoomed by the
+// given factor about the densest point, at res×res pixels.
+func (s *Simulation) ZoomFrames(n int, factor float64, res int) [][][]float64 {
+	pos, _ := analysis.DensestPoint(s.H)
+	frames := make([][][]float64, n)
+	half := 0.5
+	for f := 0; f < n; f++ {
+		frames[f] = analysis.DensitySlice(s.H, 2, pos[2],
+			pos[0]-half, pos[0]+half, pos[1]-half, pos[1]+half, res)
+		half /= factor
+	}
+	return frames
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSedovSimulation(t *testing.T) {
+	sim, err := NewSedov(16, 1, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunSteps(3)
+	if len(sim.History) != 3 {
+		t.Fatalf("history %d entries", len(sim.History))
+	}
+	last := sim.History[len(sim.History)-1]
+	if last.Time <= 0 || last.NumGrids < 1 {
+		t.Fatalf("bad sample %+v", last)
+	}
+	if last.PeakRho <= 0 {
+		t.Error("no peak density recorded")
+	}
+	table := sim.UsageTable()
+	if !strings.Contains(table, "hydrodynamics") {
+		t.Errorf("usage table:\n%s", table)
+	}
+	report := sim.FlopReport()
+	if !strings.Contains(report, "flop/s") {
+		t.Errorf("flop report:\n%s", report)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	sim, err := NewSedov(16, 0, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := sim.RunUntil(0.01, 100)
+	if steps == 0 || sim.H.Time < 0.01 {
+		t.Fatalf("RunUntil did not advance: %d steps, t=%v", steps, sim.H.Time)
+	}
+	if s2 := sim.RunUntil(0.01, 100); s2 != 0 {
+		t.Error("RunUntil past target should take no steps")
+	}
+}
+
+func TestRadialProfileAtPeak(t *testing.T) {
+	sim, err := NewSedov(16, 1, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunSteps(4)
+	pr, err := sim.RadialProfileAtPeak(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.CellsUsed == 0 {
+		t.Fatal("empty profile")
+	}
+}
+
+func TestZoomFrames(t *testing.T) {
+	sim, err := NewSedov(16, 1, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunSteps(2)
+	frames := sim.ZoomFrames(3, 10, 16)
+	if len(frames) != 3 {
+		t.Fatal("frame count")
+	}
+	for _, f := range frames {
+		if len(f) != 16 || len(f[0]) != 16 {
+			t.Fatal("frame shape")
+		}
+		for _, row := range f {
+			for _, v := range row {
+				if math.IsNaN(v) {
+					t.Fatal("NaN pixel")
+				}
+			}
+		}
+	}
+}
+
+func TestCollapseOptionsDefaulting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the full chemistry problem")
+	}
+	sim, err := NewPrimordialCollapse(CollapseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.H.Cfg.RootN != 16 || !sim.H.Cfg.Chemistry {
+		t.Fatalf("defaults not applied: %+v", sim.H.Cfg.RootN)
+	}
+}

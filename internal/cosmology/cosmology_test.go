@@ -1,0 +1,293 @@
+package cosmology
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEinsteinDeSitterAge(t *testing.T) {
+	p := StandardCDM()
+	// EdS: t(a) = (2/3) a^{3/2} / H0.
+	for _, a := range []float64{0.01, 0.1, 0.5, 1.0} {
+		want := 2.0 / 3.0 * math.Pow(a, 1.5) / p.H0
+		got := p.AgeOfUniverse(a)
+		if math.Abs(got-want)/want > 1e-4 {
+			t.Errorf("age(a=%v) = %v, want %v", a, got, want)
+		}
+	}
+}
+
+func TestExpansionFactorInversion(t *testing.T) {
+	p := StandardCDM()
+	for _, a := range []float64{0.005, 0.05, 0.5} {
+		tt := p.AgeOfUniverse(a)
+		back := p.ExpansionFactorAt(tt)
+		if math.Abs(back-a)/a > 1e-4 {
+			t.Errorf("a round trip %v -> %v", a, back)
+		}
+	}
+}
+
+func TestBackgroundAdvanceMatchesAnalytic(t *testing.T) {
+	p := StandardCDM()
+	a0 := 0.01
+	b := NewBackground(p, a0)
+	// Advance by many small steps to a target time; compare with EdS.
+	target := p.AgeOfUniverse(0.02)
+	dt := (target - b.T) / 2000
+	for i := 0; i < 2000; i++ {
+		b.Advance(dt)
+	}
+	if math.Abs(b.A-0.02)/0.02 > 1e-5 {
+		t.Errorf("RK4 advance a = %v, want 0.02", b.A)
+	}
+}
+
+func TestGrowthFactorEdS(t *testing.T) {
+	// In EdS the growth factor is exactly proportional to a.
+	p := StandardCDM()
+	d1 := p.GrowthFactor(0.01)
+	d2 := p.GrowthFactor(0.02)
+	if math.Abs(d2/d1-2) > 1e-3 {
+		t.Errorf("EdS growth ratio %v, want 2", d2/d1)
+	}
+	if math.Abs(p.GrowthFactor(1)-1) > 1e-12 {
+		t.Errorf("D(1) != 1")
+	}
+	if f := p.GrowthRate(0.05); math.Abs(f-1) > 1e-3 {
+		t.Errorf("EdS growth rate %v, want 1", f)
+	}
+}
+
+func TestGrowthFactorLambda(t *testing.T) {
+	// With a cosmological constant, growth is suppressed at late times:
+	// D(a)/a must decrease toward a=1.
+	p := Params{OmegaM: 0.3, OmegaB: 0.04, OmegaLambda: 0.7, H0: 2.2e-18, Sigma8: 0.9, NSpec: 1}
+	early := p.GrowthFactor(0.1) / 0.1
+	late := p.GrowthFactor(1.0) / 1.0
+	if late >= early {
+		t.Errorf("Lambda growth suppression missing: D/a early %v late %v", early, late)
+	}
+}
+
+func TestTransferLimits(t *testing.T) {
+	// T -> 1 as k -> 0; T decreases monotonically at high k.
+	if v := TransferBBKS(1e-8, 0.5); math.Abs(v-1) > 1e-3 {
+		t.Errorf("T(k->0) = %v", v)
+	}
+	prev := TransferBBKS(0.01, 0.5)
+	for _, k := range []float64{0.1, 1, 10, 100} {
+		v := TransferBBKS(k, 0.5)
+		if v >= prev {
+			t.Errorf("transfer not decreasing at k=%v", k)
+		}
+		prev = v
+	}
+}
+
+func TestSigma8Normalization(t *testing.T) {
+	p := StandardCDM()
+	// After normalization, sigma(8 Mpc/h) must equal Sigma8.
+	norm := p.Sigma8 / p.sigmaRUnnormalized(8)
+	got := norm * p.sigmaRUnnormalized(8)
+	if math.Abs(got-p.Sigma8) > 1e-12 {
+		t.Errorf("sigma8 normalization broken: %v", got)
+	}
+	// CDM hierarchy: smaller scales have larger rms (bottom-up collapse,
+	// paper §2.1).
+	s1 := p.sigmaRUnnormalized(1)
+	s8 := p.sigmaRUnnormalized(8)
+	if s1 <= s8 {
+		t.Errorf("sigma(1) = %v should exceed sigma(8) = %v", s1, s8)
+	}
+}
+
+func TestPowerTableMatchesDirect(t *testing.T) {
+	p := StandardCDM()
+	tbl := p.NewPowerTable(1e-4, 1e4, 4096)
+	for _, k := range []float64{0.001, 0.05, 0.8, 30, 500} {
+		direct := p.PowerSpectrum(k)
+		fromTable := tbl.At(k)
+		if math.Abs(fromTable-direct)/direct > 2e-3 {
+			t.Errorf("table P(%v) = %v, direct %v", k, fromTable, direct)
+		}
+	}
+}
+
+func TestRealizationDeterministic(t *testing.T) {
+	p := StandardCDM()
+	r1, err := p.GenerateRealization(16, 0.256, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := p.GenerateRealization(16, 0.256, 42)
+	for i := range r1.Dlt {
+		if r1.Dlt[i] != r2.Dlt[i] {
+			t.Fatal("same seed produced different realizations")
+		}
+	}
+	r3, _ := p.GenerateRealization(16, 0.256, 43)
+	same := true
+	for i := range r1.Dlt {
+		if r1.Dlt[i] != r3.Dlt[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical realizations")
+	}
+}
+
+func TestRealizationMeanZero(t *testing.T) {
+	p := StandardCDM()
+	r, err := p.GenerateRealization(16, 0.256, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, v := range r.Dlt {
+		mean += v
+	}
+	mean /= float64(len(r.Dlt))
+	if math.Abs(mean) > 1e-12 {
+		t.Errorf("overdensity mean = %v, want 0 (k=0 mode zeroed)", mean)
+	}
+	if r.RMS() <= 0 {
+		t.Error("zero rms field")
+	}
+}
+
+func TestRealizationDisplacementDivergence(t *testing.T) {
+	// Zel'dovich: div ψ = -δ (linear theory). Check with centered
+	// differences on the periodic grid.
+	p := StandardCDM()
+	n := 16
+	r, err := p.GenerateRealization(n, 0.256, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := 1.0 / float64(n) // cell size in box units
+	idx := func(i, j, k int) int {
+		w := func(v int) int { return ((v % n) + n) % n }
+		return (w(k)*n+w(j))*n + w(i)
+	}
+	var num, den float64
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				div := (r.PsiX[idx(i+1, j, k)]-r.PsiX[idx(i-1, j, k)])/(2*h) +
+					(r.PsiY[idx(i, j+1, k)]-r.PsiY[idx(i, j-1, k)])/(2*h) +
+					(r.PsiZ[idx(i, j, k+1)]-r.PsiZ[idx(i, j, k-1)])/(2*h)
+				d := -r.Dlt[idx(i, j, k)]
+				num += (div - d) * (div - d)
+				den += d * d
+			}
+		}
+	}
+	// Centered differencing is only 2nd order so allow a finite-k error,
+	// but the fields must be strongly correlated.
+	if num/den > 0.3 {
+		t.Errorf("div psi vs -delta mismatch: relative L2 error %v", math.Sqrt(num/den))
+	}
+}
+
+func TestDegrade(t *testing.T) {
+	p := StandardCDM()
+	r, err := p.GenerateRealization(16, 0.256, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := r.Degrade(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 8 {
+		t.Fatalf("degraded N = %d", d.N)
+	}
+	// Block averaging preserves the mean.
+	var m1, m2 float64
+	for _, v := range r.Dlt {
+		m1 += v
+	}
+	for _, v := range d.Dlt {
+		m2 += v
+	}
+	m1 /= float64(len(r.Dlt))
+	m2 /= float64(len(d.Dlt))
+	if math.Abs(m1-m2) > 1e-12 {
+		t.Errorf("degrade changed mean: %v vs %v", m1, m2)
+	}
+	// Smoothing reduces rms.
+	if d.RMS() >= r.RMS() {
+		t.Errorf("degrade did not reduce rms: %v vs %v", d.RMS(), r.RMS())
+	}
+	if _, err := r.Degrade(3); err == nil {
+		t.Error("degrade by non-divisor should fail")
+	}
+}
+
+func TestZoomIC(t *testing.T) {
+	p := StandardCDM()
+	z, err := p.GenerateZoomIC(8, 2, 0.256, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z.Levels) != 3 {
+		t.Fatalf("level count %d", len(z.Levels))
+	}
+	if z.Levels[0].N != 8 || z.Levels[1].N != 16 || z.Levels[2].N != 32 {
+		t.Fatalf("level sizes wrong: %d %d %d", z.Levels[0].N, z.Levels[1].N, z.Levels[2].N)
+	}
+	// More static levels capture more small-wavelength power (paper §4).
+	if z.Levels[2].RMS() <= z.Levels[0].RMS() {
+		t.Error("fine level should have higher rms than root")
+	}
+	i, j, k := z.DensestCell(0)
+	if i < 0 || i >= 8 || j < 0 || j >= 8 || k < 0 || k >= 8 {
+		t.Errorf("densest cell out of range: %d %d %d", i, j, k)
+	}
+	// The densest coarse cell must contain fine structure denser than
+	// itself (hierarchy consistency).
+	r0, r2 := z.Levels[0], z.Levels[2]
+	coarseMax := r0.Dlt[(k*8+j)*8+i]
+	fineMax := math.Inf(-1)
+	for dz := 0; dz < 4; dz++ {
+		for dy := 0; dy < 4; dy++ {
+			for dx := 0; dx < 4; dx++ {
+				v := r2.Dlt[((k*4+dz)*32+j*4+dy)*32+i*4+dx]
+				if v > fineMax {
+					fineMax = v
+				}
+			}
+		}
+	}
+	if fineMax < coarseMax {
+		t.Errorf("fine max %v below coarse average %v", fineMax, coarseMax)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{OmegaM: 0, H0: 1},
+		{OmegaM: 1, OmegaB: 2, H0: 1},
+		{OmegaM: 1, OmegaB: 0.05, H0: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	if err := StandardCDM().Validate(); err != nil {
+		t.Errorf("standard CDM should validate: %v", err)
+	}
+}
+
+func BenchmarkGenerateRealization32(b *testing.B) {
+	p := StandardCDM()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.GenerateRealization(32, 0.256, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package cosmology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/fft"
+)
+
+// Realization is a sampled Gaussian random field realization on an N³
+// periodic grid of comoving side L [Mpc/h]: the linear overdensity δ and
+// the Zel'dovich displacement field ψ (components in box-size units),
+// both *today* (growth factor 1). Scale with D(a) to the starting epoch.
+type Realization struct {
+	N    int
+	L    float64 // box side [Mpc/h]
+	Dlt  []float64
+	PsiX []float64 // displacement in units of the box side
+	PsiY []float64
+	PsiZ []float64
+}
+
+// GenerateRealization draws a realization of the model's linear power
+// spectrum on an n³ grid (n a power of two) for a comoving box of side
+// l [Mpc/h], using the white-noise-filtering method: unit Gaussian noise in
+// real space, filtered by sqrt(P(k)) in Fourier space. The same seed and
+// size always produce the identical field (deterministic ICs, needed for
+// the paper's restart-with-more-levels workflow).
+func (p Params) GenerateRealization(n int, l float64, seed int64) (*Realization, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := fft.NewPlan3(n, n, n)
+	if err != nil {
+		return nil, fmt.Errorf("cosmology: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ncell := n * n * n
+	w := make([]complex128, ncell)
+	for i := range w {
+		w[i] = complex(rng.NormFloat64(), 0)
+	}
+	plan.Forward(w)
+
+	// Filter |W_k| by sqrt(P(k) N^3 / V) so the inverse transform has the
+	// target spectrum; V in (Mpc/h)^3.
+	table := p.NewPowerTable(1e-4, 1e4, 2048)
+	vol := l * l * l
+	norm := math.Sqrt(float64(ncell) / vol)
+	kfund := 2 * math.Pi / l
+
+	psiX := make([]complex128, ncell)
+	psiY := make([]complex128, ncell)
+	psiZ := make([]complex128, ncell)
+
+	for kz := 0; kz < n; kz++ {
+		mz := wrapMode(kz, n)
+		for ky := 0; ky < n; ky++ {
+			my := wrapMode(ky, n)
+			for kx := 0; kx < n; kx++ {
+				mx := wrapMode(kx, n)
+				idx := (kz*n+ky)*n + kx
+				if mx == 0 && my == 0 && mz == 0 {
+					w[idx] = 0
+					continue
+				}
+				fx := kfund * float64(mx)
+				fy := kfund * float64(my)
+				fz := kfund * float64(mz)
+				k2 := fx*fx + fy*fy + fz*fz
+				kmag := math.Sqrt(k2)
+				amp := math.Sqrt(table.At(kmag)) * norm
+				d := w[idx] * complex(amp, 0)
+				w[idx] = d
+				// ψ_k = i k / k² δ_k  (displacement in Mpc/h; convert
+				// to box units by dividing by L).
+				c := d * complex(0, 1/k2/l)
+				psiX[idx] = c * complex(fx, 0)
+				psiY[idx] = c * complex(fy, 0)
+				psiZ[idx] = c * complex(fz, 0)
+			}
+		}
+	}
+	plan.Inverse(w)
+	plan.Inverse(psiX)
+	plan.Inverse(psiY)
+	plan.Inverse(psiZ)
+
+	r := &Realization{
+		N: n, L: l,
+		Dlt:  make([]float64, ncell),
+		PsiX: make([]float64, ncell),
+		PsiY: make([]float64, ncell),
+		PsiZ: make([]float64, ncell),
+	}
+	for i := 0; i < ncell; i++ {
+		r.Dlt[i] = real(w[i])
+		r.PsiX[i] = real(psiX[i])
+		r.PsiY[i] = real(psiY[i])
+		r.PsiZ[i] = real(psiZ[i])
+	}
+	return r, nil
+}
+
+// wrapMode maps an FFT bin index to a signed mode number in [-n/2, n/2).
+func wrapMode(k, n int) int {
+	if k > n/2 {
+		return k - n
+	}
+	return k
+}
+
+// RMS returns the rms of the overdensity field.
+func (r *Realization) RMS() float64 {
+	var s float64
+	for _, v := range r.Dlt {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(r.Dlt)))
+}
+
+// Degrade returns a new realization block-averaged by the integer factor f
+// (which must divide N): the paper's low-resolution first pass that locates
+// where the first star forms before the zoom-in restart.
+func (r *Realization) Degrade(f int) (*Realization, error) {
+	if f < 1 || r.N%f != 0 {
+		return nil, fmt.Errorf("cosmology: degrade factor %d does not divide N=%d", f, r.N)
+	}
+	m := r.N / f
+	out := &Realization{
+		N: m, L: r.L,
+		Dlt:  blockAverage(r.Dlt, r.N, f),
+		PsiX: blockAverage(r.PsiX, r.N, f),
+		PsiY: blockAverage(r.PsiY, r.N, f),
+		PsiZ: blockAverage(r.PsiZ, r.N, f),
+	}
+	return out, nil
+}
+
+func blockAverage(src []float64, n, f int) []float64 {
+	m := n / f
+	dst := make([]float64, m*m*m)
+	inv := 1.0 / float64(f*f*f)
+	for cz := 0; cz < m; cz++ {
+		for cy := 0; cy < m; cy++ {
+			for cx := 0; cx < m; cx++ {
+				var s float64
+				for dz := 0; dz < f; dz++ {
+					for dy := 0; dy < f; dy++ {
+						for dx := 0; dx < f; dx++ {
+							s += src[((cz*f+dz)*n+cy*f+dy)*n+cx*f+dx]
+						}
+					}
+				}
+				dst[(cz*m+cy)*m+cx] = s * inv
+			}
+		}
+	}
+	return dst
+}
+
+// ZoomIC is the paper's nested static-subgrid initial condition: one
+// realization generated at the *finest* effective resolution, then
+// block-averaged to each coarser static level. Levels[0] is the root grid
+// (full box at rootN³); Levels[l] has resolution rootN·2^l and still spans
+// the full box (the AMR setup cuts out the static refined region).
+type ZoomIC struct {
+	RootN     int
+	Factor    int // refinement factor between static levels (always 2 here)
+	Levels    []*Realization
+	FineLevel int // index of the finest level
+}
+
+// GenerateZoomIC builds a ZoomIC with the given number of static levels
+// above the root (levels=3 reproduces the paper's 64³→512³ setup at
+// whatever scale rootN allows).
+func (p Params) GenerateZoomIC(rootN, levels int, l float64, seed int64) (*ZoomIC, error) {
+	if levels < 0 {
+		return nil, fmt.Errorf("cosmology: negative static level count %d", levels)
+	}
+	fineN := rootN << levels
+	fine, err := p.GenerateRealization(fineN, l, seed)
+	if err != nil {
+		return nil, err
+	}
+	z := &ZoomIC{RootN: rootN, Factor: 2, Levels: make([]*Realization, levels+1), FineLevel: levels}
+	z.Levels[levels] = fine
+	for lv := levels - 1; lv >= 0; lv-- {
+		z.Levels[lv], err = z.Levels[lv+1].Degrade(2)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return z, nil
+}
+
+// DensestCell returns the grid indices of the maximum overdensity cell at
+// the given level — the "where will the first star form" search of the
+// paper's low-resolution pass.
+func (z *ZoomIC) DensestCell(level int) (i, j, k int) {
+	r := z.Levels[level]
+	best := math.Inf(-1)
+	for kz := 0; kz < r.N; kz++ {
+		for jy := 0; jy < r.N; jy++ {
+			for ix := 0; ix < r.N; ix++ {
+				if v := r.Dlt[(kz*r.N+jy)*r.N+ix]; v > best {
+					best = v
+					i, j, k = ix, jy, kz
+				}
+			}
+		}
+	}
+	return
+}

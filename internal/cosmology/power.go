@@ -1,0 +1,116 @@
+package cosmology
+
+import (
+	"math"
+)
+
+// This file implements the CDM power spectrum and its normalization.
+//
+// The paper (§2.1) requires the functional form of P(k) for a "standard"
+// CDM model. We use the classic BBKS (Bardeen, Bond, Kaiser & Szalay 1986)
+// transfer function — the fit in universal use at the time of the paper —
+// with the shape parameter Gamma = Omega_M h and sigma_8 normalization.
+
+// TransferBBKS returns the BBKS CDM transfer function at wavenumber
+// k [h/Mpc] for shape parameter gamma = Omega_M * h.
+func TransferBBKS(k, gamma float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	q := k / gamma
+	aq := 2.34 * q
+	var t float64
+	if aq < 1e-6 {
+		t = 1 // ln(1+x)/x -> 1
+	} else {
+		t = math.Log(1+aq) / aq
+	}
+	poly := 1 + q*(3.89+q*(259.21+q*(162.771336+q*2027.16958081)))
+	// poly = 1 + 3.89q + (16.1q)^2 + (5.46q)^3 + (6.71q)^4
+	return t * math.Pow(poly, -0.25)
+}
+
+// PowerSpectrum evaluates the *unnormalized* linear power spectrum
+// P(k) ∝ k^n T(k)^2 at k [h/Mpc].
+func (p Params) powerUnnormalized(k float64) float64 {
+	h := p.H0 / 3.2407792896664e-18 / 100 // dimensionless h... H0 in units of 100 km/s/Mpc
+	gamma := p.OmegaM * h
+	t := TransferBBKS(k, gamma)
+	return math.Pow(k, p.NSpec) * t * t
+}
+
+// sigmaR computes the rms linear fluctuation in spheres of radius
+// r [Mpc/h] for the unnormalized spectrum.
+func (p Params) sigmaRUnnormalized(r float64) float64 {
+	// sigma^2 = 1/(2π²) ∫ k² P(k) W²(kr) dk with the top-hat window
+	// W(x) = 3(sin x - x cos x)/x³. Integrate in ln k.
+	const steps = 4096
+	lk0, lk1 := math.Log(1e-5), math.Log(1e3)
+	hstep := (lk1 - lk0) / steps
+	var s float64
+	for i := 0; i < steps; i++ {
+		lk := lk0 + (float64(i)+0.5)*hstep
+		k := math.Exp(lk)
+		x := k * r
+		var w float64
+		if x < 1e-4 {
+			w = 1 - x*x/10
+		} else {
+			w = 3 * (math.Sin(x) - x*math.Cos(x)) / (x * x * x)
+		}
+		s += k * k * k * p.powerUnnormalized(k) * w * w * hstep
+	}
+	return math.Sqrt(s / (2 * math.Pi * math.Pi))
+}
+
+// PowerSpectrum returns the sigma_8-normalized linear power spectrum today
+// at k [h/Mpc], in (Mpc/h)^3.
+func (p Params) PowerSpectrum(k float64) float64 {
+	norm := p.Sigma8 / p.sigmaRUnnormalized(8)
+	return norm * norm * p.powerUnnormalized(k)
+}
+
+// PowerTable precomputes a log-spaced lookup table of the normalized
+// spectrum so the IC generator does not re-integrate the normalization for
+// every mode.
+type PowerTable struct {
+	lkMin, lkMax float64
+	dlk          float64
+	vals         []float64 // log P at log k nodes
+}
+
+// NewPowerTable builds a table spanning k in [kmin, kmax] h/Mpc.
+func (p Params) NewPowerTable(kmin, kmax float64, n int) *PowerTable {
+	if n < 2 {
+		n = 2
+	}
+	t := &PowerTable{
+		lkMin: math.Log(kmin),
+		lkMax: math.Log(kmax),
+		vals:  make([]float64, n),
+	}
+	t.dlk = (t.lkMax - t.lkMin) / float64(n-1)
+	norm := p.Sigma8 / p.sigmaRUnnormalized(8)
+	norm2 := norm * norm
+	for i := range t.vals {
+		k := math.Exp(t.lkMin + float64(i)*t.dlk)
+		t.vals[i] = math.Log(norm2 * p.powerUnnormalized(k))
+	}
+	return t
+}
+
+// At returns P(k) from the table with log-log linear interpolation,
+// clamping k to the tabulated range.
+func (t *PowerTable) At(k float64) float64 {
+	lk := math.Log(k)
+	x := (lk - t.lkMin) / t.dlk
+	if x <= 0 {
+		return math.Exp(t.vals[0])
+	}
+	if x >= float64(len(t.vals)-1) {
+		return math.Exp(t.vals[len(t.vals)-1])
+	}
+	i := int(x)
+	f := x - float64(i)
+	return math.Exp(t.vals[i]*(1-f) + t.vals[i+1]*f)
+}

@@ -1,0 +1,181 @@
+// Package fft provides the pure-Go fast Fourier transforms used by the
+// root-grid Poisson solver (periodic gravity, paper §3.3) and by the
+// Gaussian-random-field initial conditions generator. Sizes must be powers
+// of two; the AMR root grids in this code base always are.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Plan caches twiddle factors and the bit-reversal permutation for a
+// particular power-of-two length. Plans are cheap to build and reusable;
+// they are not safe for concurrent use of the same scratch buffers, but
+// Forward/Inverse themselves only read plan state, so one plan may be
+// shared across goroutines.
+type Plan struct {
+	n       int
+	logn    int
+	rev     []int
+	twiddle []complex128 // forward twiddles, n/2 entries
+}
+
+// NewPlan builds a plan for length n, which must be a power of two >= 1.
+func NewPlan(n int) (*Plan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	p := &Plan{n: n}
+	for 1<<p.logn < n {
+		p.logn++
+	}
+	p.rev = make([]int, n)
+	for i := 0; i < n; i++ {
+		r := 0
+		for b := 0; b < p.logn; b++ {
+			if i&(1<<b) != 0 {
+				r |= 1 << (p.logn - 1 - b)
+			}
+		}
+		p.rev[i] = r
+	}
+	p.twiddle = make([]complex128, n/2)
+	for i := range p.twiddle {
+		ang := -2 * math.Pi * float64(i) / float64(n)
+		p.twiddle[i] = cmplx.Exp(complex(0, ang))
+	}
+	return p, nil
+}
+
+// N returns the transform length.
+func (p *Plan) N() int { return p.n }
+
+// Forward computes the in-place forward DFT of x (length n):
+// X[k] = sum_j x[j] exp(-2πi jk/n).
+func (p *Plan) Forward(x []complex128) { p.transform(x, false) }
+
+// Inverse computes the in-place inverse DFT of x including the 1/n
+// normalization, so Inverse(Forward(x)) == x.
+func (p *Plan) Inverse(x []complex128) {
+	p.transform(x, true)
+	inv := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+func (p *Plan) transform(x []complex128, inverse bool) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("fft: length mismatch %d != %d", len(x), n))
+	}
+	for i, r := range p.rev {
+		if i < r {
+			x[i], x[r] = x[r], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			ti := 0
+			for k := start; k < start+half; k++ {
+				w := p.twiddle[ti]
+				if inverse {
+					w = cmplx.Conj(w)
+				}
+				u := x[k]
+				v := x[k+half] * w
+				x[k] = u + v
+				x[k+half] = u - v
+				ti += step
+			}
+		}
+	}
+}
+
+// Plan3 is a 3-D FFT plan for an nx×ny×nz complex array stored x-fastest.
+type Plan3 struct {
+	Nx, Ny, Nz int
+	px, py, pz *Plan
+}
+
+// NewPlan3 builds a 3-D plan; all dimensions must be powers of two.
+func NewPlan3(nx, ny, nz int) (*Plan3, error) {
+	px, err := NewPlan(nx)
+	if err != nil {
+		return nil, err
+	}
+	py, err := NewPlan(ny)
+	if err != nil {
+		return nil, err
+	}
+	pz, err := NewPlan(nz)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan3{Nx: nx, Ny: ny, Nz: nz, px: px, py: py, pz: pz}, nil
+}
+
+// Forward computes the in-place 3-D forward DFT of data (length nx*ny*nz).
+func (p *Plan3) Forward(data []complex128) { p.transform3(data, false) }
+
+// Inverse computes the in-place normalized 3-D inverse DFT.
+func (p *Plan3) Inverse(data []complex128) {
+	p.transform3(data, true)
+	inv := complex(1/float64(p.Nx*p.Ny*p.Nz), 0)
+	for i := range data {
+		data[i] *= inv
+	}
+}
+
+func (p *Plan3) transform3(data []complex128, inverse bool) {
+	nx, ny, nz := p.Nx, p.Ny, p.Nz
+	if len(data) != nx*ny*nz {
+		panic("fft: 3-D length mismatch")
+	}
+	// x lines are contiguous.
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			line := data[(k*ny+j)*nx : (k*ny+j+1)*nx]
+			p.px.transform(line, inverse)
+		}
+	}
+	// y lines: gather/scatter through a scratch buffer.
+	buf := make([]complex128, maxInt(ny, nz))
+	for k := 0; k < nz; k++ {
+		for i := 0; i < nx; i++ {
+			base := k*ny*nx + i
+			for j := 0; j < ny; j++ {
+				buf[j] = data[base+j*nx]
+			}
+			p.py.transform(buf[:ny], inverse)
+			for j := 0; j < ny; j++ {
+				data[base+j*nx] = buf[j]
+			}
+		}
+	}
+	// z lines.
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			base := j*nx + i
+			stride := ny * nx
+			for k := 0; k < nz; k++ {
+				buf[k] = data[base+k*stride]
+			}
+			p.pz.transform(buf[:nz], inverse)
+			for k := 0; k < nz; k++ {
+				data[base+k*stride] = buf[k]
+			}
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,238 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBadLength(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 6, 100} {
+		if _, err := NewPlan(n); err == nil {
+			t.Errorf("NewPlan(%d) should fail", n)
+		}
+	}
+}
+
+func TestKnownTransform(t *testing.T) {
+	// DFT of [1,0,0,0] is [1,1,1,1].
+	p, _ := NewPlan(4)
+	x := []complex128{1, 0, 0, 0}
+	p.Forward(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-14 {
+			t.Errorf("X[%d] = %v, want 1", i, v)
+		}
+	}
+	// DFT of constant signal is a delta at k=0.
+	y := []complex128{2, 2, 2, 2}
+	p.Forward(y)
+	if cmplx.Abs(y[0]-8) > 1e-14 {
+		t.Errorf("constant DFT: X[0] = %v, want 8", y[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(y[i]) > 1e-14 {
+			t.Errorf("constant DFT: X[%d] = %v, want 0", i, y[i])
+		}
+	}
+}
+
+func TestSingleModeFrequency(t *testing.T) {
+	// x[j] = exp(2πi m j / n) transforms to n*delta(k-m).
+	n := 32
+	p, _ := NewPlan(n)
+	m := 5
+	x := make([]complex128, n)
+	for j := range x {
+		x[j] = cmplx.Exp(complex(0, 2*math.Pi*float64(m*j)/float64(n)))
+	}
+	p.Forward(x)
+	for k := range x {
+		want := complex(0, 0)
+		if k == m {
+			want = complex(float64(n), 0)
+		}
+		if cmplx.Abs(x[k]-want) > 1e-10 {
+			t.Errorf("X[%d] = %v, want %v", k, x[k], want)
+		}
+	}
+}
+
+func TestRoundTrip1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		p.Forward(x)
+		p.Inverse(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-12 {
+				t.Fatalf("n=%d round trip failed at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	n := 128
+	p, _ := NewPlan(n)
+	rng := rand.New(rand.NewSource(2))
+	x := make([]complex128, n)
+	var timeE float64
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+		timeE += real(x[i] * cmplx.Conj(x[i]))
+	}
+	p.Forward(x)
+	var freqE float64
+	for _, v := range x {
+		freqE += real(v * cmplx.Conj(v))
+	}
+	freqE /= float64(n)
+	if math.Abs(timeE-freqE) > 1e-9*timeE {
+		t.Fatalf("Parseval violated: %v vs %v", timeE, freqE)
+	}
+}
+
+func TestRoundTrip3D(t *testing.T) {
+	p, err := NewPlan3(8, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	n := 8 * 4 * 16
+	x := make([]complex128, n)
+	orig := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = x[i]
+	}
+	p.Forward(x)
+	p.Inverse(x)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-12 {
+			t.Fatalf("3-D round trip failed at %d", i)
+		}
+	}
+}
+
+func TestPlane3DMode(t *testing.T) {
+	// A single 3-D plane wave lands in exactly one bin.
+	nx, ny, nz := 8, 8, 8
+	p, _ := NewPlan3(nx, ny, nz)
+	mx, my, mz := 2, 3, 1
+	data := make([]complex128, nx*ny*nz)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				ph := 2 * math.Pi * (float64(mx*i)/float64(nx) + float64(my*j)/float64(ny) + float64(mz*k)/float64(nz))
+				data[(k*ny+j)*nx+i] = cmplx.Exp(complex(0, ph))
+			}
+		}
+	}
+	p.Forward(data)
+	ntot := float64(nx * ny * nz)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				v := data[(k*ny+j)*nx+i]
+				want := complex(0, 0)
+				if i == mx && j == my && k == mz {
+					want = complex(ntot, 0)
+				}
+				if cmplx.Abs(v-want) > 1e-9 {
+					t.Fatalf("bin (%d,%d,%d) = %v, want %v", i, j, k, v, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	n := 64
+	p, _ := NewPlan(n)
+	rng := rand.New(rand.NewSource(4))
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	sum := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		sum[i] = 2*a[i] + 3*b[i]
+	}
+	p.Forward(a)
+	p.Forward(b)
+	p.Forward(sum)
+	for i := 0; i < n; i++ {
+		want := 2*a[i] + 3*b[i]
+		if cmplx.Abs(sum[i]-want) > 1e-10 {
+			t.Fatalf("linearity violated at %d", i)
+		}
+	}
+}
+
+func TestPropRoundTrip(t *testing.T) {
+	p, _ := NewPlan(16)
+	f := func(re, im [16]float64) bool {
+		x := make([]complex128, 16)
+		orig := make([]complex128, 16)
+		for i := range x {
+			r, m := re[i], im[i]
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				r = 0
+			}
+			if math.IsNaN(m) || math.IsInf(m, 0) {
+				m = 0
+			}
+			r = math.Mod(r, 1e6)
+			m = math.Mod(m, 1e6)
+			x[i] = complex(r, m)
+			orig[i] = x[i]
+		}
+		p.Forward(x)
+		p.Inverse(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFFT1D256(b *testing.B) {
+	p, _ := NewPlan(256)
+	x := make([]complex128, 256)
+	for i := range x {
+		x[i] = complex(float64(i), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkFFT3D32(b *testing.B) {
+	p, _ := NewPlan3(32, 32, 32)
+	x := make([]complex128, 32*32*32)
+	for i := range x {
+		x[i] = complex(float64(i%17), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}

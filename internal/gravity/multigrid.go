@@ -1,0 +1,119 @@
+package gravity
+
+import (
+	"math"
+
+	"repro/internal/mesh"
+)
+
+// Multigrid relaxation solver for subgrid gravity ("a traditional
+// multi-grid relaxation technique", paper §3.3). Solves ∇²φ = rhs with
+// Dirichlet boundary conditions supplied in φ's ghost layer (interpolated
+// from the parent potential by the AMR layer). Grids of any even size are
+// coarsened until a dimension becomes odd or reaches the minimum, where a
+// fixed number of smoothing sweeps serves as the bottom solver.
+
+// MGParams configures the multigrid solver.
+type MGParams struct {
+	PreSmooth   int     // Gauss-Seidel sweeps before coarsening
+	PostSmooth  int     // sweeps after prolongation
+	BottomIters int     // sweeps at the coarsest level
+	MaxVCycles  int     // V-cycle cap
+	Tol         float64 // rms residual tolerance (relative to rhs rms)
+}
+
+// DefaultMGParams returns robust production defaults.
+func DefaultMGParams() MGParams {
+	return MGParams{PreSmooth: 3, PostSmooth: 3, BottomIters: 60, MaxVCycles: 30, Tol: 1e-8}
+}
+
+// SolveMultigrid runs V-cycles until the residual drops below
+// tol*rms(rhs) or MaxVCycles is reached. phi holds the initial guess in
+// its active region and the Dirichlet boundary values in its first ghost
+// layer; it is updated in place. Returns the final relative residual and
+// the number of V-cycles used.
+func SolveMultigrid(phi, rhs *mesh.Field3, dx float64, p MGParams) (float64, int) {
+	rhsNorm := rmsActive(rhs)
+	if rhsNorm == 0 {
+		rhsNorm = 1
+	}
+	var rel float64
+	for cyc := 0; cyc < p.MaxVCycles; cyc++ {
+		vcycle(phi, rhs, dx, p)
+		rel = ResidualNorm(phi, rhs, dx) / rhsNorm
+		if rel < p.Tol {
+			return rel, cyc + 1
+		}
+	}
+	return rel, p.MaxVCycles
+}
+
+func vcycle(phi, rhs *mesh.Field3, dx float64, p MGParams) {
+	nx, ny, nz := phi.Nx, phi.Ny, phi.Nz
+	if nx%2 != 0 || ny%2 != 0 || nz%2 != 0 || nx <= 2 || ny <= 2 || nz <= 2 {
+		// Bottom: smooth hard.
+		for it := 0; it < p.BottomIters; it++ {
+			smoothRB(phi, rhs, dx)
+		}
+		return
+	}
+	for it := 0; it < p.PreSmooth; it++ {
+		smoothRB(phi, rhs, dx)
+	}
+	// Coarse-grid correction: residual restricted to the half grid;
+	// the error equation has homogeneous Dirichlet BCs (zero ghosts).
+	res := Residual(phi, rhs, dx)
+	crhs := mesh.NewField3(nx/2, ny/2, nz/2, 1)
+	mesh.Restrict(crhs, res, 0, 0, 0, 2)
+	cerr := mesh.NewField3(nx/2, ny/2, nz/2, 1)
+	vcycle(cerr, crhs, 2*dx, p)
+	// Prolong the correction (piecewise constant is sufficient for the
+	// error; higher order gains little) and add.
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				phi.Add(i, j, k, cerr.At(i/2, j/2, k/2))
+			}
+		}
+	}
+	for it := 0; it < p.PostSmooth; it++ {
+		smoothRB(phi, rhs, dx)
+	}
+}
+
+// smoothRB performs one red-black Gauss-Seidel sweep of the 7-point
+// Laplacian.
+func smoothRB(phi, rhs *mesh.Field3, dx float64) {
+	h2 := dx * dx
+	for color := 0; color < 2; color++ {
+		for k := 0; k < phi.Nz; k++ {
+			for j := 0; j < phi.Ny; j++ {
+				start := (k + j + color) % 2
+				for i := start; i < phi.Nx; i += 2 {
+					s := phi.At(i+1, j, k) + phi.At(i-1, j, k) +
+						phi.At(i, j+1, k) + phi.At(i, j-1, k) +
+						phi.At(i, j, k+1) + phi.At(i, j, k-1)
+					phi.Set(i, j, k, (s-h2*rhs.At(i, j, k))/6)
+				}
+			}
+		}
+	}
+}
+
+func rmsActive(f *mesh.Field3) float64 {
+	var s float64
+	n := 0
+	for k := 0; k < f.Nz; k++ {
+		for j := 0; j < f.Ny; j++ {
+			for i := 0; i < f.Nx; i++ {
+				v := f.At(i, j, k)
+				s += v * v
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(s / float64(n))
+}

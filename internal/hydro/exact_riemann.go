@@ -1,0 +1,125 @@
+package hydro
+
+import "math"
+
+// Exact Riemann solver for the 1-D Euler equations (Toro's two-shock /
+// two-rarefaction iteration). Not used in production sweeps — HLLC is the
+// production solver, as in modern PPM codes — but provides the exact
+// reference solution for the validation suite and the shock-tube example
+// (density plateaus, wave positions).
+
+// RiemannState is one side of the initial discontinuity.
+type RiemannState struct {
+	Rho, U, P float64
+}
+
+// ExactRiemann solves the Riemann problem (left, right) for adiabatic
+// index gamma and returns the self-similar solution sampled at x/t = s.
+func ExactRiemann(left, right RiemannState, gamma, s float64) RiemannState {
+	pStar, uStar := starRegion(left, right, gamma)
+	if s <= uStar {
+		return sampleSide(left, pStar, uStar, gamma, s, true)
+	}
+	return sampleSide(right, pStar, uStar, gamma, s, false)
+}
+
+// starRegion iterates Newton's method for the star-region pressure and
+// velocity (Toro §4.3).
+func starRegion(l, r RiemannState, gamma float64) (pStar, uStar float64) {
+	cl := math.Sqrt(gamma * l.P / l.Rho)
+	cr := math.Sqrt(gamma * r.P / r.Rho)
+	// Initial guess: two-rarefaction approximation.
+	g1 := (gamma - 1) / (2 * gamma)
+	p := math.Pow((cl+cr-0.5*(gamma-1)*(r.U-l.U))/(cl/math.Pow(l.P, g1)+cr/math.Pow(r.P, g1)), 1/g1)
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	for it := 0; it < 60; it++ {
+		fl, dfl := pressureFunc(p, l, cl, gamma)
+		fr, dfr := pressureFunc(p, r, cr, gamma)
+		f := fl + fr + (r.U - l.U)
+		df := dfl + dfr
+		dp := f / df
+		pNew := p - dp
+		if pNew < 1e-14 {
+			pNew = 1e-14
+		}
+		if math.Abs(pNew-p) < 1e-14*(p+pNew) {
+			p = pNew
+			break
+		}
+		p = pNew
+	}
+	fl, _ := pressureFunc(p, l, cl, gamma)
+	fr, _ := pressureFunc(p, r, cr, gamma)
+	return p, 0.5*(l.U+r.U) + 0.5*(fr-fl)
+}
+
+// pressureFunc is Toro's f_K(p) and its derivative: the velocity jump
+// across the left or right wave as a function of star pressure.
+func pressureFunc(p float64, k RiemannState, c, gamma float64) (f, df float64) {
+	if p > k.P {
+		// Shock.
+		a := 2 / ((gamma + 1) * k.Rho)
+		b := (gamma - 1) / (gamma + 1) * k.P
+		q := math.Sqrt(a / (p + b))
+		f = (p - k.P) * q
+		df = q * (1 - 0.5*(p-k.P)/(p+b))
+	} else {
+		// Rarefaction.
+		f = 2 * c / (gamma - 1) * (math.Pow(p/k.P, (gamma-1)/(2*gamma)) - 1)
+		df = 1 / (k.Rho * c) * math.Pow(p/k.P, -(gamma+1)/(2*gamma))
+	}
+	return
+}
+
+// sampleSide evaluates the solution at speed s on the given side of the
+// contact (Toro §4.5).
+func sampleSide(k RiemannState, pStar, uStar, gamma, s float64, isLeft bool) RiemannState {
+	sign := 1.0
+	if !isLeft {
+		sign = -1.0
+	}
+	c := math.Sqrt(gamma * k.P / k.Rho)
+	if pStar > k.P {
+		// Shock on this side.
+		ms := k.U - sign*c*math.Sqrt((gamma+1)/(2*gamma)*pStar/k.P+(gamma-1)/(2*gamma))
+		if sign*(s-ms) < 0 {
+			return k
+		}
+		rhoStar := k.Rho * ((pStar/k.P + (gamma-1)/(gamma+1)) /
+			((gamma-1)/(gamma+1)*pStar/k.P + 1))
+		return RiemannState{Rho: rhoStar, U: uStar, P: pStar}
+	}
+	// Rarefaction on this side.
+	cStar := c * math.Pow(pStar/k.P, (gamma-1)/(2*gamma))
+	headSpeed := k.U - sign*c
+	tailSpeed := uStar - sign*cStar
+	if sign*(s-headSpeed) < 0 {
+		return k
+	}
+	if sign*(s-tailSpeed) > 0 {
+		rhoStar := k.Rho * math.Pow(pStar/k.P, 1/gamma)
+		return RiemannState{Rho: rhoStar, U: uStar, P: pStar}
+	}
+	// Inside the fan.
+	u := (2 / (gamma + 1)) * (sign*c + (gamma-1)/2*k.U + s)
+	cFan := sign * (2 / (gamma + 1)) * (sign*c + (gamma-1)/2*(k.U-s))
+	rho := k.Rho * math.Pow(cFan/c, 2/(gamma-1))
+	p := k.P * math.Pow(cFan/c, 2*gamma/(gamma-1))
+	return RiemannState{Rho: rho, U: u, P: p}
+}
+
+// SodExact returns the exact Sod-problem solution at position x in [0,1]
+// (diaphragm at 0.5) at time t, for gamma.
+func SodExact(x, t, gamma float64) RiemannState {
+	l := RiemannState{Rho: 1, U: 0, P: 1}
+	r := RiemannState{Rho: 0.125, U: 0, P: 0.1}
+	if t <= 0 {
+		if x < 0.5 {
+			return l
+		}
+		return r
+	}
+	return ExactRiemann(l, r, gamma, (x-0.5)/t)
+}

@@ -1,0 +1,100 @@
+package hydro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExactRiemannSodPlateaus(t *testing.T) {
+	// Known values for the standard Sod problem (gamma = 1.4):
+	// p* = 0.30313, u* = 0.92745, rho*L = 0.42632, rho*R = 0.26557.
+	l := RiemannState{Rho: 1, U: 0, P: 1}
+	r := RiemannState{Rho: 0.125, U: 0, P: 0.1}
+	p, u := starRegion(l, r, 1.4)
+	if math.Abs(p-0.30313) > 2e-4 {
+		t.Errorf("p* = %v, want 0.30313", p)
+	}
+	if math.Abs(u-0.92745) > 2e-4 {
+		t.Errorf("u* = %v, want 0.92745", u)
+	}
+	// Sample inside the two star regions at t=0.2.
+	left := SodExact(0.60, 0.2, 1.4)
+	if math.Abs(left.Rho-0.42632) > 3e-4 {
+		t.Errorf("rho*L = %v, want 0.42632", left.Rho)
+	}
+	right := SodExact(0.78, 0.2, 1.4)
+	if math.Abs(right.Rho-0.26557) > 3e-4 {
+		t.Errorf("rho*R = %v, want 0.26557", right.Rho)
+	}
+	// Undisturbed states beyond the waves.
+	if v := SodExact(0.05, 0.2, 1.4); v.Rho != 1 {
+		t.Errorf("left end disturbed: %v", v.Rho)
+	}
+	if v := SodExact(0.95, 0.2, 1.4); v.Rho != 0.125 {
+		t.Errorf("right end disturbed: %v", v.Rho)
+	}
+}
+
+func TestExactRiemannSymmetricProblem(t *testing.T) {
+	// Two identical streams colliding: u* must be 0, both sides shocked.
+	l := RiemannState{Rho: 1, U: 1, P: 1}
+	r := RiemannState{Rho: 1, U: -1, P: 1}
+	p, u := starRegion(l, r, 1.4)
+	if math.Abs(u) > 1e-10 {
+		t.Errorf("u* = %v, want 0", u)
+	}
+	if p <= 1 {
+		t.Errorf("p* = %v, want > 1 (compression)", p)
+	}
+	// Solution symmetric about s=0.
+	a := ExactRiemann(l, r, 1.4, -0.5)
+	b := ExactRiemann(l, r, 1.4, 0.5)
+	if math.Abs(a.Rho-b.Rho) > 1e-10 || math.Abs(a.U+b.U) > 1e-10 {
+		t.Errorf("asymmetric solution: %+v vs %+v", a, b)
+	}
+}
+
+func TestExactRiemannVacuumExpansion(t *testing.T) {
+	// Strong double rarefaction: star pressure far below both sides.
+	l := RiemannState{Rho: 1, U: -2, P: 0.4}
+	r := RiemannState{Rho: 1, U: 2, P: 0.4}
+	p, _ := starRegion(l, r, 1.4)
+	if p >= 0.4 || p <= 0 {
+		t.Errorf("p* = %v, want small positive", p)
+	}
+	mid := ExactRiemann(l, r, 1.4, 0)
+	if mid.Rho >= 1 || mid.Rho < 0 {
+		t.Errorf("central density %v out of range", mid.Rho)
+	}
+}
+
+func TestPPMConvergesToExactSod(t *testing.T) {
+	// The production solver's profile must approach the exact solution:
+	// L1 density error below a few percent at n=128.
+	p := DefaultParams()
+	p.Gamma = 1.4
+	n := 128
+	s := NewState(n, 4, 4, 0)
+	sodInit(s, p.Gamma)
+	dx := 1.0 / float64(n)
+	tNow, step := 0.0, 0
+	for tNow < 0.2 {
+		dt := Timestep(s, dx, p)
+		if tNow+dt > 0.2 {
+			dt = 0.2 - tNow
+		}
+		Step3D(s, dx, dt, p, SolverPPM, step, outflowBC, nil, nil)
+		tNow += dt
+		step++
+	}
+	var l1 float64
+	for i := 0; i < n; i++ {
+		x := (float64(i) + 0.5) * dx
+		exact := SodExact(x, 0.2, p.Gamma)
+		l1 += math.Abs(s.Rho.At(i, 2, 2) - exact.Rho)
+	}
+	l1 /= float64(n)
+	if l1 > 0.015 {
+		t.Errorf("PPM L1 density error vs exact = %v, want < 0.015", l1)
+	}
+}

@@ -1,0 +1,72 @@
+package hydro
+
+// FluxTap captures time-integrated conserved fluxes through one interior
+// face plane of a grid during Step3D. The AMR layer installs taps at the
+// locations of child-grid boundaries so the coarse fluxes there can later
+// be compared against the accumulated fine fluxes (flux correction,
+// paper §3.2.1: "correct the coarse fluxes at subgrid boundaries to
+// reflect the improved flux estimates from the subgrid").
+type FluxTap struct {
+	Dir     int // sweep direction of the tapped plane (0=x, 1=y, 2=z)
+	FaceIdx int // interface index in active coordinates (0..N inclusive)
+	// Transverse ranges in active coordinates: c1 in [Lo1,Hi1),
+	// c2 in [Lo2,Hi2). For Dir=0, (c1,c2)=(j,k); Dir=1, (i,k); Dir=2, (i,j).
+	Lo1, Hi1, Lo2, Hi2 int
+	// Data[field][(c1-Lo1) + (Hi1-Lo1)*(c2-Lo2)] accumulates dt*flux.
+	Data [][]float64
+}
+
+// NewFluxTap allocates a zeroed tap for nspecies advected species.
+func NewFluxTap(dir, faceIdx, lo1, hi1, lo2, hi2, nspecies int) *FluxTap {
+	t := &FluxTap{Dir: dir, FaceIdx: faceIdx, Lo1: lo1, Hi1: hi1, Lo2: lo2, Hi2: hi2}
+	n := (hi1 - lo1) * (hi2 - lo2)
+	t.Data = make([][]float64, FluxNumBase+nspecies)
+	for q := range t.Data {
+		t.Data[q] = make([]float64, n)
+	}
+	return t
+}
+
+// Zero clears the accumulated fluxes.
+func (t *FluxTap) Zero() {
+	for q := range t.Data {
+		for i := range t.Data[q] {
+			t.Data[q][i] = 0
+		}
+	}
+}
+
+// At returns the accumulated flux of the given conserved field at
+// transverse coordinates (c1, c2).
+func (t *FluxTap) At(field, c1, c2 int) float64 {
+	return t.Data[field][(c1-t.Lo1)+(t.Hi1-t.Lo1)*(c2-t.Lo2)]
+}
+
+// accumulateTaps adds dt-weighted fluxes from one pencil into any taps on
+// this sweep direction whose transverse range covers the pencil.
+func accumulateTaps(taps []*FluxTap, dir, c1, c2 int, pc *pencil, dt float64) {
+	for _, t := range taps {
+		if t.Dir != dir || c1 < t.Lo1 || c1 >= t.Hi1 || c2 < t.Lo2 || c2 >= t.Hi2 {
+			continue
+		}
+		f := t.FaceIdx + pc.ng
+		idx := (c1 - t.Lo1) + (t.Hi1-t.Lo1)*(c2-t.Lo2)
+		t.Data[FluxMass][idx] += dt * pc.fMass[f]
+		var mx, my, mz float64
+		switch dir {
+		case 0:
+			mx, my, mz = pc.fMomU[f], pc.fMomV[f], pc.fMomW[f]
+		case 1:
+			my, mz, mx = pc.fMomU[f], pc.fMomV[f], pc.fMomW[f]
+		case 2:
+			mz, mx, my = pc.fMomU[f], pc.fMomV[f], pc.fMomW[f]
+		}
+		t.Data[FluxMomX][idx] += dt * mx
+		t.Data[FluxMomY][idx] += dt * my
+		t.Data[FluxMomZ][idx] += dt * mz
+		t.Data[FluxEnergy][idx] += dt * pc.fE[f]
+		for sp := range pc.fSpecies {
+			t.Data[FluxNumBase+sp][idx] += dt * pc.fSpecies[sp][f]
+		}
+	}
+}

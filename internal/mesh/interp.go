@@ -1,0 +1,151 @@
+package mesh
+
+// This file implements the inter-level transfer operators of SAMR:
+//
+//   - Prolong*: parent -> child interpolation, used when new subgrids are
+//     created and when subgrid ghost zones are filled from the parent
+//     (paper §3.2.1 step 1).
+//   - Restrict: child -> parent "projection" of the fine solution onto the
+//     coarse cells it covers (paper §3.2.1, the Projection step).
+//
+// All operators assume an integer refinement factor r and cell-centered
+// data, so fine cell (i,j,k) lies inside coarse cell (i/r, j/r, k/r).
+
+// minmod returns the minmod-limited slope of (l, c, r) spaced by 1.
+func minmod(l, c, r float64) float64 {
+	dl := c - l
+	dr := r - c
+	if dl*dr <= 0 {
+		return 0
+	}
+	if dl > 0 {
+		if dl < dr {
+			return dl
+		}
+		return dr
+	}
+	if dl > dr {
+		return dl
+	}
+	return dr
+}
+
+// ProlongPiecewiseConstant fills a child region by direct injection of the
+// parent value. offI/offJ/offK locate the child's (0,0,0) active cell in
+// *fine* cells relative to the parent's (0,0,0) active cell; r is the
+// refinement factor. Fills the child's active region plus nb ghost layers.
+func ProlongPiecewiseConstant(parent, child *Field3, offI, offJ, offK, r, nb int) {
+	for k := -nb; k < child.Nz+nb; k++ {
+		pk := floorDiv(offK+k, r)
+		for j := -nb; j < child.Ny+nb; j++ {
+			pj := floorDiv(offJ+j, r)
+			for i := -nb; i < child.Nx+nb; i++ {
+				pi := floorDiv(offI+i, r)
+				child.Set(i, j, k, parent.At(pi, pj, pk))
+			}
+		}
+	}
+}
+
+// ProlongLinear fills a child region with conservative (minmod-limited)
+// linear interpolation from the parent. Conservative means the average of
+// the r^3 fine values inside a coarse cell equals the coarse value, which
+// the symmetric slope reconstruction guarantees. offI/offJ/offK and r as in
+// ProlongPiecewiseConstant; nb is the number of child ghost layers to fill.
+// The parent must have at least one valid ghost layer around the touched
+// region.
+func ProlongLinear(parent, child *Field3, offI, offJ, offK, r, nb int) {
+	rf := float64(r)
+	for k := -nb; k < child.Nz+nb; k++ {
+		fk := offK + k
+		pk := floorDiv(fk, r)
+		// Fractional offset of the fine cell center from the coarse
+		// cell center, in coarse cell widths: in (-1/2, 1/2).
+		zk := (float64(fk-pk*r) + 0.5) / rf
+		dzk := zk - 0.5
+		for j := -nb; j < child.Ny+nb; j++ {
+			fj := offJ + j
+			pj := floorDiv(fj, r)
+			zj := (float64(fj-pj*r) + 0.5) / rf
+			dzj := zj - 0.5
+			for i := -nb; i < child.Nx+nb; i++ {
+				fi := offI + i
+				pi := floorDiv(fi, r)
+				zi := (float64(fi-pi*r) + 0.5) / rf
+				dzi := zi - 0.5
+
+				c := parent.At(pi, pj, pk)
+				sx := minmod(parent.At(pi-1, pj, pk), c, parent.At(pi+1, pj, pk))
+				sy := minmod(parent.At(pi, pj-1, pk), c, parent.At(pi, pj+1, pk))
+				sz := minmod(parent.At(pi, pj, pk-1), c, parent.At(pi, pj, pk+1))
+				child.Set(i, j, k, c+sx*dzi+sy*dzj+sz*dzk)
+			}
+		}
+	}
+}
+
+// Restrict projects the child's active region onto the parent by averaging
+// each block of r^3 fine cells into the coarse cell that contains it.
+// The child's active size must be a multiple of r in every dimension.
+func Restrict(parent, child *Field3, offI, offJ, offK, r int) {
+	inv := 1.0 / float64(r*r*r)
+	for pk := 0; pk < child.Nz/r; pk++ {
+		for pj := 0; pj < child.Ny/r; pj++ {
+			for pi := 0; pi < child.Nx/r; pi++ {
+				var s float64
+				for dk := 0; dk < r; dk++ {
+					for dj := 0; dj < r; dj++ {
+						for di := 0; di < r; di++ {
+							s += child.At(pi*r+di, pj*r+dj, pk*r+dk)
+						}
+					}
+				}
+				parent.Set(offI/r+pi, offJ/r+pj, offK/r+pk, s*inv)
+			}
+		}
+	}
+}
+
+// CopyOverlap copies values from src to dst where their active regions
+// overlap. Both grids share a mesh spacing; (di,dj,dk) is the position of
+// src's (0,0,0) active cell in dst's active index space. Ghost layers of
+// dst within nb of its active region are also filled where src has data.
+// Used for sibling boundary exchange (paper §3.2.1 step 2).
+func CopyOverlap(dst, src *Field3, di, dj, dk, nb int) {
+	// Range of dst indices (including nb ghosts) covered by src actives.
+	i0 := maxInt(-nb, di)
+	i1 := minInt(dst.Nx+nb, di+src.Nx)
+	j0 := maxInt(-nb, dj)
+	j1 := minInt(dst.Ny+nb, dj+src.Ny)
+	k0 := maxInt(-nb, dk)
+	k1 := minInt(dst.Nz+nb, dk+src.Nz)
+	for k := k0; k < k1; k++ {
+		for j := j0; j < j1; j++ {
+			for i := i0; i < i1; i++ {
+				dst.Set(i, j, k, src.At(i-di, j-dj, k-dk))
+			}
+		}
+	}
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

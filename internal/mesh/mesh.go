@@ -1,0 +1,191 @@
+// Package mesh provides the uniform Cartesian field container used by every
+// grid in the AMR hierarchy, together with the index arithmetic,
+// interpolation and restriction operators that move data between levels.
+//
+// Fields are stored as flat []float64 in x-fastest (Fortran-like) order with
+// a layer of ghost zones on every face, so that highly optimized
+// "off-the-shelf" uniform-grid kernels can run on each grid exactly as the
+// paper describes (§3.1).
+package mesh
+
+import "fmt"
+
+// Field3 is a 3-D scalar field on a uniform grid with ghost zones.
+// The active region is Nx×Ny×Nz cells; Ng ghost cells pad every face.
+type Field3 struct {
+	Nx, Ny, Nz int // active cells per dimension
+	Ng         int // ghost zones per face
+	Data       []float64
+	sx, sy     int // strides: index = (i+Ng) + sx*(j+Ng) + sy*(k+Ng)
+}
+
+// NewField3 allocates a zeroed field with the given active size and ghost
+// depth.
+func NewField3(nx, ny, nz, ng int) *Field3 {
+	if nx <= 0 || ny <= 0 || nz <= 0 || ng < 0 {
+		panic(fmt.Sprintf("mesh: bad field size %dx%dx%d ng=%d", nx, ny, nz, ng))
+	}
+	tx, ty, tz := nx+2*ng, ny+2*ng, nz+2*ng
+	return &Field3{
+		Nx: nx, Ny: ny, Nz: nz, Ng: ng,
+		Data: make([]float64, tx*ty*tz),
+		sx:   tx,
+		sy:   tx * ty,
+	}
+}
+
+// TotalX returns the allocated extent in x including ghosts.
+func (f *Field3) TotalX() int { return f.Nx + 2*f.Ng }
+
+// TotalY returns the allocated extent in y including ghosts.
+func (f *Field3) TotalY() int { return f.Ny + 2*f.Ng }
+
+// TotalZ returns the allocated extent in z including ghosts.
+func (f *Field3) TotalZ() int { return f.Nz + 2*f.Ng }
+
+// Idx returns the flat index of active cell (i,j,k); ghosts are reached with
+// negative indices or indices >= N.
+func (f *Field3) Idx(i, j, k int) int {
+	return (i + f.Ng) + f.sx*(j+f.Ng) + f.sy*(k+f.Ng)
+}
+
+// At returns the value at active cell (i,j,k).
+func (f *Field3) At(i, j, k int) float64 { return f.Data[f.Idx(i, j, k)] }
+
+// Set stores v at active cell (i,j,k).
+func (f *Field3) Set(i, j, k int, v float64) { f.Data[f.Idx(i, j, k)] = v }
+
+// Add adds v to active cell (i,j,k).
+func (f *Field3) Add(i, j, k int, v float64) { f.Data[f.Idx(i, j, k)] += v }
+
+// StrideX returns the flat-index stride in x (always 1).
+func (f *Field3) StrideX() int { return 1 }
+
+// StrideY returns the flat-index stride in y.
+func (f *Field3) StrideY() int { return f.sx }
+
+// StrideZ returns the flat-index stride in z.
+func (f *Field3) StrideZ() int { return f.sy }
+
+// Fill sets every element (including ghosts) to v.
+func (f *Field3) Fill(v float64) {
+	for i := range f.Data {
+		f.Data[i] = v
+	}
+}
+
+// CopyFrom copies the full contents (including ghosts) of src, which must
+// have identical shape.
+func (f *Field3) CopyFrom(src *Field3) {
+	if f.Nx != src.Nx || f.Ny != src.Ny || f.Nz != src.Nz || f.Ng != src.Ng {
+		panic("mesh: CopyFrom shape mismatch")
+	}
+	copy(f.Data, src.Data)
+}
+
+// Clone returns a deep copy.
+func (f *Field3) Clone() *Field3 {
+	g := NewField3(f.Nx, f.Ny, f.Nz, f.Ng)
+	copy(g.Data, f.Data)
+	return g
+}
+
+// SumActive returns the sum over the active region (no ghosts).
+func (f *Field3) SumActive() float64 {
+	var s float64
+	for k := 0; k < f.Nz; k++ {
+		for j := 0; j < f.Ny; j++ {
+			base := f.Idx(0, j, k)
+			row := f.Data[base : base+f.Nx]
+			for _, v := range row {
+				s += v
+			}
+		}
+	}
+	return s
+}
+
+// MinMaxActive returns the extrema over the active region.
+func (f *Field3) MinMaxActive() (min, max float64) {
+	min, max = f.At(0, 0, 0), f.At(0, 0, 0)
+	for k := 0; k < f.Nz; k++ {
+		for j := 0; j < f.Ny; j++ {
+			base := f.Idx(0, j, k)
+			for _, v := range f.Data[base : base+f.Nx] {
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+		}
+	}
+	return
+}
+
+// ApplyPeriodicBC copies the active faces into the ghost zones assuming the
+// field is periodic in all three dimensions (root-grid boundary condition).
+func (f *Field3) ApplyPeriodicBC() {
+	ng := f.Ng
+	if ng == 0 {
+		return
+	}
+	wrap := func(v, n int) int {
+		v %= n
+		if v < 0 {
+			v += n
+		}
+		return v
+	}
+	tx, ty, tz := f.TotalX(), f.TotalY(), f.TotalZ()
+	for kk := 0; kk < tz; kk++ {
+		k := kk - ng
+		ks := wrap(k, f.Nz)
+		for jj := 0; jj < ty; jj++ {
+			j := jj - ng
+			js := wrap(j, f.Ny)
+			for ii := 0; ii < tx; ii++ {
+				i := ii - ng
+				if i >= 0 && i < f.Nx && j >= 0 && j < f.Ny && k >= 0 && k < f.Nz {
+					continue
+				}
+				f.Set(i, j, k, f.At(wrap(i, f.Nx), js, ks))
+			}
+		}
+	}
+}
+
+// ApplyOutflowBC copies the nearest active cell into each ghost zone
+// (zero-gradient / outflow boundaries for isolated problems).
+func (f *Field3) ApplyOutflowBC() {
+	ng := f.Ng
+	if ng == 0 {
+		return
+	}
+	clamp := func(v, n int) int {
+		if v < 0 {
+			return 0
+		}
+		if v >= n {
+			return n - 1
+		}
+		return v
+	}
+	tx, ty, tz := f.TotalX(), f.TotalY(), f.TotalZ()
+	for kk := 0; kk < tz; kk++ {
+		k := kk - ng
+		ks := clamp(k, f.Nz)
+		for jj := 0; jj < ty; jj++ {
+			j := jj - ng
+			js := clamp(j, f.Ny)
+			for ii := 0; ii < tx; ii++ {
+				i := ii - ng
+				if i >= 0 && i < f.Nx && j >= 0 && j < f.Ny && k >= 0 && k < f.Nz {
+					continue
+				}
+				f.Set(i, j, k, f.At(clamp(i, f.Nx), js, ks))
+			}
+		}
+	}
+}

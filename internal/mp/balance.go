@@ -1,0 +1,66 @@
+package mp
+
+import "sort"
+
+// Load balancing for distributed objects: grids are placed whole onto
+// ranks. The paper notes load balancing "becomes a serious headache since
+// small regions of the original grid eventually dominate the computational
+// requirements" — deep grids carry weight proportional to cells times the
+// number of sub-steps their level takes.
+
+// Assignment maps grid IDs to ranks.
+type Assignment map[int]int
+
+// BalanceLPT assigns grids to nRanks with the longest-processing-time
+// greedy heuristic on the given work weights. Returns the assignment and
+// the resulting imbalance = maxLoad/meanLoad - 1.
+func BalanceLPT(metas []GridMeta, weight func(GridMeta) float64, nRanks int) (Assignment, float64) {
+	if nRanks < 1 {
+		nRanks = 1
+	}
+	type item struct {
+		id int
+		w  float64
+	}
+	items := make([]item, 0, len(metas))
+	for _, m := range metas {
+		items = append(items, item{m.ID, weight(m)})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].w > items[j].w })
+	loads := make([]float64, nRanks)
+	asg := make(Assignment, len(items))
+	for _, it := range items {
+		best := 0
+		for r := 1; r < nRanks; r++ {
+			if loads[r] < loads[best] {
+				best = r
+			}
+		}
+		asg[it.id] = best
+		loads[best] += it.w
+	}
+	var total, max float64
+	for _, l := range loads {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total == 0 {
+		return asg, 0
+	}
+	mean := total / float64(nRanks)
+	return asg, max/mean - 1
+}
+
+// WorkWeight returns the standard AMR work estimate for a grid: cells
+// times r^level sub-steps per root step.
+func WorkWeight(refine int) func(GridMeta) float64 {
+	return func(m GridMeta) float64 {
+		w := float64(m.Cells())
+		for l := 0; l < m.Level; l++ {
+			w *= float64(refine)
+		}
+		return w
+	}
+}

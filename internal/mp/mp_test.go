@@ -1,0 +1,237 @@
+package mp
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRuntimeBasics(t *testing.T) {
+	if _, err := NewRuntime(0); err == nil {
+		t.Fatal("0 ranks should fail")
+	}
+	rt, err := NewRuntime(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Send(Message{From: 0, To: 9}); err == nil {
+		t.Fatal("bad destination should fail")
+	}
+	if err := rt.Send(Message{From: 0, To: 2, Tag: "bc", Bytes: 128, Data: "hello"}); err != nil {
+		t.Fatal(err)
+	}
+	m := rt.Recv(2)
+	if m.Data != "hello" || m.From != 0 {
+		t.Fatalf("bad message %+v", m)
+	}
+	sends, bytes, probes := rt.Stats()
+	if sends != 1 || bytes != 128 || probes != 0 {
+		t.Fatalf("stats %d %d %d", sends, bytes, probes)
+	}
+}
+
+func TestRunAllRanks(t *testing.T) {
+	rt, _ := NewRuntime(8)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	rt.Run(func(rank int) {
+		mu.Lock()
+		seen[rank] = true
+		mu.Unlock()
+	})
+	if len(seen) != 8 {
+		t.Fatalf("only %d ranks ran", len(seen))
+	}
+}
+
+func TestRingExchange(t *testing.T) {
+	// Every rank sends to its right neighbour and receives from its left.
+	n := 8
+	rt, _ := NewRuntime(n)
+	rt.Run(func(rank int) {
+		_ = rt.Send(Message{From: rank, To: (rank + 1) % n, Bytes: 8, Data: rank})
+		m := rt.Recv(rank)
+		want := (rank + n - 1) % n
+		if m.Data != want {
+			t.Errorf("rank %d received from %v, want %d", rank, m.Data, want)
+		}
+	})
+	sends, _, _ := rt.Stats()
+	if sends != int64(n) {
+		t.Fatalf("sends = %d", sends)
+	}
+}
+
+func TestSterileObjectsAvoidProbes(t *testing.T) {
+	rt, _ := NewRuntime(16)
+	sterile := NewCatalog(rt, true)
+	for i := 0; i < 100; i++ {
+		sterile.Register(GridMeta{ID: i, Level: 1, Lo: [3]int{i * 4, 0, 0}, N: [3]int{4, 4, 4}, Owner: i % 16})
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok := sterile.Owner(i); !ok {
+			t.Fatal("owner lookup failed")
+		}
+		sterile.Neighbours(i, 2)
+	}
+	_, _, probes := rt.Stats()
+	if probes != 0 {
+		t.Fatalf("sterile catalog issued %d probes, want 0", probes)
+	}
+
+	rt2, _ := NewRuntime(16)
+	naive := NewCatalog(rt2, false)
+	for i := 0; i < 100; i++ {
+		naive.Register(GridMeta{ID: i, Level: 1, Lo: [3]int{i * 4, 0, 0}, N: [3]int{4, 4, 4}, Owner: i % 16})
+	}
+	for i := 0; i < 100; i++ {
+		naive.Owner(i)
+	}
+	_, _, probes2 := rt2.Stats()
+	if probes2 != 100*15 {
+		t.Fatalf("naive catalog probes = %d, want %d", probes2, 100*15)
+	}
+}
+
+func TestCatalogNeighbours(t *testing.T) {
+	rt, _ := NewRuntime(2)
+	c := NewCatalog(rt, true)
+	c.Register(GridMeta{ID: 1, Level: 1, Lo: [3]int{0, 0, 0}, N: [3]int{8, 8, 8}, Owner: 0})
+	c.Register(GridMeta{ID: 2, Level: 1, Lo: [3]int{8, 0, 0}, N: [3]int{8, 8, 8}, Owner: 1})  // touching
+	c.Register(GridMeta{ID: 3, Level: 1, Lo: [3]int{40, 0, 0}, N: [3]int{8, 8, 8}, Owner: 0}) // far
+	c.Register(GridMeta{ID: 4, Level: 2, Lo: [3]int{8, 0, 0}, N: [3]int{8, 8, 8}, Owner: 1})  // other level
+	nb := c.Neighbours(1, 2)
+	if len(nb) != 1 || nb[0] != 2 {
+		t.Fatalf("neighbours = %v, want [2]", nb)
+	}
+	c.Remove(2)
+	if nb := c.Neighbours(1, 2); len(nb) != 0 {
+		t.Fatalf("after removal neighbours = %v", nb)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("catalog len %d", c.Len())
+	}
+}
+
+func TestBalanceLPT(t *testing.T) {
+	// Uniform grids balance nearly perfectly.
+	var metas []GridMeta
+	for i := 0; i < 64; i++ {
+		metas = append(metas, GridMeta{ID: i, Level: 0, N: [3]int{16, 16, 16}})
+	}
+	asg, imb := BalanceLPT(metas, WorkWeight(2), 8)
+	if len(asg) != 64 {
+		t.Fatal("missing assignments")
+	}
+	if imb > 1e-9 {
+		t.Fatalf("uniform imbalance %v", imb)
+	}
+	// One huge deep grid dominates: imbalance inevitable, balancer must
+	// still spread the rest (max rank count constraint).
+	metas[0].Level = 6
+	_, imb2 := BalanceLPT(metas, WorkWeight(2), 8)
+	if imb2 <= imb {
+		t.Fatal("deep grid should raise imbalance")
+	}
+	counts := map[int]int{}
+	asg3, _ := BalanceLPT(metas, WorkWeight(2), 8)
+	for _, r := range asg3 {
+		counts[r]++
+	}
+	if len(counts) != 8 {
+		t.Fatalf("only %d ranks used", len(counts))
+	}
+}
+
+func TestPipelinedBeatsInterleaved(t *testing.T) {
+	// A realistic boundary-exchange pattern: each rank sends halo data to
+	// several partners. Pipelining must cut total wait time sharply (the
+	// paper: "a large decrease in wait times").
+	rng := rand.New(rand.NewSource(1))
+	n := 16
+	var xfers []Xfer
+	for r := 0; r < n; r++ {
+		for p := 0; p < 6; p++ {
+			to := rng.Intn(n)
+			if to == r {
+				to = (to + 1) % n
+			}
+			xfers = append(xfers, Xfer{From: r, To: to, Bytes: 4096 + rng.Intn(65536), NeedOrder: p})
+		}
+	}
+	net := DefaultNetParams()
+	pip := SimulateExchange(xfers, n, net, true)
+	ilv := SimulateExchange(xfers, n, net, false)
+	if pip.TotalWait >= ilv.TotalWait {
+		t.Fatalf("pipelined wait %v not below interleaved %v", pip.TotalWait, ilv.TotalWait)
+	}
+	if pip.NumSends != len(xfers) || pip.TotalBytes == 0 {
+		t.Fatal("exchange accounting broken")
+	}
+}
+
+func TestNeedOrderMatters(t *testing.T) {
+	// Sending the soonest-needed data first reduces wait versus sending
+	// it last: reverse the need order of a chain and compare.
+	n := 2
+	var ordered, reversed []Xfer
+	for i := 0; i < 20; i++ {
+		ordered = append(ordered, Xfer{From: 0, To: 1, Bytes: 1 << 20, NeedOrder: i})
+		reversed = append(reversed, Xfer{From: 0, To: 1, Bytes: 1 << 20, NeedOrder: 19 - i})
+	}
+	net := DefaultNetParams()
+	a := SimulateExchange(ordered, n, net, true)
+	b := SimulateExchange(reversed, n, net, true)
+	// Both are sorted internally by need order on the send side, so they
+	// should be equivalent — the sort IS the optimization. Verify the
+	// sort handles both inputs identically.
+	if a.TotalWait != b.TotalWait {
+		t.Fatalf("need-order sort not canonicalizing: %v vs %v", a.TotalWait, b.TotalWait)
+	}
+}
+
+func TestPropBalanceCoversAllGrids(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nGrids := 1 + rng.Intn(80)
+		nRanks := 1 + rng.Intn(16)
+		var metas []GridMeta
+		for i := 0; i < nGrids; i++ {
+			metas = append(metas, GridMeta{
+				ID:    i,
+				Level: rng.Intn(5),
+				N:     [3]int{4 + rng.Intn(16), 4 + rng.Intn(16), 4 + rng.Intn(16)},
+			})
+		}
+		asg, imb := BalanceLPT(metas, WorkWeight(2), nRanks)
+		if len(asg) != nGrids || imb < -1e-12 {
+			return false
+		}
+		for _, r := range asg {
+			if r < 0 || r >= nRanks {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkExchangePipelined(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var xfers []Xfer
+	for r := 0; r < 64; r++ {
+		for p := 0; p < 6; p++ {
+			xfers = append(xfers, Xfer{From: r, To: (r + p + 1) % 64, Bytes: 32768, NeedOrder: p})
+		}
+	}
+	_ = rng
+	net := DefaultNetParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimulateExchange(xfers, 64, net, true)
+	}
+}

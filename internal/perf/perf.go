@@ -1,0 +1,115 @@
+// Package perf reproduces the performance accounting of the paper's §5:
+// the component-usage table (hydro / Poisson / chemistry / N-body /
+// rebuild / boundary / other fractions of compute time), floating-point
+// operation estimates per module, and the "virtual flop rate" exercise —
+// the cost a traditional static-grid code would have paid for the same
+// resolved volume.
+package perf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/amr"
+)
+
+// Flop-cost models per unit of work, calibrated to the operation counts of
+// the underlying kernels (PPM ~ a few hundred flops per cell per sweep,
+// multigrid ~ tens per cell per smoothing pass, the 12-species network a
+// few hundred per sub-cycle).
+const (
+	FlopsPerHydroCellStep = 1800 // 3 sweeps x (reconstruction+Riemann+update)
+	FlopsPerGravityCell   = 400  // V-cycles amortized per cell per solve
+	FlopsPerChemCellCall  = 900  // rates + BE update, amortized sub-cycles
+	FlopsPerParticleKick  = 120  // CIC interp + KDK
+)
+
+// UsageRow is one line of the §5 component table.
+type UsageRow struct {
+	Component string
+	Fraction  float64
+}
+
+// UsageTable converts accumulated component timings into the paper's
+// fractional usage table, largest first.
+func UsageTable(t amr.Timing) []UsageRow {
+	total := t.Total()
+	if total <= 0 {
+		return nil
+	}
+	rows := []UsageRow{
+		{"hydrodynamics", float64(t.Hydro) / float64(total)},
+		{"Poisson solver", float64(t.Gravity) / float64(total)},
+		{"chemistry & cooling", float64(t.Chemistry) / float64(total)},
+		{"N-body", float64(t.NBody) / float64(total)},
+		{"hierarchy rebuild", float64(t.Rebuild) / float64(total)},
+		{"boundary conditions", float64(t.Boundary) / float64(total)},
+		{"other overhead", float64(t.Other) / float64(total)},
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Fraction > rows[j].Fraction })
+	return rows
+}
+
+// FormatUsageTable renders the table in the paper's two-column layout.
+func FormatUsageTable(rows []UsageRow) string {
+	var sb strings.Builder
+	sb.WriteString("component            usage\n")
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-20s %3.0f %%\n", r.Component, 100*r.Fraction))
+	}
+	return sb.String()
+}
+
+// EstimateFlops converts the hierarchy's work counters into a total
+// floating-point operation estimate (the instrumented-module approach the
+// paper describes as "a future project" — each module reports its count).
+func EstimateFlops(s amr.Stats) float64 {
+	return float64(s.CellUpdates)*FlopsPerHydroCellStep +
+		float64(s.CellUpdates)*FlopsPerGravityCell +
+		float64(s.ChemCellCalls)*FlopsPerChemCellCall +
+		float64(s.ParticleKicks)*FlopsPerParticleKick
+}
+
+// SustainedRate returns flops/seconds.
+func SustainedRate(flops, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return flops / seconds
+}
+
+// VirtualFlopRate reproduces the paper's §5 exercise: a static uniform
+// grid matching the finest AMR resolution would need sdr³ cells updated
+// for `steps` timesteps at flopsPerCell each; dividing by the actual wall
+// time gives the effective rate the adaptive calculation achieved. For the
+// paper's numbers (sdr=1e12, steps=1e10, ~1e6 s) this yields ~1e44 flop/s
+// from ~1e50 operations.
+func VirtualFlopRate(sdr, steps, flopsPerCell, wallSeconds float64) (ops, rate float64) {
+	ops = math.Pow(sdr, 3) * steps * flopsPerCell
+	if wallSeconds > 0 {
+		rate = ops / wallSeconds
+	}
+	return
+}
+
+// PaperVirtualExercise evaluates the exact numbers quoted in §5: 10^12
+// cells per side, 10^10 timesteps, ~10^50 operations over ~10^6 seconds
+// giving ~10^44 flop/s.
+func PaperVirtualExercise() (ops, rate float64) {
+	// The paper's 1e50 total implies ~1e4 flops/cell/step in their
+	// accounting; use that constant for the reproduction.
+	return VirtualFlopRate(1e12, 1e10, 1e4, 1e6)
+}
+
+// SpeedupVsUniform returns how many times cheaper the adaptive run was
+// than the equivalent uniform-grid run, comparing actual cell updates to
+// the uniform requirement.
+func SpeedupVsUniform(s amr.Stats, sdr float64, steps float64) float64 {
+	if s.CellUpdates == 0 {
+		return 0
+	}
+	uniform := math.Pow(sdr, 3) * steps
+	return uniform / float64(s.CellUpdates)
+}

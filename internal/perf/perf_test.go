@@ -1,0 +1,81 @@
+package perf
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/amr"
+)
+
+func TestUsageTable(t *testing.T) {
+	tm := amr.Timing{
+		Hydro:     360 * time.Millisecond,
+		Gravity:   170 * time.Millisecond,
+		Chemistry: 110 * time.Millisecond,
+		NBody:     10 * time.Millisecond,
+		Rebuild:   90 * time.Millisecond,
+		Boundary:  150 * time.Millisecond,
+		Other:     110 * time.Millisecond,
+	}
+	rows := UsageTable(tm)
+	if len(rows) != 7 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	var sum float64
+	for _, r := range rows {
+		sum += r.Fraction
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	if rows[0].Component != "hydrodynamics" {
+		t.Errorf("largest component %q, want hydrodynamics", rows[0].Component)
+	}
+	s := FormatUsageTable(rows)
+	if !strings.Contains(s, "hydrodynamics") || !strings.Contains(s, "36 %") {
+		t.Errorf("format output:\n%s", s)
+	}
+	if UsageTable(amr.Timing{}) != nil {
+		t.Error("empty timing should give nil table")
+	}
+}
+
+func TestEstimateFlops(t *testing.T) {
+	s := amr.Stats{CellUpdates: 1000, ChemCellCalls: 500, ParticleKicks: 200}
+	f := EstimateFlops(s)
+	want := 1000.0*(FlopsPerHydroCellStep+FlopsPerGravityCell) + 500*FlopsPerChemCellCall + 200*FlopsPerParticleKick
+	if f != want {
+		t.Fatalf("flops %v, want %v", f, want)
+	}
+	if SustainedRate(f, 2) != f/2 {
+		t.Error("sustained rate wrong")
+	}
+	if SustainedRate(f, 0) != 0 {
+		t.Error("zero time should give zero rate")
+	}
+}
+
+func TestPaperVirtualExercise(t *testing.T) {
+	ops, rate := PaperVirtualExercise()
+	// The paper: ~1e50 operations, ~1e44 flop/s.
+	if math.Abs(math.Log10(ops)-50) > 0.5 {
+		t.Errorf("virtual ops 1e%.1f, paper says ~1e50", math.Log10(ops))
+	}
+	if math.Abs(math.Log10(rate)-44) > 0.5 {
+		t.Errorf("virtual rate 1e%.1f, paper says ~1e44", math.Log10(rate))
+	}
+}
+
+func TestSpeedupVsUniform(t *testing.T) {
+	s := amr.Stats{CellUpdates: 1 << 20}
+	sp := SpeedupVsUniform(s, 1024, 100)
+	want := math.Pow(1024, 3) * 100 / float64(1<<20)
+	if math.Abs(sp-want)/want > 1e-12 {
+		t.Fatalf("speedup %v, want %v", sp, want)
+	}
+	if SpeedupVsUniform(amr.Stats{}, 10, 10) != 0 {
+		t.Error("zero updates should give 0")
+	}
+}

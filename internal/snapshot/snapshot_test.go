@@ -1,0 +1,164 @@
+package snapshot
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/amr"
+	"repro/internal/ep128"
+)
+
+func buildHierarchy(t *testing.T) (*amr.Hierarchy, amr.Config) {
+	t.Helper()
+	cfg := amr.DefaultConfig(8)
+	cfg.SelfGravity = false
+	cfg.JeansN = 0
+	cfg.StaticLevels = 1
+	cfg.StaticLo = [3]float64{0.25, 0.25, 0.25}
+	cfg.StaticHi = [3]float64{0.75, 0.75, 0.75}
+	cfg.MaxLevel = 1
+	cfg.NSpecies = 2
+	h, err := amr.NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := h.Root()
+	for idx := range root.State.Rho.Data {
+		root.State.Rho.Data[idx] = 1 + 0.01*float64(idx%97)
+		root.State.Eint.Data[idx] = 2 + 0.001*float64(idx%13)
+		root.State.Etot.Data[idx] = root.State.Eint.Data[idx]
+		root.State.Species[0].Data[idx] = 0.76 * root.State.Rho.Data[idx]
+		root.State.Species[1].Data[idx] = 0.24 * root.State.Rho.Data[idx]
+	}
+	root.Parts.Add(ep128.FromFloat64(0.5).AddFloat(1e-19), ep128.FromFloat64(0.3),
+		ep128.FromFloat64(0.7), 1, -2, 3, 0.125, 99)
+	h.RebuildHierarchy(1)
+	h.Time = 0.375
+	return h, cfg
+}
+
+func TestRoundTrip(t *testing.T) {
+	h, cfg := buildHierarchy(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Read(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Time != h.Time {
+		t.Errorf("time %v != %v", h2.Time, h.Time)
+	}
+	if h2.NumGrids() != h.NumGrids() || h2.MaxLevel() != h.MaxLevel() {
+		t.Fatalf("structure mismatch: %d/%d grids, %d/%d levels",
+			h2.NumGrids(), h.NumGrids(), h2.MaxLevel(), h.MaxLevel())
+	}
+	// Field data bit-identical on every grid.
+	for l := range h.Levels {
+		if len(h.Levels[l]) != len(h2.Levels[l]) {
+			t.Fatalf("level %d grid count mismatch", l)
+		}
+		for gi := range h.Levels[l] {
+			a, b := h.Levels[l][gi], h2.Levels[l][gi]
+			fa, fb := a.State.Fields(), b.State.Fields()
+			for fi := range fa {
+				for di := range fa[fi].Data {
+					if fa[fi].Data[di] != fb[fi].Data[di] {
+						t.Fatalf("field %d differs on L%d grid %d", fi, l, gi)
+					}
+				}
+			}
+			if a.Lo != b.Lo || a.Time != b.Time {
+				t.Fatal("grid metadata differs")
+			}
+			// EPA edges exact, both components.
+			for d := 0; d < 3; d++ {
+				if !a.Edge[d].Eq(b.Edge[d]) {
+					t.Fatal("EPA edge not exactly restored")
+				}
+			}
+		}
+	}
+	// Particle with sub-float64 position offset restored exactly.
+	var pg *amr.Grid
+	for _, lv := range h2.Levels {
+		for _, g := range lv {
+			if g.Parts.Len() > 0 {
+				pg = g
+			}
+		}
+	}
+	if pg == nil {
+		t.Fatal("particle lost")
+	}
+	off := pg.Parts.X[0].SubFloat(0.5).Float64()
+	if off != 1e-19 {
+		t.Fatalf("EPA particle offset %v, want 1e-19", off)
+	}
+	if pg.Parts.ID[0] != 99 || pg.Parts.Mass[0] != 0.125 {
+		t.Fatal("particle payload wrong")
+	}
+}
+
+func TestRestartContinuesEvolution(t *testing.T) {
+	// Stepping after restart must work and agree with uninterrupted
+	// evolution (determinism across serialization).
+	h, cfg := buildHierarchy(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	h.Step()
+	h2, err := Read(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.Step()
+	for idx, v := range h.Root().State.Rho.Data {
+		if v != h2.Root().State.Rho.Data[idx] {
+			t.Fatalf("restart diverged at %d: %v vs %v", idx, v, h2.Root().State.Rho.Data[idx])
+		}
+	}
+}
+
+func TestGeometryMismatchRejected(t *testing.T) {
+	h, _ := buildHierarchy(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	other := amr.DefaultConfig(16)
+	if _, err := Read(&buf, other); err == nil {
+		t.Fatal("RootN mismatch should be rejected")
+	}
+}
+
+func TestSpeciesMismatchRejected(t *testing.T) {
+	h, cfg := buildHierarchy(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	cfg.NSpecies = 0
+	if _, err := Read(&buf, cfg); err == nil {
+		t.Fatal("species-count mismatch should be rejected")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	h, cfg := buildHierarchy(t)
+	path := filepath.Join(t.TempDir(), "snap.gob.gz")
+	if err := Save(path, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Load(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h2.TotalGasMass()-h.TotalGasMass()) > 1e-15 {
+		t.Fatal("mass changed through file round trip")
+	}
+}

@@ -1,0 +1,106 @@
+// Package units collects the physical constants and unit conversions used
+// throughout the simulation. Everything is CGS unless the name says
+// otherwise, matching the convention of the original Enzo code base.
+//
+// Code units: the hydro, gravity and N-body modules work in dimensionless
+// "code units" in which the box length, the mean comoving density and the
+// Hubble time set the scales. The Units struct carries the conversion
+// factors between code units and CGS at a given cosmological expansion
+// factor.
+package units
+
+import "math"
+
+// Physical constants (CGS).
+const (
+	G          = 6.67430e-8    // gravitational constant [cm^3 g^-1 s^-2]
+	KBoltzmann = 1.380649e-16  // Boltzmann constant [erg/K]
+	MProton    = 1.6726219e-24 // proton mass [g]
+	MElectron  = 9.1093837e-28 // electron mass [g]
+	CLight     = 2.99792458e10 // speed of light [cm/s]
+	SigmaT     = 6.6524587e-25 // Thomson cross-section [cm^2]
+	ARad       = 7.5657e-15    // radiation constant [erg cm^-3 K^-4]
+	EVtoErg    = 1.602176634e-12
+)
+
+// Astronomical lengths and masses (CGS).
+const (
+	ParsecCM    = 3.0856775814913673e18 // 1 pc in cm
+	KpcCM       = 1e3 * ParsecCM
+	MpcCM       = 1e6 * ParsecCM
+	AUcm        = 1.495978707e13 // astronomical unit in cm
+	MSolarG     = 1.98892e33     // solar mass in g
+	YearSeconds = 3.15576e7      // Julian year in s
+	MyrSeconds  = 1e6 * YearSeconds
+)
+
+// Cosmological helpers.
+const (
+	HubbleCGSper100 = 3.2407792896664e-18 // H0 = 100 km/s/Mpc in 1/s
+)
+
+// MeanMolecularWeightNeutral is the mean molecular weight of neutral
+// primordial gas (76% H, 24% He by mass).
+const MeanMolecularWeightNeutral = 1.2195
+
+// HydrogenMassFraction is the primordial hydrogen mass fraction.
+const HydrogenMassFraction = 0.76
+
+// Units holds conversions between code units and CGS. The convention
+// follows cosmological codes: density unit is the mean comoving baryon+DM
+// density, length unit is the comoving box size, time unit is chosen so
+// that G * rho_mean * t^2 is order unity (the free-fall normalization).
+type Units struct {
+	// Density converts code density to proper CGS density [g/cm^3].
+	Density float64
+	// Length converts code length to proper CGS length [cm].
+	Length float64
+	// Time converts code time to CGS time [s].
+	Time float64
+	// Velocity converts code velocity to CGS velocity [cm/s].
+	Velocity float64
+	// Temperature converts code specific energy to Kelvin for mu=1:
+	// T = Temperature * mu * e_code.
+	Temperature float64
+}
+
+// Derive fills the dependent members from Density, Length, Time.
+func (u *Units) Derive() {
+	u.Velocity = u.Length / u.Time
+	// e = v^2;  T = e * m_p * (gamma-1) * mu / k. Store the mu=1,
+	// gamma-free factor; callers multiply by (gamma-1)*mu.
+	u.Temperature = u.Velocity * u.Velocity * MProton / KBoltzmann
+}
+
+// Cosmological constructs code units for a comoving box of the given size
+// [comoving cm], total matter density parameter omegaM, Hubble parameter h
+// (H0 = 100h km/s/Mpc), at expansion factor a (a=1 today).
+func Cosmological(boxComovingCM, omegaM, h, a float64) Units {
+	h0 := h * HubbleCGSper100
+	rhoCrit0 := 3 * h0 * h0 / (8 * math.Pi * G)
+	u := Units{
+		Density: omegaM * rhoCrit0 / (a * a * a),
+		Length:  boxComovingCM * a,
+	}
+	// Free-fall-like normalization: 4πG·rho·t² = 1 in code units at this a.
+	u.Time = 1 / math.Sqrt(4*math.Pi*G*u.Density)
+	u.Derive()
+	return u
+}
+
+// NumberDensity converts a code gas density to a total particle number
+// density [1/cm^3] assuming mean molecular weight mu.
+func (u Units) NumberDensity(codeRho, mu float64) float64 {
+	return codeRho * u.Density / (mu * MProton)
+}
+
+// TempFromE converts code specific internal energy to temperature [K]
+// for adiabatic index gamma and mean molecular weight mu.
+func (u Units) TempFromE(eCode, gamma, mu float64) float64 {
+	return eCode * u.Temperature * (gamma - 1) * mu
+}
+
+// EFromTemp converts a temperature [K] to code specific internal energy.
+func (u Units) EFromTemp(tK, gamma, mu float64) float64 {
+	return tK / (u.Temperature * (gamma - 1) * mu)
+}

@@ -1,0 +1,68 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCosmologicalUnits(t *testing.T) {
+	// 256 comoving kpc box (the paper's volume), omegaM=1, h=0.5, a at z=99.
+	u := Cosmological(256*KpcCM, 1.0, 0.5, 0.01)
+	if u.Density <= 0 || u.Length <= 0 || u.Time <= 0 {
+		t.Fatalf("non-positive unit: %+v", u)
+	}
+	// Density should scale as a^-3.
+	u2 := Cosmological(256*KpcCM, 1.0, 0.5, 0.02)
+	ratio := u.Density / u2.Density
+	if math.Abs(ratio-8) > 1e-10 {
+		t.Errorf("density scaling with a wrong: ratio=%v want 8", ratio)
+	}
+	// Proper length scales as a.
+	if math.Abs(u2.Length/u.Length-2) > 1e-12 {
+		t.Errorf("length scaling wrong")
+	}
+}
+
+func TestTimeUnitFreefall(t *testing.T) {
+	u := Cosmological(MpcCM, 0.3, 0.7, 1.0)
+	// By construction 4*pi*G*rho*t^2 = 1.
+	v := 4 * math.Pi * G * u.Density * u.Time * u.Time
+	if math.Abs(v-1) > 1e-12 {
+		t.Errorf("free-fall normalization broken: %v", v)
+	}
+}
+
+func TestTemperatureRoundTrip(t *testing.T) {
+	u := Cosmological(256*KpcCM, 1.0, 0.5, 0.05)
+	gamma, mu := 5.0/3.0, MeanMolecularWeightNeutral
+	for _, tK := range []float64{10, 200, 1e4, 1e8} {
+		e := u.EFromTemp(tK, gamma, mu)
+		back := u.TempFromE(e, gamma, mu)
+		if math.Abs(back-tK)/tK > 1e-12 {
+			t.Errorf("temperature round trip %v -> %v", tK, back)
+		}
+	}
+}
+
+func TestNumberDensity(t *testing.T) {
+	u := Cosmological(256*KpcCM, 1.0, 0.5, 1.0)
+	n := u.NumberDensity(1.0, 1.0)
+	want := u.Density / MProton
+	if math.Abs(n-want)/want > 1e-14 {
+		t.Errorf("number density mismatch: %v vs %v", n, want)
+	}
+}
+
+func TestConstantsSanity(t *testing.T) {
+	// Critical density today for h=0.7 should be ~9.2e-30 g/cm^3.
+	h0 := 0.7 * HubbleCGSper100
+	rhoc := 3 * h0 * h0 / (8 * math.Pi * G)
+	if rhoc < 9e-30 || rhoc > 9.5e-30 {
+		t.Errorf("critical density out of range: %v", rhoc)
+	}
+	// One parsec in light years ~ 3.26.
+	ly := CLight * YearSeconds
+	if v := ParsecCM / ly; v < 3.2 || v > 3.3 {
+		t.Errorf("parsec/ly = %v", v)
+	}
+}
