@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test test-full vet bench bench-scaling clean
+
+build:
+	$(GO) build ./...
+
+# Fast gate: reduced problem sizes for the long integration suites.
+test:
+	$(GO) test -short ./...
+
+# The full suite, including the long-running problem integrations.
+test-full:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# All paper-reproduction benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Serial-vs-parallel scaling of the hot kernels (hydro sweeps, FFT
+# Poisson solve, multigrid) at 1/2/4/NumCPU workers.
+bench-scaling:
+	$(GO) test -run xxx -bench='Scaling' -benchmem .
+
+clean:
+	$(GO) clean ./...

@@ -13,6 +13,7 @@ package repro
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/amr"
@@ -20,12 +21,128 @@ import (
 	"repro/internal/clustering"
 	"repro/internal/core"
 	"repro/internal/ep128"
+	"repro/internal/gravity"
 	"repro/internal/hydro"
+	"repro/internal/mesh"
 	"repro/internal/mp"
 	"repro/internal/perf"
 	"repro/internal/problems"
 	"repro/internal/units"
 )
+
+// --- Parallel engine scaling: serial vs parallel wall-clock for the hot
+// kernels on a 64³ root grid, the dominant cost of every benchmark in the
+// paper. Run with:
+//
+//	go test -bench=Scaling -benchmem
+//
+// Workers=1 is the serial baseline; the w4 (or wNumCPU) rows give the
+// measured speedup of the shared par engine. Results are bitwise
+// identical across rows (see the *ParallelBitwise tests), so these
+// measure pure execution-model gains. ---
+
+func scalingWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// newScalingHierarchy builds a 64³ single-level hierarchy with a smooth
+// transonic velocity field, the standard root-grid workload.
+func newScalingHierarchy(b *testing.B, rootN, workers int) *amr.Hierarchy {
+	cfg := amr.DefaultConfig(rootN)
+	cfg.SelfGravity = false
+	cfg.JeansN = 0
+	cfg.MaxLevel = 0
+	cfg.DisableRebuild = true
+	cfg.Workers = workers
+	h, err := amr.NewHierarchy(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := h.Root()
+	n := rootN
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				x := float64(i) / float64(n)
+				y := float64(j) / float64(n)
+				z := float64(k) / float64(n)
+				root.State.Rho.Set(i, j, k, 1+0.3*math.Sin(2*math.Pi*x)*math.Cos(2*math.Pi*(y+z)))
+				root.State.Vx.Set(i, j, k, 0.4*math.Sin(2*math.Pi*(x+y)))
+				root.State.Vy.Set(i, j, k, -0.3*math.Cos(2*math.Pi*(y+z)))
+				root.State.Vz.Set(i, j, k, 0.2*math.Sin(2*math.Pi*(z+x)))
+				root.State.Eint.Set(i, j, k, 1.5)
+				vx, vy, vz := root.State.Vx.At(i, j, k), root.State.Vy.At(i, j, k), root.State.Vz.At(i, j, k)
+				root.State.Etot.Set(i, j, k, 1.5+0.5*(vx*vx+vy*vy+vz*vz))
+			}
+		}
+	}
+	return h
+}
+
+// BenchmarkScalingStep64 measures a full 64³ root-grid Hierarchy.Step
+// (the PPM pencil sweeps dominate) at 1/2/4/NumCPU workers.
+func BenchmarkScalingStep64(b *testing.B) {
+	for _, w := range scalingWorkerCounts() {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			h := newScalingHierarchy(b, 64, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Step()
+			}
+			b.ReportMetric(float64(h.Stats.CellUpdates)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}
+
+// BenchmarkScalingGravityFFT64 measures the periodic Poisson solve (FFT
+// line batches) on a 64³ root grid.
+func BenchmarkScalingGravityFFT64(b *testing.B) {
+	rho := mesh.NewField3(64, 64, 64, 1)
+	for k := 0; k < 64; k++ {
+		for j := 0; j < 64; j++ {
+			for i := 0; i < 64; i++ {
+				rho.Set(i, j, k, math.Sin(float64(i)*0.2)+math.Cos(float64(j+2*k)*0.13))
+			}
+		}
+	}
+	for _, w := range scalingWorkerCounts() {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := gravity.SolvePeriodicWorkers(rho, 1.0/64, 1.0, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalingMultigrid64 measures the red-black multigrid V-cycles
+// used for subgrid gravity on a 64³ grid.
+func BenchmarkScalingMultigrid64(b *testing.B) {
+	rhs := mesh.NewField3(64, 64, 64, 1)
+	for k := 0; k < 64; k++ {
+		for j := 0; j < 64; j++ {
+			for i := 0; i < 64; i++ {
+				rhs.Set(i, j, k, math.Sin(float64(i+j)*0.31)*math.Cos(float64(k)*0.17))
+			}
+		}
+	}
+	for _, w := range scalingWorkerCounts() {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			p := gravity.DefaultMGParams()
+			p.Workers = w
+			p.MaxVCycles = 4
+			for i := 0; i < b.N; i++ {
+				phi := mesh.NewField3(64, 64, 64, 1)
+				gravity.SolveMultigrid(phi, rhs, 1.0/64, p)
+			}
+		})
+	}
+}
 
 // --- Figure 1: the 2-D SAMR example (root + two subgrids + one
 // sub-subgrid) realized by the hierarchy machinery on an analytic

@@ -26,7 +26,7 @@ func main() {
 	steps := flag.Int("steps", 20, "root-grid steps to run")
 	rootN := flag.Int("rootn", 16, "root grid size (power of two)")
 	maxLevel := flag.Int("maxlevel", 4, "maximum refinement level")
-	workers := flag.Int("workers", 1, "parallel grid workers")
+	workers := flag.Int("workers", 0, "worker goroutines for all parallel kernels (0 = NumCPU, 1 = serial)")
 	chemistry := flag.Bool("chem", true, "enable 12-species chemistry (collapse/zoom)")
 	seed := flag.Int64("seed", 12345, "IC random seed (zoom)")
 	profileOut := flag.String("profile", "", "write a radial profile table to this file at the end")

@@ -14,7 +14,32 @@
 // analysis tools (internal/analysis) and the Simulation façade
 // (internal/core).
 //
+// # Parallel execution model
+//
+// All hot kernels run on the shared data-parallel engine in internal/par:
+// a bounded worker pool with dynamic chunk stealing (par.For) plus
+// per-worker scratch slots (par.Scratch). One knob — amr.Config.Workers —
+// bounds the goroutines used by
+//
+//   - the hydro pencil sweeps (per-worker pencils recycled via sync.Pool),
+//   - red-black multigrid smoothing, residual and prolongation passes,
+//   - the batched 1-D line transforms of the 3-D FFT Poisson solve,
+//   - the per-cell chemistry backward-Euler solver,
+//   - the CIC particle deposit (per-range buffers reduced in fixed order),
+//   - and whole-grid stepping within an AMR level.
+//
+// The conventions are 0 = runtime.NumCPU() (the default), 1 = serial,
+// n = exactly n workers. Grid kernels partition strictly disjoint data
+// (pencil lines, same-color cells, FFT lines), so their parallel results
+// are bitwise identical to the serial ones at any worker count; only the
+// N-body deposit reduces per-range partial sums, in a fixed order that is
+// deterministic for a given worker count. The *ParallelBitwise tests in
+// each package enforce this.
+//
 // bench_test.go in this directory regenerates every table and figure of
 // the paper's evaluation; see EXPERIMENTS.md for the paper-vs-measured
-// record.
+// record. The BenchmarkScaling* benches measure serial-vs-parallel
+// speedup of the hot kernels (the paper's §5 component table, whose
+// wall-clock decomposition perf.UsageTable reproduces, is the map of
+// where those cycles go).
 package repro

@@ -2,7 +2,6 @@ package amr
 
 import (
 	"math"
-	"sync"
 	"time"
 
 	"repro/internal/chem"
@@ -10,6 +9,7 @@ import (
 	"repro/internal/hydro"
 	"repro/internal/mesh"
 	"repro/internal/nbody"
+	"repro/internal/par"
 	"repro/internal/units"
 )
 
@@ -97,37 +97,38 @@ func (h *Hierarchy) EvolveLevel(level int, parentTime float64) {
 	}
 }
 
-// stepLevelGrids advances every grid on a level by dt, optionally with a
-// worker pool (grids are independent once boundaries and taps are set; the
+// stepLevelGrids advances every grid on a level by dt on the shared par
+// engine (grids are independent once boundaries and taps are set; the
 // particle-lift pass mutates ancestors and runs serially afterwards).
 func (h *Hierarchy) stepLevelGrids(level int, dt float64) {
 	grids := h.Levels[level]
-	if h.Cfg.Workers <= 1 || len(grids) == 1 {
+	workers := par.Workers(h.Cfg.Workers)
+	if workers <= 1 || len(grids) == 1 {
 		for _, g := range grids {
 			h.stepGrid(g, dt)
 			h.liftEscapedParticles(g)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, h.Cfg.Workers)
 	timings := make([]Timing, len(grids))
 	stats := make([]Stats, len(grids))
-	for i, g := range grids {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, g *Grid) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			// Each worker accumulates into a private shadow view (Cfg is
-			// copied by value); deltas merge after the barrier.
+	// Split the worker budget between grid-level and in-grid parallelism:
+	// many small grids → one worker each; few grids → each gets a share
+	// of the pool for its pencil/chemistry loops. The share rounds up so
+	// a remainder (e.g. 8 workers, 9 grids) doesn't strand cores on the
+	// level's tail; the slight overcommit is absorbed by chunk stealing.
+	inner := (workers + len(grids) - 1) / len(grids)
+	par.For(workers, len(grids), 1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			// Each grid accumulates into a private shadow view (Cfg is
+			// copied by value); deltas merge in grid order afterwards.
 			sub := &Hierarchy{Cfg: h.Cfg, Levels: h.Levels, Time: h.Time, parity: h.parity}
-			sub.stepGrid(g, dt)
+			sub.Cfg.Workers = inner
+			sub.stepGrid(grids[i], dt)
 			timings[i] = sub.Timing
 			stats[i] = sub.Stats
-		}(i, g)
-	}
-	wg.Wait()
+		}
+	})
 	for i, g := range grids {
 		h.Timing.Hydro += timings[i].Hydro
 		h.Timing.Chemistry += timings[i].Chemistry
@@ -156,7 +157,15 @@ func (h *Hierarchy) stepGrid(g *Grid, dt float64) {
 			}
 		}
 	}
-	hydro.Step3D(g.State, g.Dx, dt, cfg.Hydro, cfg.Solver, h.parity, bc, g.Reg, g.Taps)
+	// The hydro worker count inherits the hierarchy budget (which the
+	// parallel stepLevelGrids path has already divided between grids);
+	// an explicitly set Hydro.Workers is still capped by that budget so
+	// concurrent grids cannot oversubscribe the machine.
+	hp := cfg.Hydro
+	if budget := par.Workers(cfg.Workers); hp.Workers == 0 || par.Workers(hp.Workers) > budget {
+		hp.Workers = budget
+	}
+	hydro.Step3D(g.State, g.Dx, dt, hp, cfg.Solver, h.parity, bc, g.Reg, g.Taps)
 	h.Timing.Hydro += time.Since(t0)
 	h.Stats.CellUpdates += int64(g.NumCells())
 
@@ -416,10 +425,8 @@ func (h *Hierarchy) solveGravityLevel(level int) {
 			}
 			if g.Level == 0 {
 				total := mesh.NewField3(g.Nx, g.Ny, g.Nz, 1)
-				for idx := range rhs.Data {
-					total.Data[idx] = rhs.Data[idx]
-				}
-				phi, err := gravity.SolvePeriodic(total, g.Dx, 1.0)
+				copy(total.Data, rhs.Data)
+				phi, err := gravity.SolvePeriodicWorkers(total, g.Dx, 1.0, h.Cfg.Workers)
 				if err == nil {
 					// Copy into the grid's wider-ghost field.
 					for k := 0; k < g.Nz; k++ {
@@ -442,7 +449,9 @@ func (h *Hierarchy) solveGravityLevel(level int) {
 				}
 				mesh.CopyOverlap(g.Phi, s.Phi, s.Lo[0]-g.Lo[0], s.Lo[1]-g.Lo[1], s.Lo[2]-g.Lo[2], 1)
 			}
-			gravity.SolveMultigrid(g.Phi, rhs, g.Dx, gravity.DefaultMGParams())
+			mg := gravity.DefaultMGParams()
+			mg.Workers = h.Cfg.Workers
+			gravity.SolveMultigrid(g.Phi, rhs, g.Dx, mg)
 			g.Phi.ApplyOutflowBC()
 		}
 	}
@@ -499,12 +508,12 @@ func fillPhiGhosts(g *Grid, refine int) {
 // depositDM deposits every particle in the hierarchy onto g's DM density
 // field (particles outside the grid's halo are skipped by the CIC kernel).
 func (h *Hierarchy) depositDM(g *Grid) {
-	g.DMRho.Fill(0)
+	g.DMRho.Zero()
 	geom := g.Geom()
 	for _, lv := range h.Levels {
 		for _, o := range lv {
 			if o.Parts.Len() > 0 {
-				nbody.DepositCIC(o.Parts, g.DMRho, geom)
+				nbody.DepositCICWorkers(o.Parts, g.DMRho, geom, h.Cfg.Workers)
 			}
 		}
 	}
@@ -550,34 +559,39 @@ func (h *Hierarchy) stepChemistry(g *Grid, dtCode float64) {
 		h.Cfg.CoolParams.Redshift = 1/h.Cfg.Cosmo.A - 1
 	}
 	st := g.State
-	for k := 0; k < g.Nz; k++ {
-		for j := 0; j < g.Ny; j++ {
-			for i := 0; i < g.Nx; i++ {
-				h.Stats.ChemCellCalls++
-				var cs chem.State
-				for sp := 0; sp < chem.NumSpecies; sp++ {
-					w := chem.AtomicWeight[sp]
-					if w == 0 {
-						w = 1 // electrons stored as n_e * m_p
+	// Every cell is an independent stiff ODE solve (the dominant per-cell
+	// cost of a chemistry run), so the loop parallelizes over z-planes
+	// with bitwise-identical results at any worker count.
+	par.For(h.Cfg.Workers, g.Nz, 0, func(_, klo, khi int) {
+		for k := klo; k < khi; k++ {
+			for j := 0; j < g.Ny; j++ {
+				for i := 0; i < g.Nx; i++ {
+					var cs chem.State
+					for sp := 0; sp < chem.NumSpecies; sp++ {
+						w := chem.AtomicWeight[sp]
+						if w == 0 {
+							w = 1 // electrons stored as n_e * m_p
+						}
+						cs[sp] = st.Species[sp].At(i, j, k) * u.Density * aFac / (w * units.MProton)
 					}
-					cs[sp] = st.Species[sp].At(i, j, k) * u.Density * aFac / (w * units.MProton)
-				}
-				eint := st.Eint.At(i, j, k) * u.Velocity * u.Velocity
-				out, e1, _ := chem.EvolveCell(cs, eint, dtSec, h.Cfg.CoolParams, h.Cfg.ChemParams)
-				for sp := 0; sp < chem.NumSpecies; sp++ {
-					w := chem.AtomicWeight[sp]
-					if w == 0 {
-						w = 1
+					eint := st.Eint.At(i, j, k) * u.Velocity * u.Velocity
+					out, e1, _ := chem.EvolveCell(cs, eint, dtSec, h.Cfg.CoolParams, h.Cfg.ChemParams)
+					for sp := 0; sp < chem.NumSpecies; sp++ {
+						w := chem.AtomicWeight[sp]
+						if w == 0 {
+							w = 1
+						}
+						st.Species[sp].Set(i, j, k, out[sp]*w*units.MProton/(u.Density*aFac))
 					}
-					st.Species[sp].Set(i, j, k, out[sp]*w*units.MProton/(u.Density*aFac))
+					newEint := e1 / (u.Velocity * u.Velocity)
+					dE := newEint - st.Eint.At(i, j, k)
+					st.Eint.Set(i, j, k, newEint)
+					st.Etot.Add(i, j, k, dE)
 				}
-				newEint := e1 / (u.Velocity * u.Velocity)
-				dE := newEint - st.Eint.At(i, j, k)
-				st.Eint.Set(i, j, k, newEint)
-				st.Etot.Add(i, j, k, dE)
 			}
 		}
-	}
+	})
+	h.Stats.ChemCellCalls += int64(g.NumCells())
 }
 
 // fluxCorrect replaces the coarse flux through each child-boundary face

@@ -57,10 +57,15 @@ type Config struct {
 	// and by static-mesh convergence studies).
 	DisableRebuild bool
 
-	// Workers sets the number of goroutines stepping grids of a level
-	// concurrently (the shared-memory realization of the paper's
-	// distributed-objects strategy: whole grids are the unit of
-	// parallel work). 0 or 1 means serial.
+	// Workers is the single parallelism knob of the run, plumbed into
+	// every hot kernel: the per-grid worker pool of stepLevelGrids (the
+	// shared-memory realization of the paper's distributed-objects
+	// strategy), the hydro pencil sweeps, multigrid smoothing, the
+	// root-grid FFT line batches, the per-cell chemistry loop and the
+	// CIC particle deposit. par conventions: 0 = runtime.NumCPU() (the
+	// default), 1 = serial, n = exactly n workers. Grid-level results
+	// are bitwise identical at any setting; only the N-body deposit
+	// reduction order depends (deterministically) on the worker count.
 	Workers int
 }
 

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+
+	"repro/internal/par"
 )
 
 // Plan caches twiddle factors and the bit-reversal permutation for a
@@ -97,8 +99,14 @@ func (p *Plan) transform(x []complex128, inverse bool) {
 }
 
 // Plan3 is a 3-D FFT plan for an nx×ny×nz complex array stored x-fastest.
+// Workers bounds the goroutines used for the batched 1-D line transforms
+// (par conventions: 0 = NumCPU, 1 = serial); every line is an independent
+// transform over disjoint data, so results are bitwise identical at any
+// setting. The plan itself is read-only during transforms and may be
+// shared across goroutines.
 type Plan3 struct {
 	Nx, Ny, Nz int
+	Workers    int
 	px, py, pz *Plan
 }
 
@@ -136,46 +144,49 @@ func (p *Plan3) transform3(data []complex128, inverse bool) {
 	if len(data) != nx*ny*nz {
 		panic("fft: 3-D length mismatch")
 	}
-	// x lines are contiguous.
-	for k := 0; k < nz; k++ {
-		for j := 0; j < ny; j++ {
-			line := data[(k*ny+j)*nx : (k*ny+j+1)*nx]
+	w := p.Workers
+	// Gather/scatter scratch for the strided y and z passes: one line
+	// buffer per worker, sized for either pass.
+	bufLen := ny
+	if nz > bufLen {
+		bufLen = nz
+	}
+	scratch := par.NewScratch(w, func() []complex128 { return make([]complex128, bufLen) })
+	// x lines are contiguous; one chunk per z-plane.
+	par.For(w, nz*ny, ny, func(_, lo, hi int) {
+		for l := lo; l < hi; l++ {
+			line := data[l*nx : (l+1)*nx]
 			p.px.transform(line, inverse)
 		}
-	}
-	// y lines: gather/scatter through a scratch buffer.
-	buf := make([]complex128, maxInt(ny, nz))
-	for k := 0; k < nz; k++ {
-		for i := 0; i < nx; i++ {
+	})
+	// y lines: the batch index runs over (k,i) pairs, i fastest.
+	par.For(w, nz*nx, nx, func(worker, lo, hi int) {
+		buf := scratch.Get(worker)[:ny]
+		for l := lo; l < hi; l++ {
+			k, i := l/nx, l%nx
 			base := k*ny*nx + i
 			for j := 0; j < ny; j++ {
 				buf[j] = data[base+j*nx]
 			}
-			p.py.transform(buf[:ny], inverse)
+			p.py.transform(buf, inverse)
 			for j := 0; j < ny; j++ {
 				data[base+j*nx] = buf[j]
 			}
 		}
-	}
-	// z lines.
-	for j := 0; j < ny; j++ {
-		for i := 0; i < nx; i++ {
-			base := j*nx + i
-			stride := ny * nx
+	})
+	// z lines over (j,i) pairs.
+	stride := ny * nx
+	par.For(w, ny*nx, nx, func(worker, lo, hi int) {
+		buf := scratch.Get(worker)[:nz]
+		for l := lo; l < hi; l++ {
+			base := l // j*nx + i
 			for k := 0; k < nz; k++ {
 				buf[k] = data[base+k*stride]
 			}
-			p.pz.transform(buf[:nz], inverse)
+			p.pz.transform(buf, inverse)
 			for k := 0; k < nz; k++ {
 				data[base+k*stride] = buf[k]
 			}
 		}
-	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	})
 }

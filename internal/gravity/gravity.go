@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/fft"
 	"repro/internal/mesh"
+	"repro/internal/par"
 )
 
 // SolvePeriodic solves ∇²φ = coeff·(ρ - mean(ρ)) on a periodic grid with
@@ -27,49 +28,63 @@ import (
 // width. The result has the same ghost depth as rho with periodic ghosts
 // filled.
 func SolvePeriodic(rho *mesh.Field3, dx, coeff float64) (*mesh.Field3, error) {
+	return SolvePeriodicWorkers(rho, dx, coeff, 0)
+}
+
+// SolvePeriodicWorkers is SolvePeriodic with an explicit worker bound for
+// the FFT line batches and the mode-division pass (par conventions:
+// 0 = NumCPU, 1 = serial). The result is bitwise identical at any setting.
+func SolvePeriodicWorkers(rho *mesh.Field3, dx, coeff float64, workers int) (*mesh.Field3, error) {
 	nx, ny, nz := rho.Nx, rho.Ny, rho.Nz
 	plan, err := fft.NewPlan3(nx, ny, nz)
 	if err != nil {
 		return nil, fmt.Errorf("gravity: root grid: %w", err)
 	}
+	plan.Workers = workers
 	n := nx * ny * nz
 	work := make([]complex128, n)
 	mean := rho.SumActive() / float64(n)
-	for k := 0; k < nz; k++ {
-		for j := 0; j < ny; j++ {
-			for i := 0; i < nx; i++ {
-				work[(k*ny+j)*nx+i] = complex(coeff*(rho.At(i, j, k)-mean), 0)
+	par.For(workers, nz, 0, func(_, klo, khi int) {
+		for k := klo; k < khi; k++ {
+			for j := 0; j < ny; j++ {
+				for i := 0; i < nx; i++ {
+					work[(k*ny+j)*nx+i] = complex(coeff*(rho.At(i, j, k)-mean), 0)
+				}
 			}
 		}
-	}
+	})
 	plan.Forward(work)
 	// Discrete Laplacian eigenvalue for mode m along a dimension of
 	// size N: (2 cos(2π m/N) - 2) / dx².
 	lx := lapEigen(nx, dx)
 	ly := lapEigen(ny, dx)
 	lz := lapEigen(nz, dx)
-	for k := 0; k < nz; k++ {
-		for j := 0; j < ny; j++ {
-			for i := 0; i < nx; i++ {
-				idx := (k*ny+j)*nx + i
-				den := lx[i] + ly[j] + lz[k]
-				if den == 0 {
-					work[idx] = 0 // zero mode: potential defined up to a constant
-					continue
+	par.For(workers, nz, 0, func(_, klo, khi int) {
+		for k := klo; k < khi; k++ {
+			for j := 0; j < ny; j++ {
+				for i := 0; i < nx; i++ {
+					idx := (k*ny+j)*nx + i
+					den := lx[i] + ly[j] + lz[k]
+					if den == 0 {
+						work[idx] = 0 // zero mode: potential defined up to a constant
+						continue
+					}
+					work[idx] /= complex(den, 0)
 				}
-				work[idx] /= complex(den, 0)
 			}
 		}
-	}
+	})
 	plan.Inverse(work)
 	phi := mesh.NewField3(nx, ny, nz, rho.Ng)
-	for k := 0; k < nz; k++ {
-		for j := 0; j < ny; j++ {
-			for i := 0; i < nx; i++ {
-				phi.Set(i, j, k, real(work[(k*ny+j)*nx+i]))
+	par.For(workers, nz, 0, func(_, klo, khi int) {
+		for k := klo; k < khi; k++ {
+			for j := 0; j < ny; j++ {
+				for i := 0; i < nx; i++ {
+					phi.Set(i, j, k, real(work[(k*ny+j)*nx+i]))
+				}
 			}
 		}
-	}
+	})
 	phi.ApplyPeriodicBC()
 	return phi, nil
 }
@@ -104,20 +119,32 @@ func Accelerations(phi *mesh.Field3, dx float64) (gx, gy, gz *mesh.Field3) {
 // Residual computes r = rhs - ∇²φ over the active region (7-point
 // Laplacian; φ's ghosts must hold the boundary values).
 func Residual(phi, rhs *mesh.Field3, dx float64) *mesh.Field3 {
+	return residualWorkers(phi, rhs, dx, 1)
+}
+
+func residualWorkers(phi, rhs *mesh.Field3, dx float64, workers int) *mesh.Field3 {
 	r := mesh.NewField3(phi.Nx, phi.Ny, phi.Nz, phi.Ng)
+	residualInto(r, phi, rhs, dx, workers)
+	return r
+}
+
+// residualInto computes the residual into a caller-supplied field,
+// letting iterative callers reuse one allocation across cycles.
+func residualInto(r, phi, rhs *mesh.Field3, dx float64, workers int) {
 	inv := 1 / (dx * dx)
-	for k := 0; k < phi.Nz; k++ {
-		for j := 0; j < phi.Ny; j++ {
-			for i := 0; i < phi.Nx; i++ {
-				lap := (phi.At(i+1, j, k) + phi.At(i-1, j, k) +
-					phi.At(i, j+1, k) + phi.At(i, j-1, k) +
-					phi.At(i, j, k+1) + phi.At(i, j, k-1) -
-					6*phi.At(i, j, k)) * inv
-				r.Set(i, j, k, rhs.At(i, j, k)-lap)
+	par.For(workers, phi.Nz, 0, func(_, klo, khi int) {
+		for k := klo; k < khi; k++ {
+			for j := 0; j < phi.Ny; j++ {
+				for i := 0; i < phi.Nx; i++ {
+					lap := (phi.At(i+1, j, k) + phi.At(i-1, j, k) +
+						phi.At(i, j+1, k) + phi.At(i, j-1, k) +
+						phi.At(i, j, k+1) + phi.At(i, j, k-1) -
+						6*phi.At(i, j, k)) * inv
+					r.Set(i, j, k, rhs.At(i, j, k)-lap)
+				}
 			}
 		}
-	}
-	return r
+	})
 }
 
 // ResidualNorm returns the rms residual.

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/mesh"
+	"repro/internal/par"
 )
 
 // Multigrid relaxation solver for subgrid gravity ("a traditional
@@ -20,11 +21,30 @@ type MGParams struct {
 	BottomIters int     // sweeps at the coarsest level
 	MaxVCycles  int     // V-cycle cap
 	Tol         float64 // rms residual tolerance (relative to rhs rms)
+
+	// Workers bounds the goroutines used by the smoothing, residual and
+	// prolongation passes (par conventions: 0 = NumCPU, 1 = serial).
+	// Red-black ordering makes same-color updates independent, so the
+	// parallel solve is bitwise identical to the serial one.
+	Workers int
 }
 
 // DefaultMGParams returns robust production defaults.
 func DefaultMGParams() MGParams {
 	return MGParams{PreSmooth: 3, PostSmooth: 3, BottomIters: 60, MaxVCycles: 30, Tol: 1e-8}
+}
+
+// parGateCells is the grid size below which the multigrid passes stay
+// serial: coarse V-cycle levels are too small to amortize goroutine
+// hand-off.
+const parGateCells = 16 * 16 * 16
+
+// levelWorkers resolves the worker count for one multigrid level.
+func levelWorkers(f *mesh.Field3, workers int) int {
+	if f.Nx*f.Ny*f.Nz < parGateCells {
+		return 1
+	}
+	return workers
 }
 
 // SolveMultigrid runs V-cycles until the residual drops below
@@ -37,10 +57,16 @@ func SolveMultigrid(phi, rhs *mesh.Field3, dx float64, p MGParams) (float64, int
 	if rhsNorm == 0 {
 		rhsNorm = 1
 	}
+	// Reuse one residual field across cycles and compute it with the
+	// level's worker share, so the convergence check doesn't serialize
+	// (or reallocate) once per V-cycle.
+	w := levelWorkers(phi, p.Workers)
+	res := mesh.NewField3(phi.Nx, phi.Ny, phi.Nz, phi.Ng)
 	var rel float64
 	for cyc := 0; cyc < p.MaxVCycles; cyc++ {
 		vcycle(phi, rhs, dx, p)
-		rel = ResidualNorm(phi, rhs, dx) / rhsNorm
+		residualInto(res, phi, rhs, dx, w)
+		rel = rmsActive(res) / rhsNorm
 		if rel < p.Tol {
 			return rel, cyc + 1
 		}
@@ -53,50 +79,56 @@ func vcycle(phi, rhs *mesh.Field3, dx float64, p MGParams) {
 	if nx%2 != 0 || ny%2 != 0 || nz%2 != 0 || nx <= 2 || ny <= 2 || nz <= 2 {
 		// Bottom: smooth hard.
 		for it := 0; it < p.BottomIters; it++ {
-			smoothRB(phi, rhs, dx)
+			smoothRB(phi, rhs, dx, 1)
 		}
 		return
 	}
+	w := levelWorkers(phi, p.Workers)
 	for it := 0; it < p.PreSmooth; it++ {
-		smoothRB(phi, rhs, dx)
+		smoothRB(phi, rhs, dx, w)
 	}
 	// Coarse-grid correction: residual restricted to the half grid;
 	// the error equation has homogeneous Dirichlet BCs (zero ghosts).
-	res := Residual(phi, rhs, dx)
+	res := residualWorkers(phi, rhs, dx, w)
 	crhs := mesh.NewField3(nx/2, ny/2, nz/2, 1)
 	mesh.Restrict(crhs, res, 0, 0, 0, 2)
 	cerr := mesh.NewField3(nx/2, ny/2, nz/2, 1)
 	vcycle(cerr, crhs, 2*dx, p)
 	// Prolong the correction (piecewise constant is sufficient for the
 	// error; higher order gains little) and add.
-	for k := 0; k < nz; k++ {
-		for j := 0; j < ny; j++ {
-			for i := 0; i < nx; i++ {
-				phi.Add(i, j, k, cerr.At(i/2, j/2, k/2))
+	par.For(w, nz, 0, func(_, klo, khi int) {
+		for k := klo; k < khi; k++ {
+			for j := 0; j < ny; j++ {
+				for i := 0; i < nx; i++ {
+					phi.Add(i, j, k, cerr.At(i/2, j/2, k/2))
+				}
 			}
 		}
-	}
+	})
 	for it := 0; it < p.PostSmooth; it++ {
-		smoothRB(phi, rhs, dx)
+		smoothRB(phi, rhs, dx, w)
 	}
 }
 
 // smoothRB performs one red-black Gauss-Seidel sweep of the 7-point
-// Laplacian.
-func smoothRB(phi, rhs *mesh.Field3, dx float64) {
+// Laplacian. Cells of one color only read the other color, so the k-planes
+// of a color pass can run concurrently with bitwise-identical results.
+func smoothRB(phi, rhs *mesh.Field3, dx float64, workers int) {
 	h2 := dx * dx
 	for color := 0; color < 2; color++ {
-		for k := 0; k < phi.Nz; k++ {
-			for j := 0; j < phi.Ny; j++ {
-				start := (k + j + color) % 2
-				for i := start; i < phi.Nx; i += 2 {
-					s := phi.At(i+1, j, k) + phi.At(i-1, j, k) +
-						phi.At(i, j+1, k) + phi.At(i, j-1, k) +
-						phi.At(i, j, k+1) + phi.At(i, j, k-1)
-					phi.Set(i, j, k, (s-h2*rhs.At(i, j, k))/6)
+		par.For(workers, phi.Nz, 0, func(_, klo, khi int) {
+			for k := klo; k < khi; k++ {
+				for j := 0; j < phi.Ny; j++ {
+					start := (k + j + color) % 2
+					for i := start; i < phi.Nx; i += 2 {
+						s := phi.At(i+1, j, k) + phi.At(i-1, j, k) +
+							phi.At(i, j+1, k) + phi.At(i, j-1, k) +
+							phi.At(i, j, k+1) + phi.At(i, j, k-1)
+						phi.Set(i, j, k, (s-h2*rhs.At(i, j, k))/6)
+					}
 				}
 			}
-		}
+		})
 	}
 }
 

@@ -30,9 +30,7 @@ func NewFluxTap(dir, faceIdx, lo1, hi1, lo2, hi2, nspecies int) *FluxTap {
 // Zero clears the accumulated fluxes.
 func (t *FluxTap) Zero() {
 	for q := range t.Data {
-		for i := range t.Data[q] {
-			t.Data[q][i] = 0
-		}
+		clear(t.Data[q])
 	}
 }
 

@@ -33,6 +33,14 @@ type Params struct {
 	DualEta   float64 // dual-energy selector threshold (0.008 Enzo default)
 	FloorRho  float64 // density floor
 	FloorEint float64 // specific internal energy floor
+
+	// Workers bounds the goroutines used to sweep pencils concurrently
+	// (par conventions: 0 = NumCPU, 1 = serial). Pencils are independent
+	// 1-D problems, so results are bitwise identical at any setting.
+	// Under the AMR driver leave this 0: the hierarchy plumbs its own
+	// Workers budget in (and caps an explicit value by that budget when
+	// several grids step concurrently).
+	Workers int
 }
 
 // DefaultParams returns production defaults matching the original code.

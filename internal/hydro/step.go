@@ -1,6 +1,11 @@
 package hydro
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/mesh"
+	"repro/internal/par"
+)
 
 // Step3D advances the state by dt on a grid with cell width dx using
 // dimensional Strang splitting. The sweep order alternates (xyz / zyx) with
@@ -25,8 +30,12 @@ func Step3D(s *State, dx, dt float64, p Params, solver Solver, parity int, bc fu
 	SyncDualEnergy(s, p)
 }
 
-// sweep performs one directional pass over the whole grid.
-func sweep(s *State, dir int, dx, dt float64, par Params, solver Solver, reg *FluxRegister, taps []*FluxTap) {
+// sweep performs one directional pass over the whole grid. Pencils are
+// independent 1-D problems over disjoint lines (gather, fluxes, update and
+// scatter all stay within one transverse coordinate, and register/tap
+// accumulation targets per-line entries), so the parallel pass is bitwise
+// identical to the serial one at any worker count.
+func sweep(s *State, dir int, dx, dt float64, prm Params, solver Solver, reg *FluxRegister, taps []*FluxTap) {
 	var n, n1, n2 int
 	switch dir {
 	case 0:
@@ -37,14 +46,19 @@ func sweep(s *State, dir int, dx, dt float64, par Params, solver Solver, reg *Fl
 		n, n1, n2 = s.Rho.Nz, s.Rho.Nx, s.Rho.Ny
 	}
 	ng := s.Rho.Ng
-	pc := newPencil(n, ng, len(s.Species))
+	nsp := len(s.Species)
 	dtdx := dt / dx
 
-	for c2 := 0; c2 < n2; c2++ {
-		for c1 := 0; c1 < n1; c1++ {
-			gatherPencil(s, dir, c1, c2, pc, par)
-			computeFluxes(pc, par, solver, dtdx)
-			updatePencil(pc, par, dtdx)
+	// One chunk per transverse plane keeps scatter writes cache-friendly.
+	par.For(prm.Workers, n1*n2, n1, func(_, lo, hi int) {
+		pc := getPencil(n, ng, nsp)
+		defer putPencil(pc)
+		for line := lo; line < hi; line++ {
+			c1 := line % n1
+			c2 := line / n1
+			gatherPencil(s, dir, c1, c2, pc, prm)
+			computeFluxes(pc, prm, solver, dtdx)
+			updatePencil(pc, prm, dtdx)
 			scatterPencil(s, dir, c1, c2, pc)
 			if reg != nil {
 				accumulateRegister(reg, dir, c1, c2, pc, dt)
@@ -53,49 +67,64 @@ func sweep(s *State, dir int, dx, dt float64, par Params, solver Solver, reg *Fl
 				accumulateTaps(taps, dir, c1, c2, pc, dt)
 			}
 		}
+	})
+}
+
+// lineBase returns the flat index of pencil cell a=-ng and the flat stride
+// along the sweep direction for a line at transverse coordinates (c1,c2).
+// All fields of a State share one shape, so the pair applies to each.
+func lineBase(f *mesh.Field3, dir, c1, c2, ng int) (base, stride int) {
+	switch dir {
+	case 0:
+		return f.Idx(-ng, c1, c2), f.StrideX()
+	case 1:
+		return f.Idx(c1, -ng, c2), f.StrideY()
+	default:
+		return f.Idx(c1, c2, -ng), f.StrideZ()
 	}
 }
 
 // gatherPencil extracts a line (with ghosts) along dir at transverse
 // coordinates (c1,c2). Velocity components are permuted so that u is the
-// sweep-normal component.
+// sweep-normal component. The flat base+stride walk replaces per-cell
+// At() index arithmetic in this innermost hot loop.
 func gatherPencil(s *State, dir, c1, c2 int, pc *pencil, par Params) {
 	tot := pc.n + 2*pc.ng
 	gm1 := par.Gamma - 1
-	for x := 0; x < tot; x++ {
-		a := x - pc.ng
-		var i, j, k int
-		switch dir {
-		case 0:
-			i, j, k = a, c1, c2
-		case 1:
-			i, j, k = c1, a, c2
-		case 2:
-			i, j, k = c1, c2, a
-		}
-		rho := s.Rho.At(i, j, k)
+	base, stride := lineBase(s.Rho, dir, c1, c2, pc.ng)
+	// Permute velocity fields so vu is the sweep-normal component.
+	var vu, vv, vw []float64
+	switch dir {
+	case 0:
+		vu, vv, vw = s.Vx.Data, s.Vy.Data, s.Vz.Data
+	case 1:
+		vu, vv, vw = s.Vy.Data, s.Vz.Data, s.Vx.Data
+	case 2:
+		vu, vv, vw = s.Vz.Data, s.Vx.Data, s.Vy.Data
+	}
+	rhoD, eintD, etotD := s.Rho.Data, s.Eint.Data, s.Etot.Data
+	for x, idx := 0, base; x < tot; x, idx = x+1, idx+stride {
+		rho := rhoD[idx]
 		if rho < par.FloorRho {
 			rho = par.FloorRho
 		}
-		ei := s.Eint.At(i, j, k)
+		ei := eintD[idx]
 		if ei < par.FloorEint {
 			ei = par.FloorEint
 		}
 		pc.rho[x] = rho
 		pc.eint[x] = ei
-		pc.et[x] = s.Etot.At(i, j, k)
+		pc.et[x] = etotD[idx]
 		pc.p[x] = gm1 * rho * ei
-		vx, vy, vz := s.Vx.At(i, j, k), s.Vy.At(i, j, k), s.Vz.At(i, j, k)
-		switch dir {
-		case 0:
-			pc.u[x], pc.v[x], pc.w[x] = vx, vy, vz
-		case 1:
-			pc.u[x], pc.v[x], pc.w[x] = vy, vz, vx
-		case 2:
-			pc.u[x], pc.v[x], pc.w[x] = vz, vx, vy
-		}
-		for sp := range s.Species {
-			pc.species[sp][x] = s.Species[sp].At(i, j, k)
+		pc.u[x] = vu[idx]
+		pc.v[x] = vv[idx]
+		pc.w[x] = vw[idx]
+	}
+	for sp := range s.Species {
+		spD := s.Species[sp].Data
+		dst := pc.species[sp]
+		for x, idx := 0, base; x < tot; x, idx = x+1, idx+stride {
+			dst[x] = spD[idx]
 		}
 	}
 }
@@ -325,36 +354,32 @@ func updatePencil(pc *pencil, par Params, dtdx float64) {
 // plus one ghost layer on each side, which holds partially updated data
 // for the subsequent sweeps of the split scheme).
 func scatterPencil(s *State, dir, c1, c2 int, pc *pencil) {
-	for a := -1; a <= pc.n; a++ {
-		x := a + pc.ng
-		var i, j, k int
-		switch dir {
-		case 0:
-			i, j, k = a, c1, c2
-		case 1:
-			i, j, k = c1, a, c2
-		case 2:
-			i, j, k = c1, c2, a
-		}
-		s.Rho.Set(i, j, k, pc.rho[x])
-		switch dir {
-		case 0:
-			s.Vx.Set(i, j, k, pc.u[x])
-			s.Vy.Set(i, j, k, pc.v[x])
-			s.Vz.Set(i, j, k, pc.w[x])
-		case 1:
-			s.Vy.Set(i, j, k, pc.u[x])
-			s.Vz.Set(i, j, k, pc.v[x])
-			s.Vx.Set(i, j, k, pc.w[x])
-		case 2:
-			s.Vz.Set(i, j, k, pc.u[x])
-			s.Vx.Set(i, j, k, pc.v[x])
-			s.Vy.Set(i, j, k, pc.w[x])
-		}
-		s.Etot.Set(i, j, k, pc.et[x])
-		s.Eint.Set(i, j, k, pc.eint[x])
-		for sp := range s.Species {
-			s.Species[sp].Set(i, j, k, pc.species[sp][x])
+	base, stride := lineBase(s.Rho, dir, c1, c2, pc.ng)
+	var vu, vv, vw []float64
+	switch dir {
+	case 0:
+		vu, vv, vw = s.Vx.Data, s.Vy.Data, s.Vz.Data
+	case 1:
+		vu, vv, vw = s.Vy.Data, s.Vz.Data, s.Vx.Data
+	case 2:
+		vu, vv, vw = s.Vz.Data, s.Vx.Data, s.Vy.Data
+	}
+	rhoD, eintD, etotD := s.Rho.Data, s.Eint.Data, s.Etot.Data
+	// Pencil index x = a+ng covers a in [-1, n]; flat index follows.
+	x0 := pc.ng - 1
+	for x, idx := x0, base+x0*stride; x <= pc.ng+pc.n; x, idx = x+1, idx+stride {
+		rhoD[idx] = pc.rho[x]
+		vu[idx] = pc.u[x]
+		vv[idx] = pc.v[x]
+		vw[idx] = pc.w[x]
+		etotD[idx] = pc.et[x]
+		eintD[idx] = pc.eint[x]
+	}
+	for sp := range s.Species {
+		spD := s.Species[sp].Data
+		src := pc.species[sp]
+		for x, idx := x0, base+x0*stride; x <= pc.ng+pc.n; x, idx = x+1, idx+stride {
+			spD[idx] = src[x]
 		}
 	}
 }

@@ -1,6 +1,9 @@
 package hydro
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // This file contains the pencil-based dimensionally-split update shared by
 // both solvers: gather a 1-D line of cells (with ghosts), reconstruct
@@ -47,10 +50,7 @@ func NewFluxRegister(nx, ny, nz, nspecies int) *FluxRegister {
 func (r *FluxRegister) Zero() {
 	for f := 0; f < 6; f++ {
 		for q := range r.Face[f] {
-			row := r.Face[f][q]
-			for i := range row {
-				row[i] = 0
-			}
+			clear(r.Face[f][q])
 		}
 	}
 }
@@ -138,6 +138,34 @@ func newPencil(n, ng, nspecies int) *pencil {
 		p.stR[v] = make([]float64, tot+1)
 	}
 	return p
+}
+
+// pencilPools recycles pencils across sweep calls, one sync.Pool per
+// pencil shape (an AMR run sweeps many non-cubic subgrids, so the three
+// sweep directions alternate shapes; a single untyped pool would thrash).
+// One sweep over an N³ grid used to allocate ~30 slices per call, now
+// amortized to zero in steady state.
+var pencilPools sync.Map // pencilKey -> *sync.Pool
+
+type pencilKey struct{ n, ng, nspecies int }
+
+func getPencil(n, ng, nspecies int) *pencil {
+	key := pencilKey{n, ng, nspecies}
+	if p, ok := pencilPools.Load(key); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			return v.(*pencil)
+		}
+	}
+	return newPencil(n, ng, nspecies)
+}
+
+func putPencil(pc *pencil) {
+	key := pencilKey{pc.n, pc.ng, len(pc.species)}
+	p, ok := pencilPools.Load(key)
+	if !ok {
+		p, _ = pencilPools.LoadOrStore(key, &sync.Pool{})
+	}
+	p.(*sync.Pool).Put(pc)
 }
 
 func clamp01(x float64) float64 {

@@ -69,10 +69,18 @@ func (f *Field3) StrideZ() int { return f.sy }
 
 // Fill sets every element (including ghosts) to v.
 func (f *Field3) Fill(v float64) {
+	if v == 0 {
+		clear(f.Data)
+		return
+	}
 	for i := range f.Data {
 		f.Data[i] = v
 	}
 }
+
+// Zero clears every element (including ghosts) with the clear builtin
+// (memclr — measurably faster than an assignment loop on large fields).
+func (f *Field3) Zero() { clear(f.Data) }
 
 // CopyFrom copies the full contents (including ghosts) of src, which must
 // have identical shape.

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/ep128"
 	"repro/internal/mesh"
+	"repro/internal/par"
 )
 
 // Particles is a structure-of-arrays particle container. Positions are in
@@ -109,12 +110,75 @@ func (g GridGeom) RelPos(p *Particles, i int) (x, y, z float64) {
 // back with FoldGhostsPeriodic. Returns the number of particles whose
 // cloud touched the grid.
 func DepositCIC(p *Particles, rho *mesh.Field3, geom GridGeom) int {
+	return depositCICRange(p, rho, geom, 0, p.Len())
+}
+
+// DepositCICWorkers is DepositCIC with an explicit worker bound (par
+// conventions: 0 = NumCPU, 1 = serial, which delegates to the serial
+// kernel). Each of the resolved W workers deposits a fixed contiguous
+// particle range into a private buffer; the buffers are then reduced into
+// rho in range order. The partition and reduction order depend only on W
+// and the particle order — never on scheduling — so the result is
+// deterministic for a given worker count (though not bitwise identical to
+// the serial sum, which accumulates in a different order).
+func DepositCICWorkers(p *Particles, rho *mesh.Field3, geom GridGeom, workers int) int {
+	w := par.Workers(workers)
+	n := p.Len()
+	// Per-range field buffers cost a full zeroed grid copy each; stay
+	// serial unless there is enough work to amortize them, and never
+	// spread fewer than ~2048 particles over a buffer (on a many-core
+	// machine an uncapped w would allocate NumCPU grid copies for a
+	// handful of particles each).
+	const minPerRange = 2048
+	if w > n/minPerRange {
+		w = n / minPerRange
+	}
+	if w <= 1 {
+		return DepositCIC(p, rho, geom)
+	}
+	bufs := make([]*mesh.Field3, w)
+	counts := make([]int, w)
+	span := (n + w - 1) / w
+	// Exactly one index per range: the range id doubles as the slot id,
+	// so results do not depend on which worker claims which range.
+	par.For(w, w, 1, func(_, lo, hi int) {
+		for slot := lo; slot < hi; slot++ {
+			plo, phi := slot*span, (slot+1)*span
+			if phi > n {
+				phi = n
+			}
+			if plo >= phi {
+				continue
+			}
+			buf := mesh.NewField3(rho.Nx, rho.Ny, rho.Nz, rho.Ng)
+			bufs[slot] = buf
+			counts[slot] = depositCICRange(p, buf, geom, plo, phi)
+		}
+	})
+	total := 0
+	for slot := 0; slot < w; slot++ {
+		if bufs[slot] == nil {
+			continue
+		}
+		total += counts[slot]
+		src := bufs[slot].Data
+		dst := rho.Data
+		for i, v := range src {
+			if v != 0 {
+				dst[i] += v
+			}
+		}
+	}
+	return total
+}
+
+// depositCICRange deposits particles [lo, hi) with the CIC kernel.
+func depositCICRange(p *Particles, rho *mesh.Field3, geom GridGeom, lo, hi int) int {
 	ng := rho.Ng
 	invVol := 1 / (geom.Dx * geom.Dx * geom.Dx)
 	count := 0
-	for i := 0; i < p.Len(); i++ {
+	for i := lo; i < hi; i++ {
 		x, y, z := geom.RelPos(p, i)
-		// CIC: cloud centered at particle, cell centers at (i+0.5).
 		fx := x - 0.5
 		fy := y - 0.5
 		fz := z - 0.5

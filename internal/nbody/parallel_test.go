@@ -1,0 +1,81 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ep128"
+	"repro/internal/mesh"
+)
+
+func scatterParticles(n int) *Particles {
+	p := New(n)
+	for i := 0; i < n; i++ {
+		// Low-discrepancy-ish scatter, clustered toward one corner so
+		// worker ranges see unequal cell overlap.
+		x := math.Mod(0.13+0.6180339887*float64(i), 1.0)
+		y := math.Mod(0.29+0.7548776662*float64(i), 1.0)
+		z := math.Mod(0.71+0.5698402910*float64(i), 1.0)
+		p.Add(ep128.FromFloat64(x*x), ep128.FromFloat64(y), ep128.FromFloat64(z),
+			0, 0, 0, 1.0+0.001*float64(i%7), int64(i))
+	}
+	return p
+}
+
+// TestDepositCICWorkersDeterministic: the parallel deposit partitions
+// particles into fixed ranges and reduces the per-range buffers in range
+// order, so for a given worker count the result is bitwise reproducible,
+// and the total deposited mass matches the serial kernel to round-off.
+func TestDepositCICWorkersDeterministic(t *testing.T) {
+	const n = 16
+	const np = 10000 // enough for 4 full ranges above the parallel gate
+	p := scatterParticles(np)
+	geom := GridGeom{Dx: 1.0 / n}
+	for d := 0; d < 3; d++ {
+		geom.Origin[d] = ep128.FromFloat64(0)
+	}
+
+	serial := mesh.NewField3(n, n, n, 1)
+	cs := DepositCIC(p, serial, geom)
+
+	run := func(workers int) (*mesh.Field3, int) {
+		rho := mesh.NewField3(n, n, n, 1)
+		c := DepositCICWorkers(p, rho, geom, workers)
+		return rho, c
+	}
+
+	par1, c1 := run(4)
+	par2, c2 := run(4)
+	if c1 != cs || c2 != cs {
+		t.Fatalf("deposit counts differ: serial %d, parallel %d/%d", cs, c1, c2)
+	}
+	for idx, v := range par1.Data {
+		if par2.Data[idx] != v {
+			t.Fatalf("same worker count not bitwise reproducible at %d", idx)
+		}
+	}
+
+	// Against serial: same cells touched, mass equal to round-off.
+	var msSerial, msPar float64
+	for idx, v := range serial.Data {
+		msSerial += v
+		msPar += par1.Data[idx]
+		if (v == 0) != (par1.Data[idx] == 0) {
+			t.Fatalf("cell support differs at %d: serial %v parallel %v", idx, v, par1.Data[idx])
+		}
+		if diff := math.Abs(v - par1.Data[idx]); diff > 1e-11*math.Max(1, math.Abs(v)) {
+			t.Fatalf("cell %d differs beyond round-off: %v vs %v", idx, v, par1.Data[idx])
+		}
+	}
+	if math.Abs(msSerial-msPar) > 1e-9*msSerial {
+		t.Fatalf("total mass differs: %v vs %v", msSerial, msPar)
+	}
+
+	// Workers=1 must be the serial kernel exactly.
+	one, _ := run(1)
+	for idx, v := range serial.Data {
+		if one.Data[idx] != v {
+			t.Fatalf("workers=1 deposit is not the serial kernel at %d", idx)
+		}
+	}
+}

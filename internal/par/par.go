@@ -1,0 +1,166 @@
+// Package par is the shared data-parallel execution engine of the code
+// base. Every hot kernel — the hydro pencil sweeps, multigrid smoothing,
+// the batched 3-D FFT line transforms, the per-cell chemistry solver and
+// the CIC particle deposit — expresses its inner loop as a call to For,
+// which partitions an index range over a bounded set of worker goroutines
+// with dynamic chunk stealing.
+//
+// Worker identity is exposed as a dense id in [0, workers), so kernels can
+// keep per-worker scratch buffers (see Scratch) without locking: at any
+// moment a worker id is owned by exactly one goroutine.
+//
+// Conventions for the Workers knob used throughout the repository:
+//
+//	0  → runtime.NumCPU() (the production default)
+//	1  → serial (runs inline on the calling goroutine, no goroutines spawned)
+//	n  → exactly n workers
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Workers knob: values <= 0 mean runtime.NumCPU().
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// For runs body over the index range [0, n), partitioned into chunks of
+// the given size that are claimed dynamically by up to `workers` worker
+// goroutines. body receives its worker id (dense in [0, workers)) and a
+// half-open index range [lo, hi) to process.
+//
+// chunk <= 0 selects a default of roughly four chunks per worker, which
+// absorbs moderate per-index cost imbalance without shredding cache
+// locality. workers <= 0 resolves to runtime.NumCPU(); a resolved worker
+// count of 1 (or n small enough for a single chunk) runs body inline on
+// the calling goroutine with worker id 0.
+//
+// A panic in body is captured and re-raised on the calling goroutine once
+// all workers have drained, wrapped in a WorkerPanic carrying the original
+// value plus the worker's stack. The inline path wraps identically, so
+// panic identity does not depend on the worker count. Nested calls are
+// safe: each For spawns its own goroutines and shares nothing with
+// enclosing calls.
+func For(workers, n, chunk int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if chunk <= 0 {
+		chunk = (n + workers*4 - 1) / (workers * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	nchunks := (n + chunk - 1) / chunk
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers <= 1 {
+		defer rewrapPanic(0)
+		body(0, 0, n)
+		return
+	}
+
+	var next atomic.Int64
+	var panicked atomic.Bool
+	var panicVal atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if panicked.CompareAndSwap(false, true) {
+						wp, ok := r.(WorkerPanic) // nested For already wrapped it
+						if !ok {
+							wp = WorkerPanic{Worker: w, Value: r, Stack: string(debug.Stack())}
+						}
+						panicVal.Store(wp)
+					}
+					// Poison the counter so peers stop claiming work.
+					next.Store(int64(nchunks))
+				}
+			}()
+			for !panicked.Load() {
+				c := int(next.Add(1)) - 1
+				if c >= nchunks {
+					return
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal.Load())
+	}
+}
+
+// WorkerPanic is the value re-raised by For when a body panics: the
+// original panic value is preserved (callers that recover can inspect
+// Value) together with the failing worker id and its stack.
+type WorkerPanic struct {
+	Worker int
+	Value  any
+	Stack  string
+}
+
+// String renders the panic with the worker's original stack trace.
+func (p WorkerPanic) String() string {
+	return fmt.Sprintf("par.For worker %d: %v\n%s", p.Worker, p.Value, p.Stack)
+}
+
+// rewrapPanic gives the inline (single-worker) path the same panic shape
+// as the pooled path.
+func rewrapPanic(worker int) {
+	if r := recover(); r != nil {
+		if wp, ok := r.(WorkerPanic); ok {
+			panic(wp) // nested For already wrapped it
+		}
+		panic(WorkerPanic{Worker: worker, Value: r, Stack: string(debug.Stack())})
+	}
+}
+
+// Scratch holds one lazily created value per worker slot, for gather/
+// scatter buffers and similar per-worker working memory that must not be
+// shared between concurrently running bodies.
+//
+// Get must only be called with the worker id passed to a For body (each id
+// is owned by one goroutine at a time, so no locking is needed). Note that
+// dynamic chunk stealing makes the chunk→worker assignment scheduling-
+// dependent: deterministic floating-point reductions must key buffers by
+// range id instead (see nbody.DepositCICWorkers), not by worker id.
+type Scratch[T any] struct {
+	mk    func() T
+	slots []*T
+}
+
+// NewScratch returns a Scratch with capacity for `workers` slots, each
+// filled on first Get by mk.
+func NewScratch[T any](workers int, mk func() T) *Scratch[T] {
+	return &Scratch[T]{mk: mk, slots: make([]*T, Workers(workers))}
+}
+
+// Get returns worker w's value, creating it on first use.
+func (s *Scratch[T]) Get(w int) T {
+	if s.slots[w] == nil {
+		v := s.mk()
+		s.slots[w] = &v
+	}
+	return *s.slots[w]
+}

@@ -1,0 +1,146 @@
+package par
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 7, 100, 1023} {
+			hits := make([]int32, n)
+			For(workers, n, 3, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, c := range hits {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForWorkerIDsDense(t *testing.T) {
+	const workers = 4
+	seen := make([]int32, workers) // Get via index panics on an id outside [0, workers)
+	var total int32
+	For(workers, 1000, 1, func(w, lo, hi int) {
+		atomic.AddInt32(&seen[w], 1)
+		atomic.AddInt32(&total, int32(hi-lo))
+	})
+	if total != 1000 {
+		t.Fatalf("chunks covered %d indices, want 1000", total)
+	}
+}
+
+func TestForSerialInline(t *testing.T) {
+	// workers=1 must run on the calling goroutine as one chunk.
+	calls := 0
+	For(1, 50, 3, func(w, lo, hi int) {
+		calls++
+		if w != 0 || lo != 0 || hi != 50 {
+			t.Fatalf("serial path got (w=%d, lo=%d, hi=%d)", w, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("serial path made %d calls, want 1", calls)
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	// Both the pooled and the inline path must re-raise a WorkerPanic
+	// preserving the original value, so panic identity does not depend
+	// on the worker count.
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				wp, ok := r.(WorkerPanic)
+				if !ok {
+					t.Fatalf("workers=%d: panic value %T is not a WorkerPanic", workers, r)
+				}
+				if wp.Value != "boom" {
+					t.Fatalf("workers=%d: original panic value lost: %v", workers, wp.Value)
+				}
+				if !strings.Contains(wp.String(), "boom") || wp.Stack == "" {
+					t.Fatalf("workers=%d: WorkerPanic lost message or stack", workers)
+				}
+			}()
+			For(workers, 100, 1, func(_, lo, hi int) {
+				if lo <= 42 && 42 < hi {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestForNested(t *testing.T) {
+	var total atomic.Int64
+	For(4, 10, 1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(4, 10, 1, func(_, lo2, hi2 int) {
+				total.Add(int64(hi2 - lo2))
+			})
+		}
+	})
+	if total.Load() != 100 {
+		t.Fatalf("nested For covered %d indices, want 100", total.Load())
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Errorf("Workers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-3); got != runtime.NumCPU() {
+		t.Errorf("Workers(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d, want 5", got)
+	}
+}
+
+func TestScratchReusePerWorker(t *testing.T) {
+	made := atomic.Int32{}
+	s := NewScratch(4, func() []float64 {
+		made.Add(1)
+		return make([]float64, 8)
+	})
+	// Repeated gets from the same worker id return the same slice.
+	a := s.Get(2)
+	b := s.Get(2)
+	if &a[0] != &b[0] {
+		t.Fatal("Scratch.Get did not reuse the worker slot")
+	}
+	if made.Load() != 1 {
+		t.Fatalf("mk called %d times, want 1", made.Load())
+	}
+	// Distinct workers get distinct values.
+	if c := s.Get(0); &c[0] == &a[0] {
+		t.Fatal("worker slots alias each other")
+	}
+}
+
+func TestScratchUnderFor(t *testing.T) {
+	const workers = 4
+	s := NewScratch(workers, func() *int64 { return new(int64) })
+	For(workers, 1000, 1, func(w, lo, hi int) {
+		*s.Get(w) += int64(hi - lo)
+	})
+	var total int64
+	for w := 0; w < workers; w++ {
+		total += *s.Get(w)
+	}
+	if total != 1000 {
+		t.Fatalf("per-worker accumulation lost work: %d != 1000", total)
+	}
+}
