@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-full vet bench bench-scaling clean
+.PHONY: build test test-full vet bench bench-scaling problems clean
 
 build:
 	$(GO) build ./...
@@ -25,5 +25,19 @@ bench:
 bench-scaling:
 	$(GO) test -run xxx -bench='Scaling' -benchmem .
 
+# Smoke-run every registered problem for 2 root steps at 8^3 — the same
+# matrix the CI `problems` job drives via `enzogo -list`.
+problems:
+	@mkdir -p bin
+	$(GO) build -o bin/enzogo ./cmd/enzogo
+	@bin/enzogo -list | cut -f1 > bin/problems.txt
+	@test -s bin/problems.txt || { echo "enzogo -list produced no problems"; exit 1; }
+	@while read -r p; do \
+		echo "== $$p =="; \
+		bin/enzogo -problem $$p -steps 2 -rootn 8 >/dev/null || exit 1; \
+	done < bin/problems.txt
+	@echo "all registered problems ran clean"
+
 clean:
 	$(GO) clean ./...
+	rm -rf bin

@@ -1,65 +1,154 @@
-// Command enzogo runs one of the built-in problems and reports the
+// Command enzogo runs one of the registered problems and reports the
 // hierarchy statistics, component-usage table and performance summary —
 // the reproduction's equivalent of the paper's production driver.
 //
+// Problems are resolved dynamically from the problem registry
+// (internal/problems): any scenario registered with problems.Register is
+// runnable by name, and -list prints the catalog. Unset flags fall back
+// to the problem's own defaults.
+//
 // Usage:
 //
+//	enzogo -list
 //	enzogo -problem collapse -steps 40 -rootn 16 -maxlevel 5
-//	enzogo -problem sedov -steps 20
-//	enzogo -problem pancake -steps 30
-//	enzogo -problem zoom -steps 10
+//	enzogo -problem sedov -steps 20 -p e0=50
+//	enzogo -problem khi -steps 30 -rootn 32
+//	enzogo -problem zoom -steps 10 -save run.gob.gz
+//	enzogo -restart run.gob.gz -steps 10
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"maps"
 	"os"
+	"slices"
+	"strconv"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/perf"
 	"repro/internal/problems"
+	"repro/internal/snapshot"
 )
 
 func main() {
-	problem := flag.String("problem", "collapse", "problem: collapse | sedov | pancake | zoom")
+	list := flag.Bool("list", false, "list registered problems (name<TAB>description) and exit")
+	long := flag.Bool("long", false, "with -list: include what each problem exercises, its example command and -p knobs")
+	problem := flag.String("problem", "collapse", "registered problem name (see -list)")
 	steps := flag.Int("steps", 20, "root-grid steps to run")
-	rootN := flag.Int("rootn", 16, "root grid size (power of two)")
-	maxLevel := flag.Int("maxlevel", 4, "maximum refinement level")
+	rootN := flag.Int("rootn", 0, "root grid size, power of two (0 = problem default)")
+	maxLevel := flag.Int("maxlevel", 0, "maximum refinement level (0 = problem default)")
 	workers := flag.Int("workers", 0, "worker goroutines for all parallel kernels (0 = NumCPU, 1 = serial)")
-	chemistry := flag.Bool("chem", true, "enable 12-species chemistry (collapse/zoom)")
-	seed := flag.Int64("seed", 12345, "IC random seed (zoom)")
+	chemistry := flag.Bool("chem", true, "enable 12-species chemistry where the problem supports it")
+	seed := flag.Int64("seed", 0, "IC random seed (0 = problem default)")
+	solver := flag.String("solver", "", "hydro solver: ppm | fd (empty = problem default)")
+	extras := map[string]float64{}
+	flag.Func("p", "problem-specific knob key=value (repeatable, see README catalog)", func(s string) error {
+		key, val, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("want key=value, got %q", s)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return err
+		}
+		extras[key] = v
+		return nil
+	})
+	saveOut := flag.String("save", "", "write a self-describing snapshot here after the run")
+	restart := flag.String("restart", "", "restart from this snapshot instead of building -problem")
 	profileOut := flag.String("profile", "", "write a radial profile table to this file at the end")
 	flag.Parse()
 
+	if *list {
+		for _, name := range problems.Names() {
+			spec, _ := problems.Get(name)
+			fmt.Printf("%s\t%s\n", name, spec.Summary)
+			if *long {
+				fmt.Printf("\texercises: %s\n\texample:   %s\n", spec.Exercises, spec.Example)
+				for _, k := range slices.Sorted(maps.Keys(spec.Knobs)) {
+					fmt.Printf("\t-p %s=...  %s\n", k, spec.Knobs[k])
+				}
+			}
+		}
+		return
+	}
+
 	var sim *core.Simulation
 	var err error
-	switch *problem {
-	case "collapse":
-		o := problems.DefaultCollapseOpts()
-		o.RootN = *rootN
-		o.MaxLevel = *maxLevel
-		o.Chemistry = *chemistry
-		o.Workers = *workers
-		sim, err = core.NewPrimordialCollapse(o)
-	case "sedov":
-		sim, err = core.NewSedov(*rootN, *maxLevel, 10.0)
-	case "pancake":
-		sim, err = core.NewPancake(problems.PancakeOpts{RootN: *rootN})
-	case "zoom":
-		sim, err = core.NewZoom(problems.ZoomOpts{
-			RootN: *rootN, StaticLevels: 2, MaxLevel: *maxLevel,
-			Seed: *seed, Chemistry: *chemistry,
+	if *restart != "" {
+		h, name, lerr := snapshot.Load(*restart)
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		// Workers is a runtime knob of the machine that saved the
+		// snapshot, not physics: reset to NumCPU for this host (an
+		// explicit -workers below still wins).
+		h.Cfg.Workers = 0
+		// The snapshot header fixes the problem and grid geometry, but
+		// explicitly passed physics/runtime flags still apply — the
+		// paper's §4 restart-with-additional-levels workflow. Flags
+		// that cannot apply to a restart are called out, not dropped
+		// silently.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "workers":
+				h.Cfg.Workers = *workers
+			case "maxlevel":
+				h.Cfg.MaxLevel = *maxLevel
+			case "solver":
+				s, serr := problems.ParseSolver(*solver)
+				if serr != nil {
+					log.Fatal(serr)
+				}
+				h.Cfg.Solver = s
+			case "chem":
+				if *chemistry && h.Cfg.NSpecies == 0 {
+					log.Fatal("cannot enable chemistry: snapshot was saved without species fields")
+				}
+				h.Cfg.Chemistry = *chemistry
+			case "problem", "rootn", "seed", "p":
+				log.Printf("warning: -%s is fixed by the snapshot and ignored on restart", f.Name)
+			}
 		})
-	default:
-		log.Fatalf("unknown problem %q", *problem)
-	}
-	if err != nil {
-		log.Fatal(err)
+		sim = &core.Simulation{H: h, Problem: name}
+		fmt.Printf("restarted %q from %s at t=%.5f\n", name, *restart, h.Time)
+	} else {
+		sim, err = core.New(*problem, func(o *problems.Opts) {
+			// CLI flags override the spec defaults only when set.
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "rootn":
+					o.RootN = *rootN
+				case "maxlevel":
+					o.MaxLevel = *maxLevel
+				case "workers":
+					o.Workers = *workers
+				case "chem":
+					o.Chemistry = *chemistry
+				case "seed":
+					o.Seed = *seed
+				case "solver":
+					o.Solver = *solver
+				}
+			})
+			for k, v := range extras {
+				if o.Extra == nil {
+					o.Extra = map[string]float64{}
+				}
+				o.Extra[k] = v
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Printf("problem=%s rootN=%d maxLevel=%d grids=%d\n",
-		*problem, *rootN, *maxLevel, sim.H.NumGrids())
+		sim.Problem, sim.H.Cfg.RootN, sim.H.Cfg.MaxLevel, sim.H.NumGrids())
 	for s := 0; s < *steps; s++ {
 		dt := sim.Step()
 		h := sim.History[len(sim.History)-1]
@@ -69,10 +158,17 @@ func main() {
 
 	fmt.Println()
 	fmt.Println(sim.UsageTable())
+	fmt.Println(perf.FormatOperatorTable(sim.H.Timing))
 	fmt.Println(sim.FlopReport())
 	fmt.Printf("SDR achieved: %.0f   grids created: %d   rebuilds: %d\n",
 		sim.H.SpatialDynamicRange(), sim.H.Stats.GridsCreated, sim.H.Stats.RebuildCount)
 
+	if *saveOut != "" {
+		if err := snapshot.Save(*saveOut, sim.H, sim.Problem); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot written to %s\n", *saveOut)
+	}
 	if *profileOut != "" {
 		pr, err := sim.RadialProfileAtPeak(24)
 		if err != nil {

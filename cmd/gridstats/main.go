@@ -21,11 +21,11 @@ func main() {
 	chem := flag.Bool("chem", true, "chemistry on")
 	flag.Parse()
 
-	o := problems.DefaultCollapseOpts()
-	o.RootN = *rootN
-	o.MaxLevel = *maxLevel
-	o.Chemistry = *chem
-	sim, err := core.NewPrimordialCollapse(o)
+	sim, err := core.New("collapse", func(o *problems.Opts) {
+		o.RootN = *rootN
+		o.MaxLevel = *maxLevel
+		o.Chemistry = *chem
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	problem := flag.String("problem", "collapse", "problem: collapse | sedov")
+	problem := flag.String("problem", "collapse", "registered problem name (see enzogo -list)")
 	steps := flag.Int("steps", 12, "root steps to run before rendering")
 	frames := flag.Int("frames", 4, "number of zoom frames")
 	factor := flag.Float64("factor", 10, "zoom factor per frame (paper Fig 3: 10)")
@@ -27,18 +27,14 @@ func main() {
 	outDir := flag.String("out", "frames", "output directory for PGM images")
 	flag.Parse()
 
-	var sim *core.Simulation
-	var err error
-	switch *problem {
-	case "collapse":
-		o := problems.DefaultCollapseOpts()
-		o.MaxLevel = 4
-		sim, err = core.NewPrimordialCollapse(o)
-	case "sedov":
-		sim, err = core.NewSedov(32, 2, 10.0)
-	default:
-		log.Fatalf("unknown problem %q", *problem)
-	}
+	sim, err := core.New(*problem, func(o *problems.Opts) {
+		switch *problem {
+		case "collapse":
+			o.MaxLevel = 4
+		case "sedov":
+			o.RootN, o.MaxLevel = 32, 2
+		}
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -24,10 +24,10 @@ func main() {
 	nbins := flag.Int("bins", 20, "radial bins")
 	flag.Parse()
 
-	o := problems.DefaultCollapseOpts()
-	o.RootN = *rootN
-	o.MaxLevel = *maxLevel
-	sim, err := core.NewPrimordialCollapse(o)
+	sim, err := core.New("collapse", func(o *problems.Opts) {
+		o.RootN = *rootN
+		o.MaxLevel = *maxLevel
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,15 +4,65 @@
 // the Enzo cosmological AMR code and its primordial star formation
 // application.
 //
-// The library lives under internal/: the SAMR engine (internal/amr), two
-// hydro solvers (internal/hydro), FFT+multigrid gravity
-// (internal/gravity), adaptive particle-mesh N-body (internal/nbody), the
-// 12-species primordial chemistry network (internal/chem), 128-bit
-// extended precision arithmetic (internal/ep128), Berger–Rigoutsos
-// clustering (internal/clustering), the message-passing runtime model
-// (internal/mp), cosmological initial conditions (internal/cosmology),
-// analysis tools (internal/analysis) and the Simulation façade
-// (internal/core).
+// The library lives under internal/: the SAMR engine (internal/amr), the
+// operator-split physics pipeline (internal/physics), two hydro solvers
+// (internal/hydro), FFT+multigrid gravity (internal/gravity), adaptive
+// particle-mesh N-body (internal/nbody), the 12-species primordial
+// chemistry network (internal/chem), 128-bit extended precision
+// arithmetic (internal/ep128), Berger–Rigoutsos clustering
+// (internal/clustering), the message-passing runtime model (internal/mp),
+// cosmological initial conditions (internal/cosmology), the problem
+// registry (internal/problems), analysis tools (internal/analysis) and
+// the Simulation façade (internal/core).
+//
+// # Registering a new problem
+//
+// Problem setups are declarative registry entries, not driver edits: one
+// problems.Register call makes a scenario available to the enzogo CLI
+// (-problem name, listed by -list), core.New, the table-driven smoke
+// tests and the CI problem matrix. A Spec carries a one-line summary,
+// the problem's default Opts, and a builder from Opts to an initialized
+// hierarchy:
+//
+//	problems.Register(problems.Spec{
+//		Name:     "blob",
+//		Summary:  "dense cloud crushed by a supersonic wind",
+//		Defaults: problems.Opts{RootN: 32, MaxLevel: 2},
+//		Build: func(o problems.Opts) (*amr.Hierarchy, error) {
+//			cfg := amr.DefaultConfig(o.RootN)
+//			// ... fill the root grid's fields ...
+//			h, err := amr.NewHierarchy(cfg)
+//			// ...
+//			h.RebuildHierarchy(1)
+//			return h, nil
+//		},
+//	})
+//
+// Problem-specific numeric knobs go in Opts.Extra (bound to repeated
+// "-p key=value" CLI flags) and are read with o.ExtraOr(key, default).
+//
+// # Registering a new physics operator
+//
+// The hierarchy advances each grid by running Hierarchy.Physics, an
+// ordered physics.Pipeline of operator-split components (gravity
+// half-kick, hydro, half-kick, N-body KDK, expansion drag, chemistry by
+// default, plus the level-wide Poisson solve as a per-level stage). An
+// operator sees only a physics.Grid view and the run's physics.Context,
+// so it runs unchanged on every grid of every level — the paper's
+// "off-the-shelf solver" architecture. To add physics (a tracer field,
+// a heating source, star formation), implement physics.Operator —
+// Name, Timing Component, ghost-zone depth NGhost, per-grid Apply, and
+// a Timestep constraint hook (return math.Inf(1) when unconstrained) —
+// and splice it in:
+//
+//	h.Physics.Append(myOp)                         // after chemistry
+//	h.Physics.InsertBefore("chemistry", myOp)      // or mid-pipeline
+//
+// Operators whose work couples a whole level implement
+// physics.LevelOperator; ApplyLevel runs once per level step before the
+// per-grid sweep. Wall-clock time is billed per operator into
+// amr.Timing (Timing.PerOp, rendered by perf.FormatOperatorTable) so a
+// new component shows up in the §5 usage table automatically.
 //
 // # Parallel execution model
 //

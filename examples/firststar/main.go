@@ -19,10 +19,10 @@ import (
 )
 
 func main() {
-	opts := problems.DefaultCollapseOpts()
-	opts.RootN = 16
-	opts.MaxLevel = 4
-	sim, err := core.NewPrimordialCollapse(opts)
+	sim, err := core.New("collapse", func(o *problems.Opts) {
+		o.RootN = 16
+		o.MaxLevel = 4
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

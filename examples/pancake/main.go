@@ -14,8 +14,11 @@ import (
 )
 
 func main() {
-	sim, err := core.NewPancake(problems.PancakeOpts{
-		RootN: 32, AStart: 0.05, ACollapse: 0.15,
+	// The registry problem with its epoch knobs adjusted: collapse the
+	// caustic earlier than the spec default so 40 steps reach it.
+	sim, err := core.New("pancake", func(o *problems.Opts) {
+		o.RootN = 32
+		o.Extra = map[string]float64{"astart": 0.05, "acollapse": 0.15}
 	})
 	if err != nil {
 		log.Fatal(err)

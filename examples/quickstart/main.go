@@ -14,13 +14,14 @@ import (
 
 func main() {
 	// The headline problem at a very small scale: 16^3 root grid, up to
-	// 3 levels of refinement, chemistry off for speed.
-	opts := problems.DefaultCollapseOpts()
-	opts.RootN = 16
-	opts.MaxLevel = 3
-	opts.Chemistry = false
-
-	sim, err := core.NewPrimordialCollapse(opts)
+	// 3 levels of refinement, chemistry off for speed. Problems are
+	// resolved by name from the registry; the mutator adjusts the
+	// spec's defaults.
+	sim, err := core.New("collapse", func(o *problems.Opts) {
+		o.RootN = 16
+		o.MaxLevel = 3
+		o.Chemistry = false
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,7 +1,12 @@
-// Zoomrestart: the paper's §4 workflow end to end — generate nested
-// zoom-in initial conditions from the CDM power spectrum, run the
-// low-resolution pass, checkpoint, restart from the snapshot, and confirm
-// the evolution continues identically.
+// Zoomrestart: the paper's §4 workflow end to end — build the nested
+// zoom-in problem from the registry, run the low-resolution pass,
+// checkpoint, restart from the snapshot, and confirm the evolution
+// continues identically.
+//
+// Snapshots are self-describing: the header embeds the problem name and
+// the full run configuration (including the expansion-factor state), so
+// the restart needs no caller-supplied config and never shares mutable
+// cosmology state with the original run.
 //
 //	go run ./examples/zoomrestart
 package main
@@ -13,20 +18,25 @@ import (
 	"path/filepath"
 
 	"repro/internal/analysis"
+	"repro/internal/core"
 	"repro/internal/problems"
 	"repro/internal/snapshot"
 )
 
 func main() {
-	fmt.Println("generating nested zoom-in ICs (64^3-effective over an 8^3 root)...")
-	h, zic, err := problems.CosmologicalZoom(problems.ZoomOpts{
-		RootN: 8, StaticLevels: 2, MaxLevel: 3, Seed: 20011110, Redshift: 99,
+	fmt.Println("building the zoom problem (64^3-effective over an 8^3 root)...")
+	sim, err := core.New("zoom", func(o *problems.Opts) {
+		o.RootN = 8
+		o.MaxLevel = 3
+		o.Seed = 20011110
+		o.Chemistry = false
+		o.Extra = map[string]float64{"staticlevels": 2, "redshift": 99}
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  fine IC level: %d^3 modes; static region %v..%v\n",
-		zic.Levels[zic.FineLevel].N, h.Cfg.StaticLo, h.Cfg.StaticHi)
+	h := sim.H
+	fmt.Printf("  static region %v..%v\n", h.Cfg.StaticLo, h.Cfg.StaticHi)
 	fmt.Printf("  hierarchy: %d grids over %d levels\n", h.NumGrids(), h.MaxLevel()+1)
 
 	fmt.Println("running 3 root steps of the low-resolution pass...")
@@ -43,23 +53,20 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 	path := filepath.Join(dir, "checkpoint.gob.gz")
-	if err := snapshot.Save(path, h); err != nil {
+	if err := snapshot.Save(path, h, sim.Problem); err != nil {
 		log.Fatal(err)
 	}
 	st, _ := os.Stat(path)
 	fmt.Printf("checkpoint written: %s (%d bytes)\n", path, st.Size())
 
-	// Restart (the paper restarted with additional static levels; here we
-	// restart with the same config and verify determinism). The restarted
-	// run needs its own expansion-factor integrator — Background is
-	// mutable state, not shareable between two evolving hierarchies.
-	cfg := h.Cfg
-	bg2 := *cfg.Cosmo
-	cfg.Cosmo = &bg2
-	h2, err := snapshot.Load(path, cfg)
+	// Restart purely from the file: problem name and config come out of
+	// the header (the paper restarted with additional static levels —
+	// that workflow now mutates h2.Cfg after Load).
+	h2, name, err := snapshot.Load(path)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("restarted problem %q without any caller-supplied config\n", name)
 	h.Step()
 	h2.Step()
 	_, r1 := analysis.DensestPoint(h)

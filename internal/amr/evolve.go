@@ -1,16 +1,16 @@
 package amr
 
 import (
+	"fmt"
 	"math"
 	"time"
 
-	"repro/internal/chem"
 	"repro/internal/gravity"
 	"repro/internal/hydro"
 	"repro/internal/mesh"
 	"repro/internal/nbody"
 	"repro/internal/par"
-	"repro/internal/units"
+	"repro/internal/physics"
 )
 
 // Timing accumulates wall-clock time per science component, reproducing
@@ -23,11 +23,114 @@ type Timing struct {
 	Rebuild   time.Duration
 	Boundary  time.Duration
 	Other     time.Duration
+
+	// PerOp breaks the component rows down by pipeline operator name (a
+	// finer-grained view of the same wall-clock time, not additive on
+	// top of it).
+	PerOp map[string]time.Duration
 }
 
 // Total returns the summed component time.
 func (t Timing) Total() time.Duration {
 	return t.Hydro + t.Gravity + t.Chemistry + t.NBody + t.Rebuild + t.Boundary + t.Other
+}
+
+// addOp bills d to the operator's component row and its per-op entry.
+func (t *Timing) addOp(name string, comp physics.Component, d time.Duration) {
+	switch comp {
+	case physics.CompHydro:
+		t.Hydro += d
+	case physics.CompGravity:
+		t.Gravity += d
+	case physics.CompChemistry:
+		t.Chemistry += d
+	case physics.CompNBody:
+		t.NBody += d
+	default:
+		t.Other += d
+	}
+	if t.PerOp == nil {
+		t.PerOp = map[string]time.Duration{}
+	}
+	t.PerOp[name] += d
+}
+
+// mergeGridStep folds the per-grid-step timing of a concurrently stepped
+// grid (accumulated on a shadow hierarchy) into t.
+func (t *Timing) mergeGridStep(o Timing) {
+	t.Hydro += o.Hydro
+	t.Gravity += o.Gravity
+	t.Chemistry += o.Chemistry
+	t.NBody += o.NBody
+	t.Other += o.Other
+	for name, d := range o.PerOp {
+		if t.PerOp == nil {
+			t.PerOp = map[string]time.Duration{}
+		}
+		t.PerOp[name] += d
+	}
+}
+
+// gravitySolveOp is the driver's LevelOperator realizing self-gravity:
+// the Poisson solve couples all grids of a level through sibling boundary
+// exchange, so it runs once per level step before the per-grid sweep. The
+// per-grid velocity kicks are the separate physics.GravityKickOp entries.
+type gravitySolveOp struct{ h *Hierarchy }
+
+func (*gravitySolveOp) Name() string                                   { return "gravity.solve" }
+func (*gravitySolveOp) Component() physics.Component                   { return physics.CompGravity }
+func (*gravitySolveOp) NGhost() int                                    { return 1 }
+func (*gravitySolveOp) Apply(*physics.Context, *physics.Grid, float64) {}
+func (*gravitySolveOp) Timestep(*physics.Context, *physics.Grid) float64 {
+	return math.Inf(1)
+}
+
+// ApplyLevel solves the Poisson equation on every grid of the level.
+func (o *gravitySolveOp) ApplyLevel(level int, dt float64) {
+	if o.h.Cfg.SelfGravity {
+		o.h.solveGravityLevel(level)
+	}
+}
+
+// pipeline returns the hierarchy's operator pipeline, installing the
+// default when none was set (e.g. a zero-literal Hierarchy in tests), and
+// rejects operators whose stencil exceeds the allocated ghost depth.
+func (h *Hierarchy) pipeline() *physics.Pipeline {
+	if h.Physics == nil {
+		h.Physics = DefaultPipeline(h)
+	}
+	if ng := h.Physics.MaxNGhost(); ng > hydro.NGhost {
+		panic(fmt.Sprintf("amr: pipeline needs %d ghost zones, grids allocate %d", ng, hydro.NGhost))
+	}
+	return h.Physics
+}
+
+// physicsContext assembles the operator environment from the run config.
+func (h *Hierarchy) physicsContext() physics.Context {
+	c := &h.Cfg
+	return physics.Context{
+		Hydro:       c.Hydro,
+		Solver:      c.Solver,
+		SelfGravity: c.SelfGravity,
+		Chemistry:   c.Chemistry,
+		ChemParams:  c.ChemParams,
+		CoolParams:  c.CoolParams,
+		Units:       c.Units,
+		Cosmo:       c.Cosmo,
+		InitialA:    c.InitialA,
+		Workers:     c.Workers,
+	}
+}
+
+// gridView builds the per-grid operator view.
+func (h *Hierarchy) gridView(g *Grid, st *physics.OpStats) physics.Grid {
+	return physics.Grid{
+		State: g.State, Dx: g.Dx, Nx: g.Nx, Ny: g.Ny, Nz: g.Nz,
+		Level: g.Level, Root: g.Level == 0,
+		GAcc: g.GAcc, Parts: g.Parts, Geom: g.Geom(),
+		Reg: g.Reg, Taps: g.Taps,
+		Parity: h.parity, Stats: st,
+	}
 }
 
 // Step advances the whole hierarchy by one root-grid timestep, running the
@@ -39,6 +142,10 @@ func (h *Hierarchy) Step() float64 {
 	h.Time = target
 	if h.Cfg.Cosmo != nil {
 		h.Cfg.Cosmo.Advance(dt * h.Cfg.Units.Time)
+		// Keep the diagnostic cooling parameters tracking the expansion
+		// (the chemistry operator computes its own in-step redshift from
+		// a; this copy serves offline consumers like analysis.CoolingTime).
+		h.Cfg.CoolParams.Redshift = 1/h.Cfg.Cosmo.A - 1
 	}
 	h.Stats.StepsTaken++
 	return dt
@@ -71,10 +178,12 @@ func (h *Hierarchy) EvolveLevel(level int, parentTime float64) {
 		if now+dt > parentTime {
 			dt = parentTime - now
 		}
-		if h.Cfg.SelfGravity {
-			t0 := time.Now()
-			h.solveGravityLevel(level)
-			h.Timing.Gravity += time.Since(t0)
+		for _, op := range h.pipeline().Ops() {
+			if lop, ok := op.(physics.LevelOperator); ok {
+				t0 := time.Now()
+				lop.ApplyLevel(level, dt)
+				h.Timing.addOp(op.Name(), op.Component(), time.Since(t0))
+			}
 		}
 		h.installTaps(level)
 		h.stepLevelGrids(level, dt)
@@ -110,6 +219,7 @@ func (h *Hierarchy) stepLevelGrids(level int, dt float64) {
 		}
 		return
 	}
+	pipe := h.pipeline()
 	timings := make([]Timing, len(grids))
 	stats := make([]Stats, len(grids))
 	// Split the worker budget between grid-level and in-grid parallelism:
@@ -122,7 +232,7 @@ func (h *Hierarchy) stepLevelGrids(level int, dt float64) {
 		for i := lo; i < hi; i++ {
 			// Each grid accumulates into a private shadow view (Cfg is
 			// copied by value); deltas merge in grid order afterwards.
-			sub := &Hierarchy{Cfg: h.Cfg, Levels: h.Levels, Time: h.Time, parity: h.parity}
+			sub := &Hierarchy{Cfg: h.Cfg, Levels: h.Levels, Time: h.Time, parity: h.parity, Physics: pipe}
 			sub.Cfg.Workers = inner
 			sub.stepGrid(grids[i], dt)
 			timings[i] = sub.Timing
@@ -130,9 +240,7 @@ func (h *Hierarchy) stepLevelGrids(level int, dt float64) {
 		}
 	})
 	for i, g := range grids {
-		h.Timing.Hydro += timings[i].Hydro
-		h.Timing.Chemistry += timings[i].Chemistry
-		h.Timing.NBody += timings[i].NBody
+		h.Timing.mergeGridStep(timings[i])
 		h.Stats.CellUpdates += stats[i].CellUpdates
 		h.Stats.ChemCellCalls += stats[i].ChemCellCalls
 		h.Stats.ParticleKicks += stats[i].ParticleKicks
@@ -140,93 +248,45 @@ func (h *Hierarchy) stepLevelGrids(level int, dt float64) {
 	}
 }
 
-// stepGrid advances one grid by dt: gravity half-kick, hydro sweep set,
-// half-kick, particle KDK, expansion drag, chemistry.
+// stepGrid advances one grid by dt by running the operator pipeline in
+// order (default: gravity half-kick, hydro sweep set, half-kick, particle
+// KDK, expansion drag, chemistry), billing each operator's wall-clock time
+// to its Timing component.
 func (h *Hierarchy) stepGrid(g *Grid, dt float64) {
-	cfg := &h.Cfg
-	if cfg.SelfGravity && g.GAcc[0] != nil {
-		hydro.KickGravity(g.State, g.GAcc[0], g.GAcc[1], g.GAcc[2], dt/2)
-	}
-
-	t0 := time.Now()
-	var bc func(*hydro.State)
-	if g.Level == 0 {
-		bc = func(s *hydro.State) {
-			for _, f := range s.Fields() {
-				f.ApplyPeriodicBC()
-			}
+	ctx := h.physicsContext()
+	var st physics.OpStats
+	view := h.gridView(g, &st)
+	for _, op := range h.pipeline().Ops() {
+		if _, level := op.(physics.LevelOperator); level {
+			// Level-wide work already ran (and was billed) in
+			// EvolveLevel's per-level stage.
+			continue
 		}
+		t0 := time.Now()
+		op.Apply(&ctx, &view, dt)
+		h.Timing.addOp(op.Name(), op.Component(), time.Since(t0))
 	}
-	// The hydro worker count inherits the hierarchy budget (which the
-	// parallel stepLevelGrids path has already divided between grids);
-	// an explicitly set Hydro.Workers is still capped by that budget so
-	// concurrent grids cannot oversubscribe the machine.
-	hp := cfg.Hydro
-	if budget := par.Workers(cfg.Workers); hp.Workers == 0 || par.Workers(hp.Workers) > budget {
-		hp.Workers = budget
-	}
-	hydro.Step3D(g.State, g.Dx, dt, hp, cfg.Solver, h.parity, bc, g.Reg, g.Taps)
-	h.Timing.Hydro += time.Since(t0)
-	h.Stats.CellUpdates += int64(g.NumCells())
-
-	if cfg.SelfGravity && g.GAcc[0] != nil {
-		hydro.KickGravity(g.State, g.GAcc[0], g.GAcc[1], g.GAcc[2], dt/2)
-	}
-
-	// Particles: KDK with the level's acceleration field.
-	if g.Parts.Len() > 0 {
-		t0 = time.Now()
-		if cfg.SelfGravity && g.GAcc[0] != nil {
-			nbody.Kick(g.Parts, g.GAcc[0], g.GAcc[1], g.GAcc[2], g.Geom(), dt/2)
-		}
-		g.Parts.Drift(dt)
-		if cfg.SelfGravity && g.GAcc[0] != nil {
-			nbody.Kick(g.Parts, g.GAcc[0], g.GAcc[1], g.GAcc[2], g.Geom(), dt/2)
-		}
-		h.Stats.ParticleKicks += int64(g.Parts.Len())
-		h.Timing.NBody += time.Since(t0)
-	}
-
-	// Comoving expansion drag.
-	if cfg.Cosmo != nil {
-		aH := cfg.Cosmo.Params.Hubble(cfg.Cosmo.A) * cfg.Units.Time
-		hydro.ApplyExpansion(g.State, aH, dt)
-		g.Parts.ApplyExpansion(aH, dt)
-	}
-
-	if cfg.Chemistry {
-		t0 = time.Now()
-		h.stepChemistry(g, dt)
-		h.Timing.Chemistry += time.Since(t0)
-	}
-
+	h.Stats.CellUpdates += st.CellUpdates
+	h.Stats.ChemCellCalls += st.ChemCellCalls
+	h.Stats.ParticleKicks += st.ParticleKicks
 	g.Time += dt
 }
 
-// ComputeTimestep returns the stable dt for a level: the minimum hydro CFL
-// over its grids, a particle-crossing limit, and (cosmology) a 2% limit on
-// the expansion-factor change.
+// ComputeTimestep returns the stable dt for a level: the minimum operator
+// stability limit over its grids (hydro CFL, particle-crossing, the 2%
+// expansion-factor limit — each owned by its operator's Timestep hook),
+// falling back to 1e-3 when nothing constrains.
 func (h *Hierarchy) ComputeTimestep(level int) float64 {
 	dt := math.Inf(1)
+	ctx := h.physicsContext()
+	pipe := h.pipeline()
 	if level < len(h.Levels) {
 		for _, g := range h.Levels[level] {
-			if d := hydro.Timestep(g.State, g.Dx, h.Cfg.Hydro); d < dt {
+			var st physics.OpStats
+			view := h.gridView(g, &st)
+			if d := pipe.Timestep(&ctx, &view); d < dt {
 				dt = d
 			}
-			for i := 0; i < g.Parts.Len(); i++ {
-				v := math.Abs(g.Parts.Vx[i]) + math.Abs(g.Parts.Vy[i]) + math.Abs(g.Parts.Vz[i])
-				if v > 0 {
-					if d := 0.4 * g.Dx / v; d < dt {
-						dt = d
-					}
-				}
-			}
-		}
-	}
-	if h.Cfg.Cosmo != nil {
-		aH := h.Cfg.Cosmo.Params.Hubble(h.Cfg.Cosmo.A) * h.Cfg.Units.Time
-		if d := 0.02 / aH; d < dt {
-			dt = d
 		}
 	}
 	if math.IsInf(dt, 1) {
@@ -545,53 +605,6 @@ func (h *Hierarchy) liftEscapedParticles(g *Grid) {
 			g.Parts.Vx[i], g.Parts.Vy[i], g.Parts.Vz[i], g.Parts.Mass[i], g.Parts.ID[i])
 	}
 	g.Parts = kept
-}
-
-// stepChemistry advances the 12-species network and radiative cooling in
-// every active cell of the grid, sub-cycled inside the hydro step.
-func (h *Hierarchy) stepChemistry(g *Grid, dtCode float64) {
-	u := h.Cfg.Units
-	dtSec := dtCode * u.Time
-	aFac := 1.0
-	if h.Cfg.Cosmo != nil && h.Cfg.InitialA > 0 {
-		r := h.Cfg.InitialA / h.Cfg.Cosmo.A
-		aFac = r * r * r
-		h.Cfg.CoolParams.Redshift = 1/h.Cfg.Cosmo.A - 1
-	}
-	st := g.State
-	// Every cell is an independent stiff ODE solve (the dominant per-cell
-	// cost of a chemistry run), so the loop parallelizes over z-planes
-	// with bitwise-identical results at any worker count.
-	par.For(h.Cfg.Workers, g.Nz, 0, func(_, klo, khi int) {
-		for k := klo; k < khi; k++ {
-			for j := 0; j < g.Ny; j++ {
-				for i := 0; i < g.Nx; i++ {
-					var cs chem.State
-					for sp := 0; sp < chem.NumSpecies; sp++ {
-						w := chem.AtomicWeight[sp]
-						if w == 0 {
-							w = 1 // electrons stored as n_e * m_p
-						}
-						cs[sp] = st.Species[sp].At(i, j, k) * u.Density * aFac / (w * units.MProton)
-					}
-					eint := st.Eint.At(i, j, k) * u.Velocity * u.Velocity
-					out, e1, _ := chem.EvolveCell(cs, eint, dtSec, h.Cfg.CoolParams, h.Cfg.ChemParams)
-					for sp := 0; sp < chem.NumSpecies; sp++ {
-						w := chem.AtomicWeight[sp]
-						if w == 0 {
-							w = 1
-						}
-						st.Species[sp].Set(i, j, k, out[sp]*w*units.MProton/(u.Density*aFac))
-					}
-					newEint := e1 / (u.Velocity * u.Velocity)
-					dE := newEint - st.Eint.At(i, j, k)
-					st.Eint.Set(i, j, k, newEint)
-					st.Etot.Add(i, j, k, dE)
-				}
-			}
-		}
-	})
-	h.Stats.ChemCellCalls += int64(g.NumCells())
 }
 
 // fluxCorrect replaces the coarse flux through each child-boundary face

@@ -7,6 +7,7 @@ import (
 	"repro/internal/chem"
 	"repro/internal/cosmology"
 	"repro/internal/hydro"
+	"repro/internal/physics"
 	"repro/internal/units"
 )
 
@@ -112,7 +113,12 @@ type Hierarchy struct {
 	Time   float64   // root-grid time in code units
 	Stats  Stats     // performance & structure accounting
 	Timing Timing    // wall-clock component accounting (§5 table)
-	parity int
+	// Physics is the operator pipeline executed per grid per level-step.
+	// NewHierarchy installs DefaultPipeline; replace or extend it (see
+	// physics.Pipeline) to add custom operators. Operators requiring
+	// more than hydro.NGhost ghost zones are rejected at step time.
+	Physics *physics.Pipeline
+	parity  int
 }
 
 // Stats accumulates the structure metrics the paper plots in Fig. 5 and
@@ -139,7 +145,19 @@ func NewHierarchy(cfg Config) (*Hierarchy, error) {
 	}
 	root := NewGrid(0, [3]int{0, 0, 0}, cfg.RootN, cfg.RootN, cfg.RootN, cfg.RootN, cfg.Refine, cfg.NSpecies)
 	h := &Hierarchy{Cfg: cfg, Levels: [][]*Grid{{root}}}
+	h.Physics = DefaultPipeline(h)
 	return h, nil
+}
+
+// DefaultPipeline returns the standard operator-split pipeline for h: the
+// level-wide Poisson solve followed by the per-grid sequence of
+// physics.DefaultOperators (gravity half-kick, hydro, half-kick, N-body
+// KDK, expansion drag, chemistry). Every operator guards itself against
+// configurations where it does not apply, so one pipeline serves all
+// problems.
+func DefaultPipeline(h *Hierarchy) *physics.Pipeline {
+	ops := append([]physics.Operator{&gravitySolveOp{h: h}}, physics.DefaultOperators()...)
+	return physics.NewPipeline(ops...)
 }
 
 // Root returns the root grid.

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"maps"
 	"time"
 
 	"repro/internal/amr"
@@ -23,11 +24,38 @@ import (
 // Simulation bundles a hierarchy with its evolution history.
 type Simulation struct {
 	H *amr.Hierarchy
+	// Problem is the registry name the simulation was built from (""
+	// when constructed around a hand-built hierarchy); snapshots embed
+	// it so restarts are self-describing.
+	Problem string
 	// History records hierarchy-structure samples per root step (the
 	// Fig. 5 time series).
 	History []StructureSample
 	started time.Time
 	wall    time.Duration
+}
+
+// New builds the named registered problem starting from its spec
+// defaults, optionally adjusted by mutators:
+//
+//	sim, err := core.New("sedov", func(o *problems.Opts) { o.RootN = 32 })
+func New(name string, mutate ...func(*problems.Opts)) (*Simulation, error) {
+	spec, ok := problems.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown problem %q (registered: %v)", name, problems.Names())
+	}
+	o := spec.Defaults
+	// Detach the Extra map so mutators cannot write through into the
+	// registry's shared defaults.
+	o.Extra = maps.Clone(o.Extra)
+	for _, m := range mutate {
+		m(&o)
+	}
+	h, err := problems.BuildSpec(spec, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{H: h, Problem: name}, nil
 }
 
 // StructureSample is one Fig.-5 data point.
@@ -44,8 +72,10 @@ type StructureSample struct {
 // CollapseOptions re-exports the primordial-collapse configuration.
 type CollapseOptions = problems.CollapseOpts
 
-// NewPrimordialCollapse builds the headline simulation. Zero-valued
-// options are filled with the defaults of DefaultCollapseOpts.
+// NewPrimordialCollapse builds the headline simulation with the full
+// problem-specific option set. Zero-valued options are filled with the
+// defaults of DefaultCollapseOpts. Prefer New("collapse", ...) when the
+// registry knobs suffice.
 func NewPrimordialCollapse(o CollapseOptions) (*Simulation, error) {
 	def := problems.DefaultCollapseOpts()
 	if o.RootN == 0 {
@@ -55,34 +85,37 @@ func NewPrimordialCollapse(o CollapseOptions) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{H: h}, nil
+	return &Simulation{H: h, Problem: "collapse"}, nil
 }
 
 // NewSedov builds the Sedov blast validation problem.
 func NewSedov(rootN, maxLevel int, e0 float64) (*Simulation, error) {
-	h, err := problems.Sedov(rootN, maxLevel, e0)
-	if err != nil {
-		return nil, err
-	}
-	return &Simulation{H: h}, nil
+	return New("sedov", func(o *problems.Opts) {
+		o.RootN, o.MaxLevel = rootN, maxLevel
+		o.Extra["e0"] = e0
+	})
 }
 
-// NewPancake builds the Zel'dovich pancake validation problem.
+// NewPancake builds the Zel'dovich pancake validation problem with the
+// full problem-specific option set; prefer New("pancake", ...) when the
+// registry knobs suffice.
 func NewPancake(o problems.PancakeOpts) (*Simulation, error) {
 	h, err := problems.Pancake(o)
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{H: h}, nil
+	return &Simulation{H: h, Problem: "pancake"}, nil
 }
 
-// NewZoom builds the nested zoom-in cosmological run of §4.
+// NewZoom builds the nested zoom-in cosmological run of §4 with the full
+// problem-specific option set; prefer New("zoom", ...) when the registry
+// knobs suffice.
 func NewZoom(o problems.ZoomOpts) (*Simulation, error) {
 	h, _, err := problems.CosmologicalZoom(o)
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{H: h}, nil
+	return &Simulation{H: h, Problem: "zoom"}, nil
 }
 
 // Step advances one root timestep and records a structure sample.

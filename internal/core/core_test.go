@@ -4,7 +4,40 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/problems"
 )
+
+func TestNewByName(t *testing.T) {
+	sim, err := New("sedov", func(o *problems.Opts) { o.RootN = 8; o.MaxLevel = 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Problem != "sedov" {
+		t.Errorf("Problem = %q", sim.Problem)
+	}
+	if sim.H.Cfg.RootN != 8 {
+		t.Errorf("mutator not applied: RootN %d", sim.H.Cfg.RootN)
+	}
+	sim.RunSteps(1)
+	if len(sim.History) != 1 {
+		t.Error("no history recorded")
+	}
+	if _, err := New("no-such-problem"); err == nil {
+		t.Error("unknown name must error")
+	}
+}
+
+func TestNewUsesSpecDefaults(t *testing.T) {
+	sim, err := New("khi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := problems.Get("khi")
+	if sim.H.Cfg.RootN != spec.Defaults.RootN {
+		t.Errorf("RootN %d, want spec default %d", sim.H.Cfg.RootN, spec.Defaults.RootN)
+	}
+}
 
 func TestSedovSimulation(t *testing.T) {
 	sim, err := NewSedov(16, 1, 5.0)

@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/amr"
 )
@@ -60,6 +61,34 @@ func FormatUsageTable(rows []UsageRow) string {
 		sb.WriteString(fmt.Sprintf("%-20s %3.0f %%\n", r.Component, 100*r.Fraction))
 	}
 	return sb.String()
+}
+
+// FormatOperatorTable renders the per-operator wall-clock breakdown the
+// physics pipeline accumulates (Timing.PerOp), largest first — the
+// finer-grained companion of the §5 component table.
+func FormatOperatorTable(t amr.Timing) string {
+	names := make([]string, 0, len(t.PerOp))
+	for n := range t.PerOp {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if t.PerOp[names[i]] != t.PerOp[names[j]] {
+			return t.PerOp[names[i]] > t.PerOp[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	var rows strings.Builder
+	for _, n := range names {
+		// Inert operators (guarded no-ops on this problem) accumulate
+		// nanoseconds; hide rows that round to zero.
+		if d := t.PerOp[n].Round(10 * time.Microsecond); d > 0 {
+			rows.WriteString(fmt.Sprintf("%-20s %s\n", n, d))
+		}
+	}
+	if rows.Len() == 0 {
+		return ""
+	}
+	return "operator             time\n" + rows.String()
 }
 
 // EstimateFlops converts the hierarchy's work counters into a total

@@ -1,0 +1,223 @@
+package physics
+
+import (
+	"math"
+
+	"repro/internal/chem"
+	"repro/internal/hydro"
+	"repro/internal/nbody"
+	"repro/internal/par"
+	"repro/internal/units"
+)
+
+// DefaultOperators returns the standard operator-split sequence of one
+// grid step, the order the paper's driver hard-wired: gravity half-kick,
+// hydro sweep set, gravity half-kick (KDK for the fluid), particle
+// kick-drift-kick, comoving expansion drag, chemistry & cooling. The same
+// GravityKick instance appears twice — each Apply performs one half-kick.
+// The level-wide Poisson solve is the driver's LevelOperator and is
+// prepended by the hierarchy itself.
+func DefaultOperators() []Operator {
+	kick := NewGravityKick()
+	return []Operator{
+		kick,
+		NewHydro(),
+		kick,
+		NewNBody(),
+		NewExpansion(),
+		NewChemistry(),
+	}
+}
+
+// HydroOp advances the fluid with one dimensionally-split sweep set of the
+// configured solver (PPM or the robust finite-difference scheme).
+type HydroOp struct{}
+
+// NewHydro returns the hydrodynamics operator.
+func NewHydro() *HydroOp { return &HydroOp{} }
+
+func (*HydroOp) Name() string         { return "hydro" }
+func (*HydroOp) Component() Component { return CompHydro }
+func (*HydroOp) NGhost() int          { return hydro.NGhost }
+
+// Apply runs the sweep set. The worker count inherits the grid's budget
+// (which the driver has already divided between concurrently stepping
+// grids); an explicitly set Hydro.Workers is still capped by that budget
+// so concurrent grids cannot oversubscribe the machine.
+func (*HydroOp) Apply(ctx *Context, g *Grid, dt float64) {
+	var bc func(*hydro.State)
+	if g.Root {
+		bc = func(s *hydro.State) {
+			for _, f := range s.Fields() {
+				f.ApplyPeriodicBC()
+			}
+		}
+	}
+	hp := ctx.Hydro
+	if budget := par.Workers(ctx.Workers); hp.Workers == 0 || par.Workers(hp.Workers) > budget {
+		hp.Workers = budget
+	}
+	hydro.Step3D(g.State, g.Dx, dt, hp, ctx.Solver, g.Parity, bc, g.Reg, g.Taps)
+	g.Stats.CellUpdates += int64(g.NumCells())
+}
+
+// Timestep returns the CFL limit.
+func (*HydroOp) Timestep(ctx *Context, g *Grid) float64 {
+	return hydro.Timestep(g.State, g.Dx, ctx.Hydro)
+}
+
+// GravityKickOp applies half of the gravitational velocity kick to the
+// fluid; registered twice around the hydro operator it realizes the
+// kick-drift-kick splitting.
+type GravityKickOp struct{}
+
+// NewGravityKick returns the fluid gravity half-kick operator.
+func NewGravityKick() *GravityKickOp { return &GravityKickOp{} }
+
+func (*GravityKickOp) Name() string         { return "gravity.kick" }
+func (*GravityKickOp) Component() Component { return CompGravity }
+func (*GravityKickOp) NGhost() int          { return 0 }
+
+// Apply kicks the fluid by dt/2 with the level's acceleration field.
+func (*GravityKickOp) Apply(ctx *Context, g *Grid, dt float64) {
+	if !ctx.SelfGravity || g.GAcc[0] == nil {
+		return
+	}
+	hydro.KickGravity(g.State, g.GAcc[0], g.GAcc[1], g.GAcc[2], dt/2)
+}
+
+func (*GravityKickOp) Timestep(*Context, *Grid) float64 { return math.Inf(1) }
+
+// NBodyOp advances the grid's particles with a kick-drift-kick step using
+// the level's acceleration field.
+type NBodyOp struct{}
+
+// NewNBody returns the particle push operator.
+func NewNBody() *NBodyOp { return &NBodyOp{} }
+
+func (*NBodyOp) Name() string         { return "nbody" }
+func (*NBodyOp) Component() Component { return CompNBody }
+func (*NBodyOp) NGhost() int          { return 1 }
+
+// Apply runs the KDK push.
+func (*NBodyOp) Apply(ctx *Context, g *Grid, dt float64) {
+	if g.Parts.Len() == 0 {
+		return
+	}
+	kick := ctx.SelfGravity && g.GAcc[0] != nil
+	if kick {
+		nbody.Kick(g.Parts, g.GAcc[0], g.GAcc[1], g.GAcc[2], g.Geom, dt/2)
+	}
+	g.Parts.Drift(dt)
+	if kick {
+		nbody.Kick(g.Parts, g.GAcc[0], g.GAcc[1], g.GAcc[2], g.Geom, dt/2)
+	}
+	g.Stats.ParticleKicks += int64(g.Parts.Len())
+}
+
+// Timestep limits particles to 0.4 cells of travel per step.
+func (*NBodyOp) Timestep(ctx *Context, g *Grid) float64 {
+	dt := math.Inf(1)
+	for i := 0; i < g.Parts.Len(); i++ {
+		v := math.Abs(g.Parts.Vx[i]) + math.Abs(g.Parts.Vy[i]) + math.Abs(g.Parts.Vz[i])
+		if v > 0 {
+			if d := 0.4 * g.Dx / v; d < dt {
+				dt = d
+			}
+		}
+	}
+	return dt
+}
+
+// ExpansionOp applies the comoving expansion drag to gas and particles
+// (the only explicit cosmology term in comoving coordinates).
+type ExpansionOp struct{}
+
+// NewExpansion returns the expansion-drag operator.
+func NewExpansion() *ExpansionOp { return &ExpansionOp{} }
+
+func (*ExpansionOp) Name() string         { return "expansion" }
+func (*ExpansionOp) Component() Component { return CompOther }
+func (*ExpansionOp) NGhost() int          { return 0 }
+
+// Apply drags peculiar velocities and internal energy by the current aH.
+func (*ExpansionOp) Apply(ctx *Context, g *Grid, dt float64) {
+	if ctx.Cosmo == nil {
+		return
+	}
+	aH := ctx.Cosmo.Params.Hubble(ctx.Cosmo.A) * ctx.Units.Time
+	hydro.ApplyExpansion(g.State, aH, dt)
+	g.Parts.ApplyExpansion(aH, dt)
+}
+
+// Timestep limits the expansion-factor change to 2% per step.
+func (*ExpansionOp) Timestep(ctx *Context, g *Grid) float64 {
+	if ctx.Cosmo == nil {
+		return math.Inf(1)
+	}
+	aH := ctx.Cosmo.Params.Hubble(ctx.Cosmo.A) * ctx.Units.Time
+	return 0.02 / aH
+}
+
+// ChemistryOp advances the 12-species primordial network and radiative
+// cooling in every active cell, sub-cycled inside the hydro step.
+type ChemistryOp struct{}
+
+// NewChemistry returns the chemistry & cooling operator.
+func NewChemistry() *ChemistryOp { return &ChemistryOp{} }
+
+func (*ChemistryOp) Name() string         { return "chemistry" }
+func (*ChemistryOp) Component() Component { return CompChemistry }
+func (*ChemistryOp) NGhost() int          { return 0 }
+
+// Apply solves the per-cell stiff ODE network. Every cell is independent
+// (the dominant per-cell cost of a chemistry run), so the loop
+// parallelizes over z-planes with bitwise-identical results at any worker
+// count.
+func (*ChemistryOp) Apply(ctx *Context, g *Grid, dt float64) {
+	if !ctx.Chemistry {
+		return
+	}
+	u := ctx.Units
+	dtSec := dt * u.Time
+	aFac := 1.0
+	cp := ctx.CoolParams
+	if ctx.Cosmo != nil && ctx.InitialA > 0 {
+		r := ctx.InitialA / ctx.Cosmo.A
+		aFac = r * r * r
+		cp.Redshift = 1/ctx.Cosmo.A - 1
+	}
+	st := g.State
+	par.For(ctx.Workers, g.Nz, 0, func(_, klo, khi int) {
+		for k := klo; k < khi; k++ {
+			for j := 0; j < g.Ny; j++ {
+				for i := 0; i < g.Nx; i++ {
+					var cs chem.State
+					for sp := 0; sp < chem.NumSpecies; sp++ {
+						w := chem.AtomicWeight[sp]
+						if w == 0 {
+							w = 1 // electrons stored as n_e * m_p
+						}
+						cs[sp] = st.Species[sp].At(i, j, k) * u.Density * aFac / (w * units.MProton)
+					}
+					eint := st.Eint.At(i, j, k) * u.Velocity * u.Velocity
+					out, e1, _ := chem.EvolveCell(cs, eint, dtSec, cp, ctx.ChemParams)
+					for sp := 0; sp < chem.NumSpecies; sp++ {
+						w := chem.AtomicWeight[sp]
+						if w == 0 {
+							w = 1
+						}
+						st.Species[sp].Set(i, j, k, out[sp]*w*units.MProton/(u.Density*aFac))
+					}
+					newEint := e1 / (u.Velocity * u.Velocity)
+					dE := newEint - st.Eint.At(i, j, k)
+					st.Eint.Set(i, j, k, newEint)
+					st.Etot.Add(i, j, k, dE)
+				}
+			}
+		}
+	})
+	g.Stats.ChemCellCalls += int64(g.NumCells())
+}
+
+func (*ChemistryOp) Timestep(*Context, *Grid) float64 { return math.Inf(1) }

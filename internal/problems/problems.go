@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/amr"
+	"repro/internal/analysis"
 	"repro/internal/chem"
 	"repro/internal/cosmology"
 	"repro/internal/ep128"
@@ -58,26 +59,22 @@ func Sedov(rootN, maxLevel int, e0 float64) (*amr.Hierarchy, error) {
 }
 
 // ShockRadius estimates the Sedov shock position as the outermost radius
-// (from the box center) where density exceeds the ambient by 10%.
+// (from the box center) where density exceeds the ambient by 10%. The
+// measurement uses the finest available cells, so once refinement tracks
+// the blast the shock front is located at the refined resolution instead
+// of the root-grid average (which underreports the position by up to a
+// coarse cell).
 func ShockRadius(h *amr.Hierarchy) float64 {
-	root := h.Root()
-	n := root.Nx
 	best := 0.0
-	for k := 0; k < n; k++ {
-		for j := 0; j < n; j++ {
-			for i := 0; i < n; i++ {
-				if root.State.Rho.At(i, j, k) > 1.1 {
-					dx := (float64(i)+0.5)/float64(n) - 0.5
-					dy := (float64(j)+0.5)/float64(n) - 0.5
-					dz := (float64(k)+0.5)/float64(n) - 0.5
-					r := math.Sqrt(dx*dx + dy*dy + dz*dz)
-					if r > best {
-						best = r
-					}
-				}
-			}
+	analysis.ForEachFinestCell(h, func(g *amr.Grid, i, j, k int, x, y, z float64) {
+		if g.State.Rho.At(i, j, k) <= 1.1 {
+			return
 		}
-	}
+		r := math.Sqrt(sq(x-0.5) + sq(y-0.5) + sq(z-0.5))
+		if r > best {
+			best = r
+		}
+	})
 	return best
 }
 

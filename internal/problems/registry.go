@@ -1,0 +1,287 @@
+package problems
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/amr"
+	"repro/internal/hydro"
+)
+
+// Opts are the common knobs every registered problem understands; a
+// problem's Spec carries its own defaults, and builders ignore knobs that
+// do not apply to them. Fields map one-to-one onto the enzogo CLI flags.
+type Opts struct {
+	RootN     int    // root grid cells per side (power of two)
+	MaxLevel  int    // deepest refinement level
+	Chemistry bool   // enable the 12-species network where supported
+	Workers   int    // par worker budget (0 = NumCPU)
+	Seed      int64  // IC random seed (zoom)
+	Solver    string // "" = problem default, "ppm" or "fd"
+	// Extra holds problem-specific numeric knobs (CLI: repeated
+	// -p key=value flags); builders read them via ExtraOr.
+	Extra map[string]float64
+}
+
+// ExtraOr returns the Extra knob key, or def when unset.
+func (o Opts) ExtraOr(key string, def float64) float64 {
+	if v, ok := o.Extra[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Spec declares one runnable problem: a short description for the
+// catalog, the defaults its builder expects, and the builder itself.
+type Spec struct {
+	Name string
+	// Summary is the one-line catalog description (`enzogo -list`).
+	Summary string
+	// Exercises names the subsystems the problem stresses (README
+	// catalog column).
+	Exercises string
+	// Example is a representative command line.
+	Example string
+	// Defaults fills an Opts with this problem's canonical
+	// configuration; CLI flags override individual fields.
+	Defaults Opts
+	// Knobs documents the problem-specific Extra keys the builder
+	// reads (key -> one-line description). Build rejects Extra keys
+	// not listed here, so a misspelled -p knob fails instead of
+	// silently running the default physics.
+	Knobs map[string]string
+	// Build constructs the initialized hierarchy.
+	Build func(Opts) (*amr.Hierarchy, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Spec{}
+)
+
+// Register adds a problem to the registry. It panics on a duplicate or
+// anonymous spec — registration is a program-initialization act, not a
+// runtime one.
+func Register(s Spec) {
+	if s.Name == "" || s.Build == nil {
+		panic("problems: Register needs a name and a builder")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("problems: duplicate registration of %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Get returns the spec registered under name.
+func Get(name string) (Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns the registered problem names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build constructs the named problem with the given options. The options
+// are used verbatim — they are not merged with the spec's Defaults, so a
+// zero field means zero (e.g. MaxLevel 0 disables refinement). Callers
+// wanting the canonical configuration start from Get(name).Defaults and
+// override fields, which is what core.New does.
+func Build(name string, o Opts) (*amr.Hierarchy, error) {
+	spec, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("problems: unknown problem %q (have %v)", name, Names())
+	}
+	return BuildSpec(spec, o)
+}
+
+// BuildSpec runs a spec's builder, then applies the cross-cutting knobs
+// (worker budget, solver choice) that every hierarchy honors. Opts are
+// used verbatim; see Build.
+func BuildSpec(spec Spec, o Opts) (*amr.Hierarchy, error) {
+	for k := range o.Extra {
+		if _, known := spec.Knobs[k]; !known {
+			return nil, fmt.Errorf("problems: %q has no knob %q (available: %v)",
+				spec.Name, k, knobNames(spec))
+		}
+	}
+	h, err := spec.Build(o)
+	if err != nil {
+		return nil, err
+	}
+	if o.Workers != 0 {
+		h.Cfg.Workers = o.Workers
+	}
+	if o.Solver != "" {
+		s, err := ParseSolver(o.Solver)
+		if err != nil {
+			return nil, err
+		}
+		h.Cfg.Solver = s
+	}
+	return h, nil
+}
+
+// knobNames returns a spec's documented Extra keys, sorted.
+func knobNames(spec Spec) []string {
+	out := make([]string, 0, len(spec.Knobs))
+	for k := range spec.Knobs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseSolver maps the CLI solver names onto hydro.Solver.
+func ParseSolver(name string) (hydro.Solver, error) {
+	switch name {
+	case "ppm":
+		return hydro.SolverPPM, nil
+	case "fd":
+		return hydro.SolverFD, nil
+	default:
+		return 0, fmt.Errorf("problems: unknown solver %q (want ppm or fd)", name)
+	}
+}
+
+func init() {
+	Register(Spec{
+		Name:      "sedov",
+		Summary:   "Sedov-Taylor point explosion in a cold uniform medium",
+		Exercises: "hydro solvers, shock-driven dynamic refinement, flux correction",
+		Example:   "enzogo -problem sedov -steps 20 -rootn 32 -maxlevel 2",
+		Defaults:  Opts{RootN: 16, MaxLevel: 4, Extra: map[string]float64{"e0": 10}},
+		Knobs:     map[string]string{"e0": "deposited blast energy (default 10)"},
+		Build: func(o Opts) (*amr.Hierarchy, error) {
+			return Sedov(o.RootN, o.MaxLevel, o.ExtraOr("e0", 10))
+		},
+	})
+	Register(Spec{
+		Name:      "pancake",
+		Summary:   "Zel'dovich pancake: one plane wave collapsing in an expanding background",
+		Exercises: "cosmology coupling, self-gravity, N-body + hydro, comoving units",
+		Example:   "enzogo -problem pancake -steps 30 -rootn 32",
+		Defaults:  Opts{RootN: 32, MaxLevel: 2},
+		Knobs: map[string]string{
+			"astart":    "starting expansion factor (default 0.05)",
+			"acollapse": "expansion factor of caustic formation (default 0.2)",
+		},
+		Build: func(o Opts) (*amr.Hierarchy, error) {
+			h, err := Pancake(PancakeOpts{
+				RootN:     o.RootN,
+				AStart:    o.ExtraOr("astart", 0),
+				ACollapse: o.ExtraOr("acollapse", 0),
+			})
+			if err != nil {
+				return nil, err
+			}
+			h.Cfg.MaxLevel = o.MaxLevel
+			return h, nil
+		},
+	})
+	Register(Spec{
+		Name:      "collapse",
+		Summary:   "primordial star formation: cooling clump collapse with 12-species chemistry",
+		Exercises: "the full stack: AMR + gravity + chemistry + N-body at laptop scale",
+		Example:   "enzogo -problem collapse -steps 40 -rootn 16 -maxlevel 5",
+		Defaults:  Opts{RootN: 16, MaxLevel: 5, Chemistry: true},
+		Knobs: map[string]string{
+			"delta":    "central clump overdensity (default 40)",
+			"tinit":    "initial gas temperature [K] (default 800)",
+			"redshift": "epoch of the run (default 19)",
+			"boxkpc":   "comoving box side [kpc] (default 160)",
+		},
+		Build: func(o Opts) (*amr.Hierarchy, error) {
+			// Workers and Solver are applied generically by Build.
+			d := DefaultCollapseOpts()
+			d.RootN = o.RootN
+			d.MaxLevel = o.MaxLevel
+			d.Chemistry = o.Chemistry
+			d.Delta = o.ExtraOr("delta", d.Delta)
+			d.TInit = o.ExtraOr("tinit", d.TInit)
+			d.Redshift = o.ExtraOr("redshift", d.Redshift)
+			d.BoxComovingKpc = o.ExtraOr("boxkpc", d.BoxComovingKpc)
+			return PrimordialCollapse(d)
+		},
+	})
+	Register(Spec{
+		Name:      "zoom",
+		Summary:   "nested zoom-in cosmological ICs from the CDM power spectrum (paper §4)",
+		Exercises: "IC generation, static refined levels, restart workflow",
+		Example:   "enzogo -problem zoom -steps 10 -rootn 16 -seed 12345",
+		Defaults:  Opts{RootN: 16, MaxLevel: 4, Chemistry: true, Seed: 12345},
+		Knobs: map[string]string{
+			"staticlevels": "nested static refined levels (default 2)",
+			"redshift":     "starting redshift (default 99)",
+		},
+		Build: func(o Opts) (*amr.Hierarchy, error) {
+			h, _, err := CosmologicalZoom(ZoomOpts{
+				RootN:        o.RootN,
+				StaticLevels: int(o.ExtraOr("staticlevels", 2)),
+				MaxLevel:     o.MaxLevel,
+				Seed:         o.Seed,
+				Chemistry:    o.Chemistry,
+				Redshift:     o.ExtraOr("redshift", 0),
+			})
+			return h, err
+		},
+	})
+	Register(Spec{
+		Name:      "khi",
+		Summary:   "Kelvin-Helmholtz instability: shear layer rolling up in a periodic box",
+		Exercises: "contact discontinuities, advection accuracy, refinement on density",
+		Example:   "enzogo -problem khi -steps 30 -rootn 32 -maxlevel 1",
+		Defaults:  Opts{RootN: 32, MaxLevel: 1},
+		Build: func(o Opts) (*amr.Hierarchy, error) {
+			return KelvinHelmholtz(o.RootN, o.MaxLevel)
+		},
+	})
+	Register(Spec{
+		Name:      "coolsphere",
+		Summary:   "isolated cooling-collapse sphere: non-cosmological chemistry-driven infall",
+		Exercises: "chemistry & cooling without cosmology, Jeans refinement, gravity",
+		Example:   "enzogo -problem coolsphere -steps 20 -rootn 16 -maxlevel 3",
+		Defaults:  Opts{RootN: 16, MaxLevel: 3, Chemistry: true},
+		Knobs: map[string]string{
+			"delta":   "central sphere overdensity (default 20)",
+			"tinit":   "initial gas temperature [K] (default 1000)",
+			"boxpc":   "box side [pc] (default 10)",
+			"rhounit": "code density unit [g/cm^3] (default 1e-22)",
+		},
+		Build: func(o Opts) (*amr.Hierarchy, error) {
+			d := DefaultCoolingSphereOpts()
+			d.RootN = o.RootN
+			d.MaxLevel = o.MaxLevel
+			d.Chemistry = o.Chemistry
+			d.Delta = o.ExtraOr("delta", d.Delta)
+			d.TInit = o.ExtraOr("tinit", d.TInit)
+			d.BoxPc = o.ExtraOr("boxpc", d.BoxPc)
+			d.RhoUnit = o.ExtraOr("rhounit", d.RhoUnit)
+			return CoolingSphere(d)
+		},
+	})
+	Register(Spec{
+		Name:      "sod",
+		Summary:   "double Sod shock tube: mirrored Riemann problems in the periodic box",
+		Exercises: "solver validation against the exact Riemann solution (ppm vs fd)",
+		Example:   "enzogo -problem sod -steps 20 -rootn 64 -maxlevel 1",
+		Defaults:  Opts{RootN: 64, MaxLevel: 1, Solver: "ppm"},
+		Build: func(o Opts) (*amr.Hierarchy, error) {
+			// The -solver choice is applied generically by Build.
+			return SodTube(o.RootN, o.MaxLevel, hydro.SolverPPM)
+		},
+	})
+}

@@ -1,0 +1,206 @@
+package problems
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/amr"
+)
+
+func TestRegistryNamesAndLookup(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"sedov", "pancake", "collapse", "zoom", "khi", "coolsphere", "sod"} {
+		if _, ok := Get(want); !ok {
+			t.Errorf("problem %q not registered (have %v)", want, names)
+		}
+	}
+	if _, err := Build("nosuch", Opts{}); err == nil {
+		t.Error("unknown problem must error")
+	}
+	if _, err := Build("sod", Opts{RootN: 8, Solver: "weno"}); err == nil {
+		t.Error("unknown solver must error")
+	}
+}
+
+func TestUnknownKnobRejected(t *testing.T) {
+	// A misspelled -p key must fail loudly instead of silently running
+	// the default physics.
+	if _, err := Build("sedov", Opts{RootN: 8, MaxLevel: 1, Extra: map[string]float64{"eo": 50}}); err == nil {
+		t.Error("misspelled knob must error")
+	}
+	if _, err := Build("khi", Opts{RootN: 8, MaxLevel: 1, Extra: map[string]float64{"delta": 40}}); err == nil {
+		t.Error("knob of a different problem must error")
+	}
+	if _, err := Build("sedov", Opts{RootN: 8, MaxLevel: 1, Extra: map[string]float64{"e0": 50}}); err != nil {
+		t.Errorf("documented knob rejected: %v", err)
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	Register(Spec{Name: "sedov", Build: func(Opts) (*amr.Hierarchy, error) { return nil, nil }})
+}
+
+// smokeOpts shrinks a spec's defaults to a 2-step smoke size.
+func smokeOpts(spec Spec) Opts {
+	o := spec.Defaults
+	o.RootN = 8
+	if o.MaxLevel > 2 {
+		o.MaxLevel = 2
+	}
+	return o
+}
+
+// TestRegistrySmoke runs every registered problem for two root steps and
+// checks the cross-problem invariants: the hierarchy is non-empty, every
+// field of every grid stays finite, and gas mass is conserved.
+func TestRegistrySmoke(t *testing.T) {
+	for _, name := range Names() {
+		spec, _ := Get(name)
+		t.Run(name, func(t *testing.T) {
+			h, err := Build(name, smokeOpts(spec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.NumGrids() < 1 || len(h.Levels[0]) != 1 {
+				t.Fatalf("empty hierarchy: %d grids", h.NumGrids())
+			}
+			mass0 := h.TotalGasMass()
+			if mass0 <= 0 {
+				t.Fatalf("no gas: mass %v", mass0)
+			}
+			for s := 0; s < 2; s++ {
+				if dt := h.Step(); dt <= 0 || math.IsNaN(dt) {
+					t.Fatalf("bad dt %v at step %d", dt, s)
+				}
+			}
+			for l, lv := range h.Levels {
+				for gi, g := range lv {
+					for fi, f := range g.State.Fields() {
+						for _, v := range f.Data {
+							if math.IsNaN(v) || math.IsInf(v, 0) {
+								t.Fatalf("non-finite value in field %d of L%d grid %d", fi, l, gi)
+							}
+						}
+					}
+				}
+			}
+			mass1 := h.TotalGasMass()
+			if rel := math.Abs(mass1-mass0) / mass0; rel > 1e-3 {
+				t.Errorf("gas mass drifted %.2e (%v -> %v)", rel, mass0, mass1)
+			}
+		})
+	}
+}
+
+// hierFingerprint captures the complete evolving state of a hierarchy for
+// bitwise comparison: every field of every grid plus the particle sets.
+func hierEqual(t *testing.T, label string, a, b *amr.Hierarchy) {
+	t.Helper()
+	if a.Time != b.Time || a.NumGrids() != b.NumGrids() || a.MaxLevel() != b.MaxLevel() {
+		t.Fatalf("%s: structure mismatch: t=%v/%v grids=%d/%d", label,
+			a.Time, b.Time, a.NumGrids(), b.NumGrids())
+	}
+	for l := range a.Levels {
+		for gi := range a.Levels[l] {
+			ga, gb := a.Levels[l][gi], b.Levels[l][gi]
+			if ga.Lo != gb.Lo || ga.Nx != gb.Nx || ga.Ny != gb.Ny || ga.Nz != gb.Nz {
+				t.Fatalf("%s: L%d grid %d geometry mismatch", label, l, gi)
+			}
+			fa, fb := ga.State.Fields(), gb.State.Fields()
+			for fi := range fa {
+				for di := range fa[fi].Data {
+					if fa[fi].Data[di] != fb[fi].Data[di] {
+						t.Fatalf("%s: L%d grid %d field %d differs at %d: %v vs %v",
+							label, l, gi, fi, di, fa[fi].Data[di], fb[fi].Data[di])
+					}
+				}
+			}
+			if ga.Parts.Len() != gb.Parts.Len() {
+				t.Fatalf("%s: L%d grid %d particle count %d vs %d",
+					label, l, gi, ga.Parts.Len(), gb.Parts.Len())
+			}
+			for pi := 0; pi < ga.Parts.Len(); pi++ {
+				if !ga.Parts.X[pi].Eq(gb.Parts.X[pi]) || ga.Parts.Vx[pi] != gb.Parts.Vx[pi] ||
+					ga.Parts.Mass[pi] != gb.Parts.Mass[pi] {
+					t.Fatalf("%s: L%d grid %d particle %d differs", label, l, gi, pi)
+				}
+			}
+		}
+	}
+}
+
+// TestRegistryGoldenSeedConstructors proves the registry is a pure
+// re-plumbing: hierarchies built through it are bitwise identical to the
+// seed problem constructors, both at t=0 and after two evolved root steps.
+func TestRegistryGoldenSeedConstructors(t *testing.T) {
+	cases := []struct {
+		name   string
+		opts   Opts
+		direct func() (*amr.Hierarchy, error)
+	}{
+		{
+			name: "sedov",
+			opts: Opts{RootN: 16, MaxLevel: 2, Extra: map[string]float64{"e0": 10}},
+			direct: func() (*amr.Hierarchy, error) {
+				return Sedov(16, 2, 10)
+			},
+		},
+		{
+			name: "pancake",
+			opts: Opts{RootN: 16, MaxLevel: 2},
+			direct: func() (*amr.Hierarchy, error) {
+				return Pancake(PancakeOpts{RootN: 16})
+			},
+		},
+		{
+			name: "collapse",
+			opts: Opts{RootN: 8, MaxLevel: 2, Chemistry: true},
+			direct: func() (*amr.Hierarchy, error) {
+				d := DefaultCollapseOpts()
+				d.RootN = 8
+				d.MaxLevel = 2
+				return PrimordialCollapse(d)
+			},
+		},
+		{
+			name: "zoom",
+			opts: Opts{RootN: 8, MaxLevel: 3, Seed: 7},
+			direct: func() (*amr.Hierarchy, error) {
+				h, _, err := CosmologicalZoom(ZoomOpts{
+					RootN: 8, StaticLevels: 2, MaxLevel: 3, Seed: 7,
+				})
+				return h, err
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg, err := Build(tc.name, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := tc.direct()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hierEqual(t, "initial", reg, ref)
+			for s := 0; s < 2; s++ {
+				reg.Step()
+				ref.Step()
+			}
+			hierEqual(t, "after 2 steps", reg, ref)
+		})
+	}
+}
+
+func TestExtraOr(t *testing.T) {
+	o := Opts{Extra: map[string]float64{"delta": 7}}
+	if o.ExtraOr("delta", 1) != 7 || o.ExtraOr("missing", 3) != 3 {
+		t.Fatal("ExtraOr lookup broken")
+	}
+}

@@ -6,6 +6,14 @@
 // The format is gob-encoded: self-describing, stdlib-only, and stable
 // within a build. Extended-precision edges are stored exactly (both
 // components), so a restart reproduces grid geometry bit-for-bit.
+//
+// The header embeds the registry problem name and the full amr.Config of
+// the run (including the cosmological background state), so Read rebuilds
+// the hierarchy without any caller-supplied configuration — a restart
+// cannot be fed a mismatched config. The paper's restart-with-more-levels
+// workflow mutates the loaded hierarchy's Cfg (MaxLevel, StaticLevels,
+// Workers, ...) after Read; the grid geometry and field layout are fixed
+// by the file.
 package snapshot
 
 import (
@@ -19,19 +27,22 @@ import (
 	"repro/internal/ep128"
 )
 
-// FormatVersion guards against decoding incompatible snapshots.
-const FormatVersion = 1
+// FormatVersion guards against decoding incompatible snapshots. Version 2
+// added the self-describing header (problem name + serialized config).
+const FormatVersion = 2
 
 // File is the serialized run state.
 type File struct {
 	Version int
-	Time    float64
-	A       float64 // expansion factor (0 when non-cosmological)
-	CosmoT  float64 // cosmic time of the background [s]
-	Parity  int     // Strang sweep parity
-	RootN   int
-	Refine  int
-	Grids   []GridRec
+	// Problem is the registry name of the problem the run was built
+	// from ("" when unknown).
+	Problem string
+	// Config is the complete run configuration, including the
+	// cosmological background at its saved state.
+	Config amr.Config
+	Time   float64
+	Parity int // Strang sweep parity
+	Grids  []GridRec
 }
 
 // GridRec is one serialized grid.
@@ -53,17 +64,15 @@ type GridRec struct {
 	PID        []int64
 }
 
-// Write serializes the hierarchy to w (gzip + gob).
-func Write(w io.Writer, h *amr.Hierarchy) error {
+// Write serializes the hierarchy to w (gzip + gob). problem is the
+// registry name of the run's problem (may be ""); it is embedded in the
+// header so a restart is self-describing.
+func Write(w io.Writer, h *amr.Hierarchy, problem string) error {
 	f := File{
 		Version: FormatVersion,
+		Problem: problem,
+		Config:  h.Cfg,
 		Time:    h.Time,
-		RootN:   h.Cfg.RootN,
-		Refine:  h.Cfg.Refine,
-	}
-	if h.Cfg.Cosmo != nil {
-		f.A = h.Cfg.Cosmo.A
-		f.CosmoT = h.Cfg.Cosmo.T
 	}
 	f.Parity = h.Parity()
 	index := map[*amr.Grid]int{}
@@ -123,36 +132,30 @@ func encodeGrid(g *amr.Grid) GridRec {
 	return rec
 }
 
-// Read restores a hierarchy previously written by Write into a fresh
-// hierarchy built from cfg (which must agree on RootN and Refine; physics
-// switches may differ, enabling the paper's restart-with-more-levels
-// workflow).
-func Read(r io.Reader, cfg amr.Config) (*amr.Hierarchy, error) {
+// Read restores a hierarchy previously written by Write, rebuilding it
+// from the config embedded in the header, and returns it together with
+// the registry problem name of the run. The decoded config owns a fresh
+// cosmology.Background, so a restarted run never shares expansion-factor
+// state with the hierarchy that wrote the snapshot.
+func Read(r io.Reader) (*amr.Hierarchy, string, error) {
 	zr, err := gzip.NewReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("snapshot: gzip: %w", err)
+		return nil, "", fmt.Errorf("snapshot: gzip: %w", err)
 	}
 	var f File
 	if err := gob.NewDecoder(zr).Decode(&f); err != nil {
-		return nil, fmt.Errorf("snapshot: decode: %w", err)
+		return nil, "", fmt.Errorf("snapshot: decode: %w", err)
 	}
 	if f.Version != FormatVersion {
-		return nil, fmt.Errorf("snapshot: version %d, want %d", f.Version, FormatVersion)
+		return nil, "", fmt.Errorf("snapshot: version %d, want %d", f.Version, FormatVersion)
 	}
-	if f.RootN != cfg.RootN || f.Refine != cfg.Refine {
-		return nil, fmt.Errorf("snapshot: geometry mismatch: file %d/%d vs config %d/%d",
-			f.RootN, f.Refine, cfg.RootN, cfg.Refine)
-	}
+	cfg := f.Config
 	h, err := amr.NewHierarchy(cfg)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	h.Time = f.Time
 	h.SetParity(f.Parity)
-	if cfg.Cosmo != nil && f.A > 0 {
-		cfg.Cosmo.A = f.A
-		cfg.Cosmo.T = f.CosmoT
-	}
 	grids := make([]*amr.Grid, len(f.Grids))
 	for i, rec := range f.Grids {
 		var g *amr.Grid
@@ -167,7 +170,7 @@ func Read(r io.Reader, cfg amr.Config) (*amr.Hierarchy, error) {
 			g.Edge[d] = ep128.Dd{Hi: rec.EdgeHi[d], Lo: rec.EdgeLo[d]}
 		}
 		if err := decodeFields(g, rec); err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		for pi := range rec.PMass {
 			g.Parts.Add(
@@ -184,7 +187,7 @@ func Read(r io.Reader, cfg amr.Config) (*amr.Hierarchy, error) {
 			continue
 		}
 		if rec.ParentIdx < 0 || rec.ParentIdx >= len(grids) {
-			return nil, fmt.Errorf("snapshot: grid %d has bad parent %d", i, rec.ParentIdx)
+			return nil, "", fmt.Errorf("snapshot: grid %d has bad parent %d", i, rec.ParentIdx)
 		}
 		p := grids[rec.ParentIdx]
 		grids[i].Parent = p
@@ -194,7 +197,7 @@ func Read(r io.Reader, cfg amr.Config) (*amr.Hierarchy, error) {
 		}
 		h.Levels[rec.Level] = append(h.Levels[rec.Level], grids[i])
 	}
-	return h, nil
+	return h, f.Problem, nil
 }
 
 func decodeFields(g *amr.Grid, rec GridRec) error {
@@ -212,22 +215,24 @@ func decodeFields(g *amr.Grid, rec GridRec) error {
 	return nil
 }
 
-// Save writes a snapshot to path.
-func Save(path string, h *amr.Hierarchy) error {
+// Save writes a snapshot to path; problem is the registry name of the
+// run's problem (may be "").
+func Save(path string, h *amr.Hierarchy, problem string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return Write(f, h)
+	return Write(f, h, problem)
 }
 
-// Load reads a snapshot from path.
-func Load(path string, cfg amr.Config) (*amr.Hierarchy, error) {
+// Load reads a snapshot from path, returning the restored hierarchy and
+// the registry problem name embedded in it.
+func Load(path string) (*amr.Hierarchy, string, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer f.Close()
-	return Read(f, cfg)
+	return Read(f)
 }

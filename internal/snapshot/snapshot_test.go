@@ -2,11 +2,14 @@ package snapshot
 
 import (
 	"bytes"
+	"compress/gzip"
+	"encoding/gob"
 	"math"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/amr"
+	"repro/internal/cosmology"
 	"repro/internal/ep128"
 )
 
@@ -40,14 +43,17 @@ func buildHierarchy(t *testing.T) (*amr.Hierarchy, amr.Config) {
 }
 
 func TestRoundTrip(t *testing.T) {
-	h, cfg := buildHierarchy(t)
+	h, _ := buildHierarchy(t)
 	var buf bytes.Buffer
-	if err := Write(&buf, h); err != nil {
+	if err := Write(&buf, h, "synthetic"); err != nil {
 		t.Fatal(err)
 	}
-	h2, err := Read(&buf, cfg)
+	h2, problem, err := Read(&buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if problem != "synthetic" {
+		t.Errorf("problem name %q, want synthetic", problem)
 	}
 	if h2.Time != h.Time {
 		t.Errorf("time %v != %v", h2.Time, h.Time)
@@ -106,13 +112,13 @@ func TestRoundTrip(t *testing.T) {
 func TestRestartContinuesEvolution(t *testing.T) {
 	// Stepping after restart must work and agree with uninterrupted
 	// evolution (determinism across serialization).
-	h, cfg := buildHierarchy(t)
+	h, _ := buildHierarchy(t)
 	var buf bytes.Buffer
-	if err := Write(&buf, h); err != nil {
+	if err := Write(&buf, h, ""); err != nil {
 		t.Fatal(err)
 	}
 	h.Step()
-	h2, err := Read(&buf, cfg)
+	h2, _, err := Read(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,39 +130,78 @@ func TestRestartContinuesEvolution(t *testing.T) {
 	}
 }
 
-func TestGeometryMismatchRejected(t *testing.T) {
-	h, _ := buildHierarchy(t)
+func TestSelfDescribingConfig(t *testing.T) {
+	// The header embeds the run config: a restart needs nothing from the
+	// caller, and every physics switch round-trips.
+	h, cfg := buildHierarchy(t)
 	var buf bytes.Buffer
-	if err := Write(&buf, h); err != nil {
+	if err := Write(&buf, h, "synthetic"); err != nil {
 		t.Fatal(err)
 	}
-	other := amr.DefaultConfig(16)
-	if _, err := Read(&buf, other); err == nil {
-		t.Fatal("RootN mismatch should be rejected")
+	h2, _, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := h2.Cfg
+	if got.RootN != cfg.RootN || got.Refine != cfg.Refine || got.NSpecies != cfg.NSpecies {
+		t.Fatalf("config did not round trip: got RootN=%d Refine=%d NSpecies=%d",
+			got.RootN, got.Refine, got.NSpecies)
+	}
+	if got.StaticLevels != cfg.StaticLevels || got.StaticLo != cfg.StaticLo {
+		t.Error("static-region config lost")
+	}
+	if got.MaxLevel != cfg.MaxLevel || got.SelfGravity != cfg.SelfGravity {
+		t.Error("physics switches lost")
 	}
 }
 
-func TestSpeciesMismatchRejected(t *testing.T) {
-	h, cfg := buildHierarchy(t)
+func TestCosmoBackgroundIsFresh(t *testing.T) {
+	// The decoded config owns its own expansion-factor integrator: the
+	// old API forced callers to clone the Background by hand before a
+	// restart (the Read(r, cfg) footgun).
+	h, _ := buildHierarchy(t)
+	h.Cfg.Cosmo = cosmology.NewBackground(cosmology.StandardCDM(), 0.05)
+	h.Cfg.Cosmo.A = 0.0625
 	var buf bytes.Buffer
-	if err := Write(&buf, h); err != nil {
+	if err := Write(&buf, h, ""); err != nil {
 		t.Fatal(err)
 	}
-	cfg.NSpecies = 0
-	if _, err := Read(&buf, cfg); err == nil {
-		t.Fatal("species-count mismatch should be rejected")
+	h2, _, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Cfg.Cosmo == nil || h2.Cfg.Cosmo == h.Cfg.Cosmo {
+		t.Fatal("restored hierarchy must own a fresh Background")
+	}
+	if h2.Cfg.Cosmo.A != 0.0625 || h2.Cfg.Cosmo.T != h.Cfg.Cosmo.T {
+		t.Fatalf("expansion state lost: a=%v t=%v", h2.Cfg.Cosmo.A, h2.Cfg.Cosmo.T)
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	var raw bytes.Buffer
+	zw := gzip.NewWriter(&raw)
+	if err := gob.NewEncoder(zw).Encode(&File{Version: FormatVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	zw.Close()
+	if _, _, err := Read(&raw); err == nil {
+		t.Fatal("future version should be rejected")
 	}
 }
 
 func TestSaveLoadFile(t *testing.T) {
-	h, cfg := buildHierarchy(t)
+	h, _ := buildHierarchy(t)
 	path := filepath.Join(t.TempDir(), "snap.gob.gz")
-	if err := Save(path, h); err != nil {
+	if err := Save(path, h, "synthetic"); err != nil {
 		t.Fatal(err)
 	}
-	h2, err := Load(path, cfg)
+	h2, problem, err := Load(path)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if problem != "synthetic" {
+		t.Errorf("problem %q", problem)
 	}
 	if math.Abs(h2.TotalGasMass()-h.TotalGasMass()) > 1e-15 {
 		t.Fatal("mass changed through file round trip")
