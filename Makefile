@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-full vet bench bench-scaling problems clean
+.PHONY: build test test-full vet bench bench-scaling bench-sim golden-update problems clean
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,16 @@ bench:
 # Poisson solve, multigrid) at 1/2/4/NumCPU workers.
 bench-scaling:
 	$(GO) test -run xxx -bench='Scaling' -benchmem .
+
+# Job-service throughput (jobs/sec at 1/2/4 concurrent slots) and the
+# cache-hit fast path; the baseline lives in BENCH_sim.json.
+bench-sim:
+	$(GO) test -run xxx -bench 'Sim(Throughput|CacheHit)' -benchmem ./internal/sim
+
+# Regenerate the golden regression hashes after an INTENTIONAL physics
+# change (internal/problems/testdata/golden.json is the drift alarm).
+golden-update:
+	$(GO) test ./internal/problems -run TestGoldenRegression -update
 
 # Smoke-run every registered problem for 2 root steps at 8^3 — the same
 # matrix the CI `problems` job drives via `enzogo -list`.

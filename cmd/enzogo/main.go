@@ -15,26 +15,81 @@
 //	enzogo -problem khi -steps 30 -rootn 32
 //	enzogo -problem zoom -steps 10 -save run.gob.gz
 //	enzogo -restart run.gob.gz -steps 10
+//
+// `enzogo serve` runs the simulation job service instead of a one-shot
+// problem: an HTTP/JSON API (internal/sim) that schedules, dedupes and
+// caches runs across a bounded slot pool. See the README's "Serving &
+// batch sweeps" section for the endpoints.
+//
+//	enzogo serve -addr :8080 -slots 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"maps"
+	"net/http"
 	"os"
+	"os/signal"
 	"slices"
-	"strconv"
-	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/perf"
 	"repro/internal/problems"
+	"repro/internal/sim"
 	"repro/internal/snapshot"
 )
 
+// serve runs the job service until SIGINT/SIGTERM.
+func serve(args []string) {
+	fs := flag.NewFlagSet("enzogo serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	slots := fs.Int("slots", 2, "jobs evolving concurrently")
+	workers := fs.Int("workers", 0, "total par worker budget partitioned across slots (0 = NumCPU)")
+	cache := fs.Int("cache", 64, "completed results retained for dedupe/cache hits")
+	queue := fs.Int("queue", 256, "max jobs waiting for a slot")
+	fs.Parse(args)
+
+	sched := sim.NewScheduler(sim.Config{
+		MaxConcurrent: *slots,
+		TotalWorkers:  *workers,
+		CacheSize:     *cache,
+		QueueDepth:    *queue,
+	})
+	srv := &http.Server{Addr: *addr, Handler: sched.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+	log.Printf("enzogo serve: listening on %s (%d slots × %d workers, cache %d)",
+		*addr, *slots, sched.SlotWorkers(), *cache)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	// ListenAndServe returns as soon as Shutdown *begins*; wait for the
+	// in-flight handlers (e.g. /events streams) to finish before tearing
+	// the scheduler down under them.
+	<-drained
+	sched.Close()
+	log.Printf("enzogo serve: drained and stopped")
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serve(os.Args[2:])
+		return
+	}
 	list := flag.Bool("list", false, "list registered problems (name<TAB>description) and exit")
 	long := flag.Bool("long", false, "with -list: include what each problem exercises, its example command and -p knobs")
 	problem := flag.String("problem", "collapse", "registered problem name (see -list)")
@@ -47,11 +102,7 @@ func main() {
 	solver := flag.String("solver", "", "hydro solver: ppm | fd (empty = problem default)")
 	extras := map[string]float64{}
 	flag.Func("p", "problem-specific knob key=value (repeatable, see README catalog)", func(s string) error {
-		key, val, ok := strings.Cut(s, "=")
-		if !ok {
-			return fmt.Errorf("want key=value, got %q", s)
-		}
-		v, err := strconv.ParseFloat(val, 64)
+		key, v, err := problems.ParseKnob(s)
 		if err != nil {
 			return err
 		}
@@ -64,9 +115,10 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, name := range problems.Names() {
-			spec, _ := problems.Get(name)
-			fmt.Printf("%s\t%s\n", name, spec.Summary)
+		// Specs iterates name-sorted, so -list (and the CI problems
+		// matrix cut from it) is deterministic across runs.
+		for _, spec := range problems.Specs() {
+			fmt.Printf("%s\t%s\n", spec.Name, spec.Summary)
 			if *long {
 				fmt.Printf("\texercises: %s\n\texample:   %s\n", spec.Exercises, spec.Example)
 				for _, k := range slices.Sorted(maps.Keys(spec.Knobs)) {

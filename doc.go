@@ -86,10 +86,41 @@
 // deterministic for a given worker count. The *ParallelBitwise tests in
 // each package enforce this.
 //
+// # Serving simulations as jobs
+//
+// internal/sim turns one-shot runs into a job service: a bounded
+// scheduler evolves several problems concurrently (partitioning the par
+// worker budget across its slots), dedupes identical submissions onto a
+// single execution, caches completed results under a canonical
+// configuration hash, and streams per-step progress over channels. The
+// enzogo `serve` subcommand exposes it as an HTTP/JSON API and enzobatch
+// drives sweep files through it, but embedding it in any binary is
+// direct:
+//
+//	sched := sim.NewScheduler(sim.Config{MaxConcurrent: 4})
+//	defer sched.Close()
+//	job, err := sched.Submit(sim.Request{
+//		Problem: "sedov", Steps: 20,
+//		Knobs: map[string]float64{"e0": 50},
+//	})
+//	for p := range job.Watch() { // one Progress per root step
+//		log.Printf("step %d t=%g dt=%g", p.Step, p.Time, p.Dt)
+//	}
+//	res, err := job.Result() // res.Hash = amr.Checksum of the answer
+//
+// A result's Hash is bitwise comparable to a direct core.New run of the
+// same resolved configuration, and to the golden regression hashes in
+// internal/problems/testdata/golden.json — the table-driven suite
+// (golden_test.go) that pins every registered problem's 2-step 16³
+// evolution and fails CI on any unintentional numerics drift
+// (regenerate intentionally with `make golden-update`). To serve over
+// HTTP, mount sim.(*Scheduler).Handler on any mux.
+//
 // bench_test.go in this directory regenerates every table and figure of
 // the paper's evaluation; see EXPERIMENTS.md for the paper-vs-measured
 // record. The BenchmarkScaling* benches measure serial-vs-parallel
 // speedup of the hot kernels (the paper's §5 component table, whose
 // wall-clock decomposition perf.UsageTable reproduces, is the map of
-// where those cycles go).
+// where those cycles go). BenchmarkSimThroughput (`make bench-sim`)
+// tracks job-service throughput against the BENCH_sim.json baseline.
 package repro

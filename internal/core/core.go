@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"maps"
 	"time"
@@ -143,6 +144,47 @@ func (s *Simulation) RunUntil(t float64, maxSteps int) int {
 	}
 	return steps
 }
+
+// StepInfo is the per-root-step progress record RunContext hands to its
+// observer (and the sim job service streams to watchers).
+type StepInfo struct {
+	Step     int     // 0-based index of the step just completed
+	Time     float64 // code time after the step
+	Dt       float64 // timestep taken
+	MaxLevel int
+	NumGrids int
+}
+
+// RunContext advances up to maxSteps root steps, stopping early when the
+// simulation time reaches maxTime (0 = no time bound) or ctx is
+// cancelled; cancellation is observed between root steps, so the
+// hierarchy is always left in a consistent post-step state. observe, when
+// non-nil, is called after every completed step. Returns the number of
+// steps taken and ctx.Err() when cancellation cut the run short.
+func (s *Simulation) RunContext(ctx context.Context, maxSteps int, maxTime float64, observe func(StepInfo)) (int, error) {
+	for n := 0; n < maxSteps; n++ {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
+		if maxTime > 0 && s.H.Time >= maxTime {
+			return n, nil
+		}
+		dt := s.Step()
+		if observe != nil {
+			observe(StepInfo{
+				Step:     n,
+				Time:     s.H.Time,
+				Dt:       dt,
+				MaxLevel: s.H.MaxLevel(),
+				NumGrids: s.H.NumGrids(),
+			})
+		}
+	}
+	return maxSteps, nil
+}
+
+// Wall returns the accumulated evolution wall-clock time.
+func (s *Simulation) Wall() time.Duration { return s.wall }
 
 func (s *Simulation) record() {
 	_, peak := analysis.DensestPoint(s.H)

@@ -1,12 +1,65 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
 
 	"repro/internal/problems"
 )
+
+func TestRunContext(t *testing.T) {
+	mini := func(o *problems.Opts) { o.RootN = 8; o.MaxLevel = 0; o.Workers = 1 }
+
+	// Full run: takes exactly maxSteps and reports each one in order.
+	sim, err := New("sedov", mini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []StepInfo
+	n, err := sim.RunContext(context.Background(), 3, 0, func(i StepInfo) { seen = append(seen, i) })
+	if err != nil || n != 3 {
+		t.Fatalf("RunContext = %d,%v want 3,nil", n, err)
+	}
+	for i, info := range seen {
+		if info.Step != i || info.Dt <= 0 || info.NumGrids < 1 {
+			t.Fatalf("bad StepInfo %d: %+v", i, info)
+		}
+	}
+	if seen[2].Time != sim.H.Time {
+		t.Fatalf("last observed time %v != hierarchy time %v", seen[2].Time, sim.H.Time)
+	}
+
+	// A time bound stops the run once reached, before the step budget.
+	sim2, err := New("sedov", mini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err = sim2.RunContext(context.Background(), 1000, seen[0].Time, nil)
+	if err != nil || n >= 1000 || sim2.H.Time < seen[0].Time {
+		t.Fatalf("maxTime bound: steps=%d err=%v t=%v", n, err, sim2.H.Time)
+	}
+
+	// Cancellation between steps surfaces ctx.Err with a partial count,
+	// leaving the hierarchy in a consistent post-step state.
+	sim3, err := New("sedov", mini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n, err = sim3.RunContext(ctx, 1000, 0, func(i StepInfo) {
+		if i.Step == 1 {
+			cancel()
+		}
+	})
+	if err != context.Canceled || n != 2 {
+		t.Fatalf("cancelled run = %d,%v want 2,context.Canceled", n, err)
+	}
+	if sim3.H.Stats.StepsTaken != 2 {
+		t.Fatalf("hierarchy took %d steps after cancel at 2", sim3.H.Stats.StepsTaken)
+	}
+}
 
 func TestNewByName(t *testing.T) {
 	sim, err := New("sedov", func(o *problems.Opts) { o.RootN = 8; o.MaxLevel = 1 })

@@ -1,0 +1,69 @@
+package perf
+
+import (
+	"time"
+
+	"repro/internal/amr"
+)
+
+// JobMetrics is the JSON-exportable per-run performance snapshot the sim
+// job service attaches to every result and enzobatch writes per sweep
+// row: the §5 accounting (component seconds, per-operator seconds, flop
+// estimate and sustained rate) flattened into plain numbers.
+type JobMetrics struct {
+	WallSeconds    float64 `json:"wall_seconds"`
+	StepsTaken     int     `json:"steps_taken"`
+	CellUpdates    int64   `json:"cell_updates"`
+	ChemCellCalls  int64   `json:"chem_cell_calls"`
+	ParticleKicks  int64   `json:"particle_kicks"`
+	GridsCreated   int64   `json:"grids_created"`
+	Rebuilds       int     `json:"rebuilds"`
+	EstimatedFlops float64 `json:"estimated_flops"`
+	SustainedRate  float64 `json:"sustained_rate"`
+	// ComponentSeconds maps the §5 usage-table rows (hydrodynamics,
+	// Poisson solver, ...) to wall seconds.
+	ComponentSeconds map[string]float64 `json:"component_seconds,omitempty"`
+	// OperatorSeconds maps pipeline operator names (hydro.sweep,
+	// gravity.solve, ...) to wall seconds — the Timing.PerOp breakdown.
+	OperatorSeconds map[string]float64 `json:"operator_seconds,omitempty"`
+}
+
+// CollectJobMetrics assembles a JobMetrics from a run's accumulated
+// counters, component timings and total evolution wall time.
+func CollectJobMetrics(stats amr.Stats, timing amr.Timing, wall time.Duration) JobMetrics {
+	m := JobMetrics{
+		WallSeconds:    wall.Seconds(),
+		StepsTaken:     stats.StepsTaken,
+		CellUpdates:    stats.CellUpdates,
+		ChemCellCalls:  stats.ChemCellCalls,
+		ParticleKicks:  stats.ParticleKicks,
+		GridsCreated:   stats.GridsCreated,
+		Rebuilds:       stats.RebuildCount,
+		EstimatedFlops: EstimateFlops(stats),
+	}
+	m.SustainedRate = SustainedRate(m.EstimatedFlops, m.WallSeconds)
+	comp := map[string]float64{
+		"hydrodynamics":       timing.Hydro.Seconds(),
+		"Poisson solver":      timing.Gravity.Seconds(),
+		"chemistry & cooling": timing.Chemistry.Seconds(),
+		"N-body":              timing.NBody.Seconds(),
+		"hierarchy rebuild":   timing.Rebuild.Seconds(),
+		"boundary conditions": timing.Boundary.Seconds(),
+		"other overhead":      timing.Other.Seconds(),
+	}
+	for k, v := range comp {
+		if v == 0 {
+			delete(comp, k)
+		}
+	}
+	if len(comp) > 0 {
+		m.ComponentSeconds = comp
+	}
+	if len(timing.PerOp) > 0 {
+		m.OperatorSeconds = make(map[string]float64, len(timing.PerOp))
+		for name, d := range timing.PerOp {
+			m.OperatorSeconds[name] = d.Seconds()
+		}
+	}
+	return m
+}

@@ -1,0 +1,57 @@
+package perf
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/amr"
+)
+
+func TestCollectJobMetrics(t *testing.T) {
+	stats := amr.Stats{StepsTaken: 4, CellUpdates: 1000, ChemCellCalls: 50, ParticleKicks: 7,
+		GridsCreated: 3, RebuildCount: 2}
+	var timing amr.Timing
+	timing.Hydro = 2 * time.Second
+	timing.Boundary = time.Second
+	m := CollectJobMetrics(stats, timing, 4*time.Second)
+
+	if m.WallSeconds != 4 || m.StepsTaken != 4 || m.CellUpdates != 1000 {
+		t.Fatalf("counters wrong: %+v", m)
+	}
+	if m.EstimatedFlops != EstimateFlops(stats) || m.SustainedRate != m.EstimatedFlops/4 {
+		t.Fatalf("flop accounting wrong: %+v", m)
+	}
+	if m.ComponentSeconds["hydrodynamics"] != 2 || m.ComponentSeconds["boundary conditions"] != 1 {
+		t.Fatalf("component seconds wrong: %+v", m.ComponentSeconds)
+	}
+	if _, ok := m.ComponentSeconds["N-body"]; ok {
+		t.Fatal("zero components must be omitted")
+	}
+
+	// The struct is the wire format of the job API: it must round-trip
+	// through JSON without losing fields.
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JobMetrics
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CellUpdates != m.CellUpdates || back.ComponentSeconds["hydrodynamics"] != 2 {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+}
+
+func TestCollectJobMetricsPerOp(t *testing.T) {
+	var timing amr.Timing
+	timing.PerOp = map[string]time.Duration{"hydro.sweep": 3 * time.Second}
+	m := CollectJobMetrics(amr.Stats{}, timing, 0)
+	if m.OperatorSeconds["hydro.sweep"] != 3 {
+		t.Fatalf("per-op seconds wrong: %+v", m.OperatorSeconds)
+	}
+	if m.SustainedRate != 0 {
+		t.Fatal("zero wall must give zero rate")
+	}
+}

@@ -95,6 +95,20 @@ func Names() []string {
 	return out
 }
 
+// Specs returns the registered specs sorted by name — the one iteration
+// order shared by `enzogo -list`, the CI problems matrix it drives, the
+// golden regression table and any other registry walk, so their rows line
+// up run after run.
+func Specs() []Spec {
+	names := Names()
+	out := make([]Spec, 0, len(names))
+	for _, n := range names {
+		s, _ := Get(n)
+		out = append(out, s)
+	}
+	return out
+}
+
 // Build constructs the named problem with the given options. The options
 // are used verbatim — they are not merged with the spec's Defaults, so a
 // zero field means zero (e.g. MaxLevel 0 disables refinement). Callers

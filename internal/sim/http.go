@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/problems"
+)
+
+// Handler exposes the scheduler as an HTTP/JSON API (`enzogo serve`):
+//
+//	POST   /jobs             submit a Request; identical configs coalesce
+//	GET    /jobs             list retained jobs in submit order
+//	GET    /jobs/{id}        one job's status
+//	GET    /jobs/{id}/result the completed Result (409 until done)
+//	GET    /jobs/{id}/events per-step progress as streamed NDJSON
+//	DELETE /jobs/{id}        cancel
+//	GET    /problems         the registered problem catalog
+//	GET    /healthz          liveness + uptime
+//	GET    /metrics          scheduler counters, Prometheus text format
+func (s *Scheduler) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /problems", handleProblems)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// SubmitResponse is the POST /jobs payload: the job's status plus how
+// the submission was satisfied ("scheduled", "coalesced" onto a live
+// duplicate, or answered from "cache").
+type SubmitResponse struct {
+	Status
+	Disposition string `json:"disposition"`
+}
+
+// maxRequestBody bounds a POST /jobs payload; requests are rejected
+// before anything oversized is buffered into memory.
+const maxRequestBody = 1 << 20
+
+func (s *Scheduler) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	j, disp, err := s.SubmitWithDisposition(req)
+	switch {
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err) // backpressure: retry later
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusAccepted
+	if disp == CacheHit {
+		code = http.StatusOK // the result already exists
+	}
+	writeJSON(w, code, SubmitResponse{Status: j.Status(), Disposition: string(disp)})
+}
+
+func (s *Scheduler) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Scheduler) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Scheduler) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Scheduler) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	res, err := j.Result()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleEvents streams the job's progress as newline-delimited JSON, one
+// object per completed root step, ending with the job's final status.
+func (s *Scheduler) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+	watch := j.Watch()
+	defer j.Unwatch(watch) // a disconnecting client must not leak its subscription
+	for {
+		select {
+		case p, open := <-watch:
+			if !open {
+				enc.Encode(j.Status())
+				flush()
+				return
+			}
+			enc.Encode(p)
+			flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Scheduler) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if !s.Cancel(j.ID) {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s is already %s", j.ID, j.State()))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// ProblemInfo is one row of GET /problems.
+type ProblemInfo struct {
+	Name     string             `json:"name"`
+	Summary  string             `json:"summary"`
+	Knobs    map[string]string  `json:"knobs,omitempty"`
+	Defaults map[string]float64 `json:"default_knobs,omitempty"`
+	RootN    int                `json:"default_rootn"`
+	MaxLevel int                `json:"default_maxlevel"`
+}
+
+func handleProblems(w http.ResponseWriter, r *http.Request) {
+	specs := problems.Specs()
+	out := make([]ProblemInfo, len(specs))
+	for i, sp := range specs {
+		out[i] = ProblemInfo{
+			Name:     sp.Name,
+			Summary:  sp.Summary,
+			Knobs:    sp.Knobs,
+			Defaults: sp.Defaults.Extra,
+			RootN:    sp.Defaults.RootN,
+			MaxLevel: sp.Defaults.MaxLevel,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Scheduler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             true,
+		"uptime_seconds": s.Uptime().Seconds(),
+		"slots":          s.cfg.MaxConcurrent,
+		"slot_workers":   s.SlotWorkers(),
+	})
+}
+
+func (s *Scheduler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# Scheduler counters (Prometheus text format).\n")
+	fmt.Fprintf(w, "sim_jobs_submitted_total %d\n", st.Submitted)
+	fmt.Fprintf(w, "sim_jobs_coalesced_total %d\n", st.Coalesced)
+	fmt.Fprintf(w, "sim_jobs_cache_hits_total %d\n", st.CacheHits)
+	fmt.Fprintf(w, "sim_jobs_executed_total %d\n", st.Executed)
+	fmt.Fprintf(w, "sim_jobs_succeeded_total %d\n", st.Succeeded)
+	fmt.Fprintf(w, "sim_jobs_failed_total %d\n", st.Failed)
+	fmt.Fprintf(w, "sim_jobs_cancelled_total %d\n", st.Cancelled)
+	fmt.Fprintf(w, "sim_jobs_queued %d\n", st.Queued)
+	fmt.Fprintf(w, "sim_jobs_running %d\n", st.Running)
+	fmt.Fprintf(w, "sim_jobs_cached %d\n", st.Cached)
+	fmt.Fprintf(w, "sim_slots %d\n", s.cfg.MaxConcurrent)
+	fmt.Fprintf(w, "sim_slot_workers %d\n", s.SlotWorkers())
+	fmt.Fprintf(w, "sim_uptime_seconds %g\n", s.Uptime().Seconds())
+}

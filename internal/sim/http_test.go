@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func postJob(t *testing.T, url string, req Request) SubmitResponse {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /jobs: %s", resp.Status)
+	}
+	var out SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func getResult(t *testing.T, url, id string) (*Result, bool) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%s/result", url, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		return nil, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET result: %s", resp.Status)
+	}
+	var res Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	return &res, true
+}
+
+func waitResult(t *testing.T, url, id string) *Result {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if res, done := getResult(t, url, id); done {
+			return res
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return nil
+}
+
+// TestHTTPEndToEnd is the service acceptance test: a job submitted over
+// the HTTP API returns exactly the hash of the same problem run via
+// core.New directly, and a duplicate POST is answered from cache without
+// a second execution.
+func TestHTTPEndToEnd(t *testing.T) {
+	s := NewScheduler(Config{MaxConcurrent: 2, TotalWorkers: 4})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	req := Request{Problem: "sedov", RootN: 8, MaxLevel: Int(1), Steps: 2, Workers: 2}
+	sub := postJob(t, srv.URL, req)
+	if sub.Disposition != "scheduled" {
+		t.Fatalf("first POST disposition %q", sub.Disposition)
+	}
+	res := waitResult(t, srv.URL, sub.ID)
+	if want := directHash(t, req, s.SlotWorkers()); res.Hash != want {
+		t.Fatalf("HTTP job hash %s, direct core.New run %s", res.Hash, want)
+	}
+	if res.Steps != 2 || res.Metrics.StepsTaken != 2 || res.Metrics.CellUpdates == 0 {
+		t.Fatalf("bad result payload: %+v", res)
+	}
+	if len(res.Metrics.OperatorSeconds) == 0 {
+		t.Fatalf("result lacks per-operator metrics: %+v", res.Metrics)
+	}
+
+	// A duplicate submission is a cache hit: same ID, no new execution.
+	dup := postJob(t, srv.URL, req)
+	if dup.Disposition != "cache" || dup.ID != sub.ID {
+		t.Fatalf("duplicate POST: disposition %q id %s (want cache, %s)", dup.Disposition, dup.ID, sub.ID)
+	}
+	if st := s.Stats(); st.Executed != 1 {
+		t.Fatalf("%d executions after duplicate POST, want 1", st.Executed)
+	}
+}
+
+// TestHTTPConcurrentDuplicates races identical submissions through the
+// HTTP layer: one execution, every response converging on one job ID.
+func TestHTTPConcurrentDuplicates(t *testing.T) {
+	s := NewScheduler(Config{MaxConcurrent: 2, TotalWorkers: 2})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	req := Request{Problem: "khi", RootN: 8, MaxLevel: Int(1), Steps: 2, Workers: 1}
+	const n = 6
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = postJob(t, srv.URL, req).ID
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("submission %d got job %s, want %s", i, ids[i], ids[0])
+		}
+	}
+	waitResult(t, srv.URL, ids[0])
+	if st := s.Stats(); st.Executed != 1 {
+		t.Fatalf("%d executions for %d racing posts", st.Executed, n)
+	}
+}
+
+func TestHTTPStatusListEventsAndAux(t *testing.T) {
+	s := NewScheduler(Config{MaxConcurrent: 1, TotalWorkers: 2})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	sub := postJob(t, srv.URL, Request{Problem: "sedov", RootN: 8, MaxLevel: Int(0), Steps: 2})
+
+	// The events stream yields one NDJSON line per step plus the final
+	// status line.
+	resp, err := http.Get(srv.URL + "/jobs/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	var lastLine string
+	for sc.Scan() {
+		lines++
+		lastLine = sc.Text()
+	}
+	resp.Body.Close()
+	if lines != 3 {
+		t.Fatalf("events stream had %d lines, want 2 steps + final status", lines)
+	}
+	if !strings.Contains(lastLine, `"state"`) || !strings.Contains(lastLine, `"done"`) {
+		t.Fatalf("final events line is not the terminal status: %s", lastLine)
+	}
+
+	for _, ep := range []string{"/jobs", "/jobs/" + sub.ID, "/problems", "/healthz"} {
+		resp, err := http.Get(srv.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", ep, resp.Status)
+		}
+		var v any
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("GET %s: invalid JSON: %v", ep, err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := new(bytes.Buffer)
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, metric := range []string{"sim_jobs_submitted_total 1", "sim_jobs_executed_total 1", "sim_slots 1"} {
+		if !strings.Contains(buf.String(), metric) {
+			t.Fatalf("metrics missing %q:\n%s", metric, buf.String())
+		}
+	}
+
+	// Unknown job and bad payloads are clean client errors.
+	if resp, _ := http.Get(srv.URL + "/jobs/deadbeef"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %s", resp.Status)
+	}
+	bad, _ := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(`{"problem":"nosuch"}`))
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad problem: %s", bad.Status)
+	}
+	bad2, _ := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(`{"bogus_field":1}`))
+	if bad2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: %s", bad2.Status)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	s := NewScheduler(Config{MaxConcurrent: 1, TotalWorkers: 2})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	sub := postJob(t, srv.URL, Request{Problem: "sedov", RootN: 8, MaxLevel: Int(1), Steps: 10000})
+	j, _ := s.Get(sub.ID)
+	<-j.Watch() // running for sure
+	delReq, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+sub.ID, nil)
+	resp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: %s", resp.Status)
+	}
+	<-j.Done()
+	if st := j.State(); st != Cancelled {
+		t.Fatalf("state %v after HTTP cancel", st)
+	}
+}

@@ -1,0 +1,687 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/perf"
+	"repro/internal/problems"
+)
+
+// Config sizes a Scheduler.
+type Config struct {
+	// MaxConcurrent is the number of jobs evolving at once (default 2).
+	MaxConcurrent int
+	// TotalWorkers is the par worker budget partitioned evenly across
+	// the concurrent slots (0 = runtime.NumCPU). A request that pins
+	// its own Workers bypasses the partition.
+	TotalWorkers int
+	// CacheSize bounds the completed (terminal) jobs retained for
+	// dedupe/cache hits, evicted oldest-first (default 64).
+	CacheSize int
+	// QueueDepth bounds the jobs waiting for a slot; Submit fails once
+	// the backlog is full (default 256).
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.TotalWorkers <= 0 {
+		c.TotalWorkers = runtime.NumCPU()
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	return c
+}
+
+// slotWorkers is the per-job par budget of a scheduler slot: the total
+// budget split evenly over the concurrent slots, never below one.
+func (c Config) slotWorkers() int {
+	w := c.TotalWorkers / c.MaxConcurrent
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// State is a job's lifecycle phase.
+type State int
+
+const (
+	Queued State = iota
+	Running
+	Done
+	Failed
+	Cancelled
+)
+
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Cancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// terminal reports whether the state is final.
+func (s State) terminal() bool { return s >= Done }
+
+// Progress is one per-root-step update streamed to job watchers.
+type Progress struct {
+	Step     int     `json:"step"`
+	Time     float64 `json:"time"`
+	Dt       float64 `json:"dt"`
+	MaxLevel int     `json:"maxlevel"`
+	NumGrids int     `json:"grids"`
+}
+
+// Result is the outcome of a completed job.
+type Result struct {
+	// Hash is amr.(*Hierarchy).ChecksumHex of the evolved hierarchy —
+	// the bitwise identity of the answer, directly comparable to a
+	// local core.New run with the same resolved configuration.
+	Hash     string          `json:"hash"`
+	Steps    int             `json:"steps"`
+	Time     float64         `json:"time"`
+	MaxLevel int             `json:"maxlevel"`
+	NumGrids int             `json:"grids"`
+	SDR      float64         `json:"sdr"`
+	Metrics  perf.JobMetrics `json:"metrics"`
+}
+
+// Job is one scheduled simulation. The zero job is not usable; obtain
+// jobs from Scheduler.Submit or Scheduler.Get.
+type Job struct {
+	// ID is the canonical configuration hash — identical requests share
+	// a Job (and its single execution).
+	ID  string
+	Req Request
+	// Workers is the effective par budget the job runs with.
+	Workers int
+	// StepBudget and MaxTime are the resolved run bounds.
+	StepBudget int
+	MaxTime    float64
+
+	sched  *Scheduler
+	res    resolved
+	doneCh chan struct{}
+
+	mu          sync.Mutex
+	state       State
+	prog        Progress
+	stepsDone   int
+	history     []Progress // recent stream (≤ maxHistory), replayed to late watchers
+	result      *Result
+	err         error
+	subs        []chan Progress
+	cancel      context.CancelFunc
+	submissions int
+	cacheHits   int
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the job's result once it is done; before that (or on
+// failure/cancellation) it returns an error.
+func (j *Job) Result() (*Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.state == Done:
+		return j.result, nil
+	case j.err != nil:
+		return nil, j.err
+	default:
+		return nil, fmt.Errorf("sim: job %s is %s", j.ID, j.state)
+	}
+}
+
+// Wait blocks until the job is terminal or ctx is cancelled, then
+// returns Result().
+func (j *Job) Wait(ctx context.Context) (*Result, error) {
+	select {
+	case <-j.doneCh:
+		return j.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// maxHistory bounds the per-job progress replay buffer; when a job
+// outgrows it the oldest half is dropped, so very long jobs replay only
+// a recent window of steps to late watchers.
+const maxHistory = 4096
+
+// Watch subscribes to the job's progress stream. The returned channel
+// first replays the steps already completed (so a subscriber attached
+// after Submit — or after the job finished — still sees the stream, up
+// to the maxHistory most recent), then receives one Progress per further
+// root step (updates are dropped, not blocked on, when the subscriber
+// lags), and is closed when the job reaches a terminal state. A watcher
+// abandoning a live job must detach with Unwatch.
+func (j *Job) Watch() <-chan Progress {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan Progress, len(j.history)+64)
+	for _, p := range j.history {
+		ch <- p
+	}
+	if j.state.terminal() {
+		close(ch)
+		return ch
+	}
+	j.subs = append(j.subs, ch)
+	return ch
+}
+
+// Unwatch detaches a Watch subscription before the job is terminal (an
+// events client disconnecting mid-run) and closes its channel, so the
+// job stops buffering updates for it. Harmless on subscriptions the job
+// already closed.
+func (j *Job) Unwatch(ch <-chan Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i, sub := range j.subs {
+		if sub == ch {
+			j.subs = append(j.subs[:i], j.subs[i+1:]...)
+			close(sub)
+			return
+		}
+	}
+}
+
+// publish fans a progress update out to watchers without ever blocking
+// the evolution loop. All subscriber-channel operations (send here,
+// close in finishLocked/Unwatch, buffer fill in Watch) happen under
+// j.mu, so a send can never race a close.
+func (j *Job) publish(p Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.prog = p
+	j.stepsDone++
+	if len(j.history) >= maxHistory {
+		j.history = append(j.history[:0], j.history[maxHistory/2:]...)
+	}
+	j.history = append(j.history, p)
+	for _, ch := range j.subs {
+		select {
+		case ch <- p:
+		default: // lagging subscriber: drop, never stall physics
+		}
+	}
+}
+
+// finish moves the job to a terminal state; it reports whether this call
+// performed the transition (false when another path already had).
+func (j *Job) finish(state State, res *Result, err error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finishLocked(state, res, err)
+}
+
+// finishLocked is finish with j.mu held — Cancel needs the
+// queued→cancelled transition atomic with its state check, or a slot
+// could pick the job up in between and run it to completion
+// uncancellably.
+func (j *Job) finishLocked(state State, res *Result, err error) bool {
+	if j.state.terminal() {
+		return false
+	}
+	j.state = state
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	j.cancel = nil
+	close(j.doneCh)
+	return true
+}
+
+// Status is the JSON-facing snapshot of a job.
+type Status struct {
+	ID          string   `json:"id"`
+	Problem     string   `json:"problem"`
+	State       string   `json:"state"`
+	Workers     int      `json:"workers"`
+	StepBudget  int      `json:"step_budget"`
+	Progress    Progress `json:"progress"`
+	Submissions int      `json:"submissions"`
+	CacheHits   int      `json:"cache_hits"`
+	Error       string   `json:"error,omitempty"`
+	Hash        string   `json:"hash,omitempty"`
+	WallSeconds float64  `json:"wall_seconds"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.ID,
+		Problem:     j.Req.Problem,
+		State:       j.state.String(),
+		Workers:     j.Workers,
+		StepBudget:  j.StepBudget,
+		Progress:    j.prog,
+		Submissions: j.submissions,
+		CacheHits:   j.cacheHits,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.result != nil {
+		st.Hash = j.result.Hash
+	}
+	switch {
+	case !j.finished.IsZero() && !j.started.IsZero():
+		st.WallSeconds = j.finished.Sub(j.started).Seconds()
+	case !j.started.IsZero():
+		st.WallSeconds = time.Since(j.started).Seconds()
+	}
+	return st
+}
+
+// Stats aggregates scheduler counters for /metrics.
+type Stats struct {
+	Submitted int64 `json:"submitted"`  // Submit calls accepted
+	Coalesced int64 `json:"coalesced"`  // submissions attached to a live duplicate
+	CacheHits int64 `json:"cache_hits"` // submissions answered from a completed job
+	Executed  int64 `json:"executed"`   // evolutions actually run
+	Succeeded int64 `json:"succeeded"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	Queued    int   `json:"queued"`  // current
+	Running   int   `json:"running"` // current
+	Cached    int   `json:"cached"`  // completed results retained (Done only)
+}
+
+// Scheduler runs simulation jobs on a bounded set of slots, deduping
+// identical requests and caching completed results. See the package
+// comment for the full contract.
+type Scheduler struct {
+	cfg     Config
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *Job
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*Job
+	order  []string // submit order of live+retained job IDs
+	stats  Stats
+	start  time.Time
+}
+
+// NewScheduler starts a scheduler with cfg's slots running.
+func NewScheduler(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:     cfg,
+		baseCtx: ctx,
+		stop:    cancel,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		jobs:    make(map[string]*Job),
+		start:   time.Now(),
+	}
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.execute(j)
+			}
+		}()
+	}
+	return s
+}
+
+// Config returns the scheduler's effective (default-filled) configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// SlotWorkers returns the par budget a job receives when its request
+// doesn't pin one.
+func (s *Scheduler) SlotWorkers() int { return s.cfg.slotWorkers() }
+
+// Close stops accepting submissions, cancels queued and running jobs and
+// waits for the slots to drain. Completed results remain readable.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.stop()
+	s.wg.Wait()
+}
+
+// Disposition reports how a submission was satisfied.
+type Disposition string
+
+const (
+	// Scheduled: a fresh job was queued for execution.
+	Scheduled Disposition = "scheduled"
+	// Coalesced: an identical job is already queued or running; this
+	// submission rides its single execution.
+	Coalesced Disposition = "coalesced"
+	// CacheHit: an identical job already completed; its result answers
+	// immediately.
+	CacheHit Disposition = "cache"
+)
+
+// Submit schedules req, or coalesces it onto an existing identical job:
+// a live job with the same canonical configuration is returned as-is
+// (one execution serves all submitters), and a retained completed job
+// answers immediately as a cache hit. A previously failed or cancelled
+// configuration is re-run fresh. The returned job may already be
+// terminal; use Job.Wait or Job.Done.
+func (s *Scheduler) Submit(req Request) (*Job, error) {
+	j, _, err := s.SubmitWithDisposition(req)
+	return j, err
+}
+
+// ErrClosed is returned by Submit once Close has been called — a
+// transient service condition, not a bad request.
+var ErrClosed = errors.New("sim: scheduler is closed")
+
+// ErrQueueFull is returned by Submit when the backlog is at QueueDepth —
+// backpressure to retry against, not a bad request.
+var ErrQueueFull = errors.New("sim: job queue is full")
+
+// SubmitWithDisposition is Submit, additionally reporting how this
+// particular submission was satisfied.
+func (s *Scheduler) SubmitWithDisposition(req Request) (*Job, Disposition, error) {
+	r, err := resolve(req, s.cfg.slotWorkers(), s.cfg.TotalWorkers)
+	if err != nil {
+		return nil, "", err
+	}
+	id := r.key()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, "", ErrClosed
+	}
+	if j, ok := s.jobs[id]; ok {
+		j.mu.Lock()
+		state := j.state
+		j.submissions++
+		if state == Done {
+			j.cacheHits++
+		}
+		j.mu.Unlock()
+		switch {
+		case state == Done:
+			s.stats.Submitted++
+			s.stats.CacheHits++
+			return j, CacheHit, nil
+		case !state.terminal():
+			s.stats.Submitted++
+			s.stats.Coalesced++
+			return j, Coalesced, nil
+		}
+		// Failed or cancelled: drop the stale job and re-run below.
+		s.removeLocked(id)
+	}
+
+	j := &Job{
+		ID:         id,
+		Req:        req,
+		Workers:    r.opts.Workers,
+		StepBudget: r.steps,
+		MaxTime:    r.maxTime,
+		sched:      s,
+		res:        r,
+		doneCh:     make(chan struct{}),
+		submitted:  time.Now(),
+	}
+	j.submissions = 1
+	select {
+	case s.queue <- j:
+	default:
+		return nil, "", fmt.Errorf("%w (%d jobs waiting)", ErrQueueFull, s.cfg.QueueDepth)
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.stats.Submitted++
+	s.evictLocked()
+	return j, Scheduled, nil
+}
+
+// Get returns the job with the given ID.
+func (s *Scheduler) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists all retained jobs in submit order.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Cancel stops the job with the given ID (queued jobs never start;
+// running jobs stop at the next root-step boundary). It reports whether
+// a live job was found.
+func (s *Scheduler) Cancel(id string) bool {
+	j, ok := s.Get(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.terminal():
+		j.mu.Unlock()
+		return false
+	case j.state == Queued:
+		// Atomic with the state check: a slot claiming the job takes
+		// j.mu to move it to Running, so it cannot slip in between.
+		j.finishLocked(Cancelled, nil, fmt.Errorf("sim: job %s cancelled while queued", id))
+		j.mu.Unlock()
+		s.count(func(st *Stats) { st.Cancelled++ })
+		return true
+	default:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	}
+}
+
+// Stats snapshots the scheduler counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	for _, j := range s.jobs {
+		switch j.State() {
+		case Queued:
+			st.Queued++
+		case Running:
+			st.Running++
+		case Done:
+			st.Cached++
+		}
+	}
+	return st
+}
+
+// Uptime returns how long the scheduler has been running.
+func (s *Scheduler) Uptime() time.Duration { return time.Since(s.start) }
+
+// removeLocked forgets a job; s.mu must be held.
+func (s *Scheduler) removeLocked(id string) {
+	delete(s.jobs, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// evictLocked drops retained terminal jobs beyond the cache size:
+// failed/cancelled records go first (a failure record must never evict a
+// reusable completed result), then Done results oldest-first; s.mu must
+// be held.
+func (s *Scheduler) evictLocked() {
+	terminal := 0
+	for _, j := range s.jobs {
+		if j.State().terminal() {
+			terminal++
+		}
+	}
+	for _, includeDone := range []bool{false, true} {
+		for i := 0; terminal > s.cfg.CacheSize && i < len(s.order); {
+			j := s.jobs[s.order[i]]
+			if st := j.State(); st.terminal() && (includeDone || st != Done) {
+				s.removeLocked(s.order[i])
+				terminal--
+				continue // order shifted down; re-examine index i
+			}
+			i++
+		}
+	}
+}
+
+// execute runs one job on the calling slot goroutine.
+func (s *Scheduler) execute(j *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state.terminal() { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = Running
+	j.cancel = cancel
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	s.stats.Executed++
+	s.mu.Unlock()
+
+	res, err := s.evolve(ctx, j)
+	switch {
+	case err == nil:
+		if j.finish(Done, res, nil) {
+			s.count(func(st *Stats) { st.Succeeded++ })
+		}
+	case ctx.Err() != nil:
+		j.mu.Lock()
+		done := j.stepsDone
+		j.mu.Unlock()
+		if j.finish(Cancelled, nil, fmt.Errorf("sim: job %s cancelled after %d steps", j.ID, done)) {
+			s.count(func(st *Stats) { st.Cancelled++ })
+		}
+	default:
+		if j.finish(Failed, nil, err) {
+			s.count(func(st *Stats) { st.Failed++ })
+		}
+	}
+}
+
+// count updates the terminal-outcome counters and re-applies the cache
+// bound (a completing job can push the retained-terminal count over it).
+func (s *Scheduler) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.evictLocked()
+	s.mu.Unlock()
+}
+
+// evolve builds the job's problem and advances it under ctx, streaming
+// per-step progress to watchers. A panic in the physics (bad knob
+// combinations can produce them) is converted to a job failure rather
+// than taking the service down.
+func (s *Scheduler) evolve(ctx context.Context, j *Job) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if wp, ok := r.(par.WorkerPanic); ok {
+				err = fmt.Errorf("sim: job %s panicked: %v", j.ID, wp.Value)
+				return
+			}
+			err = fmt.Errorf("sim: job %s panicked: %v", j.ID, r)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, err // scheduler shutting down: skip the (costly) IC build
+	}
+	sm, err := core.New(j.res.problem, func(o *problems.Opts) { *o = j.res.opts })
+	if err != nil {
+		return nil, err
+	}
+	steps, err := sm.RunContext(ctx, j.res.steps, j.res.maxTime, func(info core.StepInfo) {
+		j.publish(Progress{
+			Step:     info.Step,
+			Time:     info.Time,
+			Dt:       info.Dt,
+			MaxLevel: info.MaxLevel,
+			NumGrids: info.NumGrids,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := sm.H
+	return &Result{
+		Hash:     h.ChecksumHex(),
+		Steps:    steps,
+		Time:     h.Time,
+		MaxLevel: h.MaxLevel(),
+		NumGrids: h.NumGrids(),
+		SDR:      h.SpatialDynamicRange(),
+		Metrics:  perf.CollectJobMetrics(h.Stats, h.Timing, sm.Wall()),
+	}, nil
+}

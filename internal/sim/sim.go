@@ -1,0 +1,217 @@
+// Package sim is the long-lived simulation job service: a bounded
+// scheduler that runs registered problems (internal/problems) through the
+// core façade, partitions the global par worker budget across concurrent
+// jobs, dedupes identical submissions onto a single execution, caches
+// completed results keyed by a canonical hash of the resolved
+// configuration, and streams per-job progress over channels.
+//
+// Two front ends drive it: `enzogo serve` exposes the scheduler as an
+// HTTP/JSON API (see Handler) and `enzobatch` pushes sweep files through
+// it in-process. Both produce bitwise-comparable results: a job's result
+// hash is amr.(*Hierarchy).Checksum after evolution, the same digest the
+// golden regression suite pins, so a service answer can be verified
+// against a direct core.New run.
+//
+// Embedding the scheduler in another binary:
+//
+//	sched := sim.NewScheduler(sim.Config{MaxConcurrent: 4})
+//	defer sched.Close()
+//	job, err := sched.Submit(sim.Request{Problem: "sedov", Steps: 10})
+//	for p := range job.Watch() {
+//		log.Printf("step %d t=%g", p.Step, p.Time)
+//	}
+//	res, err := job.Result()
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"maps"
+
+	"repro/internal/problems"
+)
+
+// Request describes one simulation job. Zero-valued fields fall back to
+// the problem spec's defaults (the same semantics as unset enzogo flags);
+// Chemistry is a pointer so JSON can distinguish "off" from "unset".
+type Request struct {
+	// Problem is the registry name (enzogo -list). Required.
+	Problem string `json:"problem"`
+	// Steps bounds the run to this many root steps (default 10).
+	Steps int `json:"steps,omitempty"`
+	// MaxTime stops the run once code time reaches it (0 = no bound).
+	MaxTime float64 `json:"max_time,omitempty"`
+
+	RootN int `json:"rootn,omitempty"`
+	// MaxLevel overrides the spec default when non-nil; a pointer
+	// because an explicit 0 ("no refinement") is a meaningful, distinct
+	// configuration. Use sim.Int.
+	MaxLevel *int `json:"maxlevel,omitempty"`
+	// Seed overrides the spec default when non-nil (pointer for the
+	// same reason: seed 0 is a valid explicit choice). Use sim.Int64.
+	Seed   *int64 `json:"seed,omitempty"`
+	Solver string `json:"solver,omitempty"`
+	// Chemistry overrides the spec default when non-nil.
+	Chemistry *bool `json:"chemistry,omitempty"`
+	// Workers pins this job's par worker budget; 0 lets the scheduler
+	// assign the per-slot share of its total budget. The effective
+	// count is part of the job's identity (see Opts.Canonical).
+	Workers int `json:"workers,omitempty"`
+	// Knobs are the problem-specific -p key=value numeric knobs.
+	Knobs map[string]float64 `json:"knobs,omitempty"`
+}
+
+// DefaultSteps is the root-step budget of a Request that sets none.
+const DefaultSteps = 10
+
+// Int returns a pointer to v, for Request fields where an explicit zero
+// differs from "use the spec default".
+func Int(v int) *int { return &v }
+
+// Int64 is Int for the Seed field.
+func Int64(v int64) *int64 { return &v }
+
+// Merge overlays over onto base: fields set in over win, unset (zero)
+// fields keep base's value, and knob maps merge key-wise. This is the
+// sweep-file semantics of enzobatch, where a file-level defaults block is
+// merged under every job row.
+func Merge(base, over Request) Request {
+	out := base
+	if over.Problem != "" {
+		out.Problem = over.Problem
+	}
+	if over.Steps != 0 {
+		out.Steps = over.Steps
+	}
+	if over.MaxTime != 0 {
+		out.MaxTime = over.MaxTime
+	}
+	if over.RootN != 0 {
+		out.RootN = over.RootN
+	}
+	if over.MaxLevel != nil {
+		out.MaxLevel = over.MaxLevel
+	}
+	if over.Seed != nil {
+		out.Seed = over.Seed
+	}
+	if over.Solver != "" {
+		out.Solver = over.Solver
+	}
+	if over.Chemistry != nil {
+		out.Chemistry = over.Chemistry
+	}
+	if over.Workers != 0 {
+		out.Workers = over.Workers
+	}
+	if len(over.Knobs) > 0 {
+		merged := maps.Clone(base.Knobs)
+		if merged == nil {
+			merged = map[string]float64{}
+		}
+		maps.Copy(merged, over.Knobs)
+		out.Knobs = merged
+	}
+	return out
+}
+
+// resolved is a Request normalized against its problem spec: the full
+// Opts the builder will see plus the run bounds. Its canonical string is
+// the job's dedupe/cache identity.
+type resolved struct {
+	problem string
+	opts    problems.Opts
+	steps   int
+	maxTime float64
+}
+
+// resolve validates req and normalizes it against the spec defaults,
+// assigning slotWorkers as the par budget when the request doesn't pin
+// one; a pinned budget may not exceed maxWorkers (the scheduler's total
+// budget — otherwise one request could oversubscribe the machine the
+// slot partition exists to protect). Knob names and the solver are
+// checked here too, so a bad request fails at submit time (HTTP 400),
+// not as a dead job.
+func resolve(req Request, slotWorkers, maxWorkers int) (resolved, error) {
+	spec, ok := problems.Get(req.Problem)
+	if !ok {
+		return resolved{}, fmt.Errorf("sim: unknown problem %q (registered: %v)", req.Problem, problems.Names())
+	}
+	o := spec.Defaults
+	o.Extra = maps.Clone(o.Extra)
+	if req.RootN != 0 {
+		o.RootN = req.RootN
+	}
+	if req.MaxLevel != nil {
+		o.MaxLevel = *req.MaxLevel
+	}
+	if req.Chemistry != nil {
+		o.Chemistry = *req.Chemistry
+	}
+	if req.Seed != nil {
+		o.Seed = *req.Seed
+	}
+	if req.Solver != "" {
+		if _, err := problems.ParseSolver(req.Solver); err != nil {
+			return resolved{}, err
+		}
+		o.Solver = req.Solver
+	}
+	for k, v := range req.Knobs {
+		if _, known := spec.Knobs[k]; !known {
+			return resolved{}, fmt.Errorf("sim: problem %q has no knob %q", req.Problem, k)
+		}
+		if o.Extra == nil {
+			o.Extra = map[string]float64{}
+		}
+		o.Extra[k] = v
+	}
+	if req.Workers > maxWorkers {
+		return resolved{}, fmt.Errorf("sim: workers %d exceeds the service budget %d", req.Workers, maxWorkers)
+	}
+	o.Workers = req.Workers
+	if o.Workers <= 0 {
+		o.Workers = slotWorkers
+	}
+	r := resolved{problem: req.Problem, opts: o, steps: req.Steps, maxTime: req.MaxTime}
+	if r.steps <= 0 {
+		r.steps = DefaultSteps
+	}
+	if r.steps > MaxSteps {
+		return resolved{}, fmt.Errorf("sim: steps %d exceeds the service cap %d", r.steps, MaxSteps)
+	}
+	// Resource sanity before a slot commits memory to the job: a single
+	// oversized request must fail at submit, not OOM the whole service
+	// (the panic recovery around evolution cannot catch an OOM kill).
+	if o.RootN < 4 || o.RootN&(o.RootN-1) != 0 || o.RootN > MaxRootN {
+		return resolved{}, fmt.Errorf("sim: rootn must be a power of two in [4,%d], got %d", MaxRootN, o.RootN)
+	}
+	if o.MaxLevel < 0 || o.MaxLevel > MaxMaxLevel {
+		return resolved{}, fmt.Errorf("sim: maxlevel must be in [0,%d], got %d", MaxMaxLevel, o.MaxLevel)
+	}
+	return r, nil
+}
+
+// MaxSteps caps a single job's root-step budget so one request cannot
+// monopolize a service slot indefinitely.
+const MaxSteps = 100000
+
+// MaxRootN and MaxMaxLevel cap a job's grid dimensions. 256³ root cells
+// across ~10 float64 fields is ~1.3 GB before refinement — already the
+// outer edge of what one service slot should commit to; anything larger
+// is a provisioning decision, not a request.
+const (
+	MaxRootN    = 256
+	MaxMaxLevel = 12
+)
+
+// key returns the canonical job identity: a short sha256 digest of the
+// problem name, the fully resolved Opts (including the effective worker
+// budget — see problems.Opts.Canonical for why) and the run bounds.
+func (r resolved) key() string {
+	s := fmt.Sprintf("problem=%s;%s;steps=%d;maxtime=%g",
+		r.problem, r.opts.Canonical(), r.steps, r.maxTime)
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:8])
+}
