@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-full vet bench bench-scaling bench-sim golden-update problems clean
+.PHONY: build test test-full vet bench bench-scaling bench-sim bench-projection golden-update problems docs clean
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,11 @@ bench-scaling:
 bench-sim:
 	$(GO) test -run xxx -bench 'Sim(Throughput|CacheHit)' -benchmem ./internal/sim
 
+# The derived-output projection kernel (SurfaceDensity) at 1/2/4/NumCPU
+# workers; the baseline lives in BENCH_projection.json.
+bench-projection:
+	$(GO) test -run xxx -bench 'Projection' -benchmem .
+
 # Regenerate the golden regression hashes after an INTENTIONAL physics
 # change (internal/problems/testdata/golden.json is the drift alarm).
 golden-update:
@@ -47,6 +52,15 @@ problems:
 		bin/enzogo -problem $$p -steps 2 -rootn 8 >/dev/null || exit 1; \
 	done < bin/problems.txt
 	@echo "all registered problems ran clean"
+
+# The documentation gate the CI docs job runs: clean gofmt, documented
+# exports in every internal package, and README curl examples that
+# actually work against a live test server.
+docs:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) run ./cmd/doccheck $$(ls -d internal/*/ | sed 's|^|./|;s|/$$||')
+	$(GO) test -run TestReadmeCurlExamples ./internal/sim
 
 clean:
 	$(GO) clean ./...

@@ -83,6 +83,37 @@ func newScalingHierarchy(b *testing.B, rootN, workers int) *amr.Hierarchy {
 	return h
 }
 
+// BenchmarkProjection measures the SurfaceDensity projection kernel — a
+// 128² column-density map with 128 line-of-sight samples over an evolved
+// multi-level sedov hierarchy — at 1/2/4/NumCPU workers. This is the hot
+// path of the sim service's derived-output pipeline (in-flight data
+// products are evaluated at root-step boundaries on the job's worker
+// share); results are bitwise identical across rows, so the bench
+// measures pure execution-model gains. The baseline history lives in
+// BENCH_projection.json (`make bench-projection`).
+func BenchmarkProjection(b *testing.B) {
+	sim, err := core.New("sedov", func(o *problems.Opts) {
+		o.RootN, o.MaxLevel, o.Workers = 32, 2, 1
+		o.Extra["e0"] = 50
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.RunSteps(20) // develop the shock until refined grids exist (~step 13)
+	if sim.H.MaxLevel() == 0 {
+		b.Fatal("projection bench hierarchy did not refine")
+	}
+	const n, nsamp = 128, 128
+	for _, w := range scalingWorkerCounts() {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				analysis.SurfaceDensity(sim.H, 2, 0, 1, 0, 1, n, nsamp, w)
+			}
+			b.ReportMetric(float64(n*n*nsamp)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
+}
+
 // BenchmarkScalingStep64 measures a full 64³ root-grid Hierarchy.Step
 // (the PPM pencil sweeps dominate) at 1/2/4/NumCPU workers.
 func BenchmarkScalingStep64(b *testing.B) {

@@ -18,9 +18,18 @@
 //	  ]
 //	}
 //
+// Rows (or the defaults block) may declare derived data products with an
+// "outputs" list — the same requests the HTTP API accepts — so a sweep
+// collects projections, profiles or clump catalogs per job, not just
+// hashes; -artifacts dumps every job's products under dir/<jobid>/. A
+// row's non-empty list replaces the defaults' wholesale (an empty list
+// cannot clear it — put product-free rows in a sweep without default
+// outputs).
+//
 // Usage:
 //
 //	enzobatch -f sweep.json -slots 4 -out results.json
+//	enzobatch -f examples/sweeps/sedov_projections.json -artifacts products
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/problems"
@@ -57,6 +67,7 @@ func main() {
 	slots := flag.Int("slots", 2, "jobs evolving concurrently")
 	workers := flag.Int("workers", 0, "total par worker budget partitioned across slots (0 = NumCPU)")
 	out := flag.String("out", "", "write the full JSON report here")
+	artifactDir := flag.String("artifacts", "", "write each job's derived-output artifacts under this directory")
 	verbose := flag.Bool("v", false, "stream per-step progress lines")
 	flag.Parse()
 	if *file == "" {
@@ -116,8 +127,8 @@ func main() {
 	}
 
 	failed := 0
-	fmt.Printf("%-3s %-16s %-10s %-9s %5s %10s %16s %8s\n",
-		"#", "id", "problem", "state", "steps", "t", "hash", "wall[s]")
+	fmt.Printf("%-3s %-16s %-10s %-9s %5s %10s %16s %5s %8s\n",
+		"#", "id", "problem", "state", "steps", "t", "hash", "arts", "wall[s]")
 	for i, j := range jobs {
 		res, err := j.Wait(context.Background())
 		st := j.Status()
@@ -129,8 +140,14 @@ func main() {
 			continue
 		}
 		rows[i].Result = res
-		fmt.Printf("%-3d %-16s %-10s %-9s %5d %10.5f %16s %8.2f\n",
-			i, j.ID, st.Problem, st.State, res.Steps, res.Time, res.Hash, res.Metrics.WallSeconds)
+		fmt.Printf("%-3d %-16s %-10s %-9s %5d %10.5f %16s %5d %8.2f\n",
+			i, j.ID, st.Problem, st.State, res.Steps, res.Time, res.Hash,
+			res.Artifacts, res.Metrics.WallSeconds)
+		if *artifactDir != "" {
+			if err := dumpArtifacts(*artifactDir, j); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 
 	stats := sched.Stats()
@@ -155,6 +172,28 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// dumpArtifacts writes one completed job's retained data products under
+// dir/<jobid>/, named as the artifact store names them. Duplicate rows
+// coalesce onto one job ID, so they rewrite the same files with the same
+// bytes.
+func dumpArtifacts(dir string, j *sim.Job) error {
+	arts := j.Artifacts().All()
+	if len(arts) == 0 {
+		return nil
+	}
+	jobDir := filepath.Join(dir, j.ID)
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		return err
+	}
+	for _, a := range arts {
+		if err := os.WriteFile(filepath.Join(jobDir, a.Name), a.Data, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("    %d artifacts -> %s\n", len(arts), jobDir)
+	return nil
 }
 
 // printKnobSummary groups completed rows by problem and shows which
@@ -213,6 +252,9 @@ func rowLabel(req sim.Request) string {
 	}
 	if req.MaxTime != 0 {
 		label += fmt.Sprintf(" maxtime=%g", req.MaxTime)
+	}
+	if len(req.Outputs) > 0 {
+		label += fmt.Sprintf(" outputs=%d", len(req.Outputs))
 	}
 	return label
 }

@@ -16,6 +16,15 @@
 //	enzogo -problem zoom -steps 10 -save run.gob.gz
 //	enzogo -restart run.gob.gz -steps 10
 //
+// Derived data products (slices, projections, radial profiles, clump
+// catalogs, snapshots) are collected in flight with repeated -output
+// specs — the same declarative requests the job service accepts — and
+// written to -outdir as the run crosses each cadence boundary:
+//
+//	enzogo -problem sedov -steps 20 \
+//	    -output projection,field=rho,axis=2,n=128,every=5 \
+//	    -output slice,field=temp,format=png -outdir products
+//
 // `enzogo serve` runs the simulation job service instead of a one-shot
 // problem: an HTTP/JSON API (internal/sim) that schedules, dedupes and
 // caches runs across a bounded slot pool. See the README's "Serving &
@@ -33,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"slices"
 	"syscall"
 	"time"
@@ -53,6 +63,8 @@ func serve(args []string) {
 	workers := fs.Int("workers", 0, "total par worker budget partitioned across slots (0 = NumCPU)")
 	cache := fs.Int("cache", 64, "completed results retained for dedupe/cache hits")
 	queue := fs.Int("queue", 256, "max jobs waiting for a slot")
+	artifactBytes := fs.Int("artifact-bytes", sim.DefaultArtifactBytes, "per-job derived-output store budget in bytes (oldest artifacts evicted first)")
+	artifactCount := fs.Int("artifact-count", sim.DefaultArtifactCount, "per-job derived-output artifact count budget")
 	fs.Parse(args)
 
 	sched := sim.NewScheduler(sim.Config{
@@ -60,6 +72,8 @@ func serve(args []string) {
 		TotalWorkers:  *workers,
 		CacheSize:     *cache,
 		QueueDepth:    *queue,
+		ArtifactBytes: *artifactBytes,
+		ArtifactCount: *artifactCount,
 	})
 	srv := &http.Server{Addr: *addr, Handler: sched.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -112,6 +126,16 @@ func main() {
 	saveOut := flag.String("save", "", "write a self-describing snapshot here after the run")
 	restart := flag.String("restart", "", "restart from this snapshot instead of building -problem")
 	profileOut := flag.String("profile", "", "write a radial profile table to this file at the end")
+	var outputs []analysis.OutputRequest
+	flag.Func("output", "derived data product spec kind[,key=value...] (repeatable, see README \"Data products\")", func(s string) error {
+		r, err := analysis.ParseOutputRequest(s)
+		if err != nil {
+			return err
+		}
+		outputs = append(outputs, r)
+		return nil
+	})
+	outDir := flag.String("outdir", "products", "directory -output artifacts are written to")
 	flag.Parse()
 
 	if *list {
@@ -199,6 +223,27 @@ func main() {
 		}
 	}
 
+	// Derived data products are evaluated through the same OutputPlan the
+	// job service runs, so "-output projection,every=5" means exactly
+	// what the HTTP API's outputs field means.
+	plan, err := analysis.NewOutputPlan(outputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(outputs) > 0 {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	writeArtifact := func(a analysis.Artifact) error {
+		path := filepath.Join(*outDir, a.Name)
+		if err := os.WriteFile(path, a.Data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  product %s (%d bytes)\n", path, len(a.Data))
+		return nil
+	}
+
 	fmt.Printf("problem=%s rootN=%d maxLevel=%d grids=%d\n",
 		sim.Problem, sim.H.Cfg.RootN, sim.H.Cfg.MaxLevel, sim.H.NumGrids())
 	for s := 0; s < *steps; s++ {
@@ -206,6 +251,12 @@ func main() {
 		h := sim.History[len(sim.History)-1]
 		fmt.Printf("step %3d  t=%.5f dt=%.2e  maxlevel=%d grids=%d  peak=%.4g\n",
 			s, h.Time, dt, h.MaxLevel, h.NumGrids, h.PeakRho)
+		if err := plan.Step(sim.H, sim.Problem, s, sim.H.Cfg.Workers, writeArtifact); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := plan.Finish(sim.H, sim.Problem, *steps-1, sim.H.Cfg.Workers, writeArtifact); err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Println()

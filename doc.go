@@ -12,8 +12,11 @@
 // arithmetic (internal/ep128), Berger–Rigoutsos clustering
 // (internal/clustering), the message-passing runtime model (internal/mp),
 // cosmological initial conditions (internal/cosmology), the problem
-// registry (internal/problems), analysis tools (internal/analysis) and
-// the Simulation façade (internal/core).
+// registry (internal/problems), analysis tools and the derived-output
+// pipeline (internal/analysis), the job service (internal/sim) and the
+// Simulation façade (internal/core). docs/ARCHITECTURE.md maps the
+// packages, the W-cycle and job-service dataflows, and the paper-section
+// → package cross-reference in detail.
 //
 // # Registering a new problem
 //
@@ -115,6 +118,39 @@
 // evolution and fails CI on any unintentional numerics drift
 // (regenerate intentionally with `make golden-update`). To serve over
 // HTTP, mount sim.(*Scheduler).Handler on any mux.
+//
+// # Derived data products
+//
+// Jobs return science products, not just hashes: a Request may carry
+// analysis.OutputRequests — declarative slices, projections, radial
+// profiles, clump catalogs or snapshots with a cadence in root steps or
+// code time — which the scheduler evaluates at root-step boundaries into
+// a bounded per-job artifact store, served under /jobs/{id}/artifacts
+// (JSON index, typed bodies, NDJSON artifact-ready stream):
+//
+//	job, _ := sched.Submit(sim.Request{
+//		Problem: "sedov", Steps: 20,
+//		Outputs: []analysis.OutputRequest{
+//			{Kind: analysis.KindProjection, Field: "rho", Axis: 2, N: 128, Every: 5},
+//			{Kind: analysis.KindProfile, N: 32}, // once, at the end of the run
+//		},
+//	})
+//	res, _ := job.Wait(ctx)
+//	for _, a := range job.Artifacts().All() {
+//		os.WriteFile(a.Name, a.Data, 0o644)
+//	}
+//
+// The same requests drive `enzogo -output` (one-shot runs, files in
+// -outdir) and sweep rows' "outputs" lists (enzobatch -artifacts).
+// The sampling loops run on par.For with per-row or per-grid partials
+// reduced in a fixed order, so the analysis itself is bitwise invariant
+// to the worker count; on particle-free problems the whole product is,
+// and a served artifact can be verified byte-for-byte against an
+// offline core.New evaluation (particle runs reproduce exactly for a
+// given worker budget — the CIC deposit's reduction order is the one
+// worker-dependent kernel, which is why Workers is part of the job
+// identity). See the README's "Data products" section for the
+// field/kind catalog and curl examples.
 //
 // bench_test.go in this directory regenerates every table and figure of
 // the paper's evaluation; see EXPERIMENTS.md for the paper-vs-measured

@@ -235,6 +235,17 @@ func (h *Hierarchy) gravConstNow() float64 {
 	return h.Cfg.GravConst * h.Cfg.InitialA / h.Cfg.Cosmo.A
 }
 
+// FinestDx returns the cell size of the deepest populated level, falling
+// back to the root spacing when that level is empty — the natural inner
+// scale for radial-profile binning.
+func (h *Hierarchy) FinestDx() float64 {
+	lv := h.MaxLevel()
+	if lv >= len(h.Levels) || len(h.Levels[lv]) == 0 {
+		return 1.0 / float64(h.Cfg.RootN)
+	}
+	return h.Levels[lv][0].Dx
+}
+
 // FinestGridAt returns the deepest grid whose active region contains the
 // box-unit position (x,y,z), starting the search from the root.
 func (h *Hierarchy) FinestGridAt(x, y, z float64) *Grid {

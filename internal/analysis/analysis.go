@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/amr"
 	"repro/internal/chem"
+	"repro/internal/par"
 	"repro/internal/units"
 )
 
@@ -32,34 +33,53 @@ func DensestPoint(h *amr.Hierarchy) (pos [3]float64, rho float64) {
 
 // ForEachFinestCell visits every cell of the composite (finest-available)
 // solution exactly once, passing the owning grid, cell indices, and the
-// cell-center position in box units.
+// cell-center position in box units. Grids are visited level by level in
+// hierarchy order and cells in k,j,i order, so the visit sequence is
+// deterministic.
 func ForEachFinestCell(h *amr.Hierarchy, fn func(g *amr.Grid, i, j, k int, x, y, z float64)) {
-	r := h.Cfg.Refine
 	for _, lv := range h.Levels {
 		for _, g := range lv {
-			ex := g.Edge[0].Float64()
-			ey := g.Edge[1].Float64()
-			ez := g.Edge[2].Float64()
-			for k := 0; k < g.Nz; k++ {
-				for j := 0; j < g.Ny; j++ {
-				cell:
-					for i := 0; i < g.Nx; i++ {
-						// Skip if covered by a child.
-						gi, gj, gk := (g.Lo[0]+i)*r, (g.Lo[1]+j)*r, (g.Lo[2]+k)*r
-						for _, c := range g.Children {
-							if c.ContainsGlobal(gi, gj, gk) {
-								continue cell
-							}
-						}
-						fn(g, i, j, k,
-							ex+(float64(i)+0.5)*g.Dx,
-							ey+(float64(j)+0.5)*g.Dx,
-							ez+(float64(k)+0.5)*g.Dx)
+			forEachUncoveredCell(h, g, fn)
+		}
+	}
+}
+
+// forEachUncoveredCell visits the cells of one grid that are not covered
+// by any of its children, in k,j,i order — the per-grid unit of work the
+// parallel reductions partition on.
+func forEachUncoveredCell(h *amr.Hierarchy, g *amr.Grid, fn func(g *amr.Grid, i, j, k int, x, y, z float64)) {
+	r := h.Cfg.Refine
+	ex := g.Edge[0].Float64()
+	ey := g.Edge[1].Float64()
+	ez := g.Edge[2].Float64()
+	for k := 0; k < g.Nz; k++ {
+		for j := 0; j < g.Ny; j++ {
+		cell:
+			for i := 0; i < g.Nx; i++ {
+				// Skip if covered by a child.
+				gi, gj, gk := (g.Lo[0]+i)*r, (g.Lo[1]+j)*r, (g.Lo[2]+k)*r
+				for _, c := range g.Children {
+					if c.ContainsGlobal(gi, gj, gk) {
+						continue cell
 					}
 				}
+				fn(g, i, j, k,
+					ex+(float64(i)+0.5)*g.Dx,
+					ey+(float64(j)+0.5)*g.Dx,
+					ez+(float64(k)+0.5)*g.Dx)
 			}
 		}
 	}
+}
+
+// allGrids flattens the hierarchy into its deterministic grid order
+// (level-major, then creation order within a level).
+func allGrids(h *amr.Hierarchy) []*amr.Grid {
+	var out []*amr.Grid
+	for _, lv := range h.Levels {
+		out = append(out, lv...)
+	}
+	return out
 }
 
 // Profile holds mass-weighted spherical averages in logarithmic radial
@@ -88,10 +108,25 @@ type ProfileParams struct {
 	// Units converts code energies to temperatures when the run carries
 	// no chemistry fields; with chemistry, mu comes from the species.
 	Units units.Units
+	// Workers bounds the par goroutines used for the binning sweep
+	// (0 = NumCPU, 1 = serial — the repository-wide convention).
+	Workers int
+}
+
+// profilePartial holds one grid's contribution to every bin. Each grid is
+// accumulated serially in cell order by whichever worker claims it, and
+// the partials are reduced in grid order, so the result is bitwise
+// independent of the worker count.
+type profilePartial struct {
+	mass, vol, dmMass, vr, cs, temp, h2, hi []float64
+	cells                                   int
 }
 
 // RadialProfile computes mass-weighted spherical averages about center,
-// using the minimum-image convention in the periodic box.
+// using the minimum-image convention in the periodic box. The sweep over
+// grids runs on p.Workers par workers; per-grid partial bins are reduced
+// in fixed hierarchy order, so the profile is bitwise identical at any
+// worker count.
 func RadialProfile(h *amr.Hierarchy, center [3]float64, p ProfileParams) (*Profile, error) {
 	if p.NBins < 1 || p.RMin <= 0 || p.RMax <= p.RMin {
 		return nil, fmt.Errorf("analysis: bad profile params %+v", p)
@@ -122,41 +157,71 @@ func RadialProfile(h *amr.Hierarchy, center [3]float64, p ProfileParams) (*Profi
 	}
 	hasChem := h.Cfg.Chemistry
 
-	ForEachFinestCell(h, func(g *amr.Grid, i, j, k int, x, y, z float64) {
-		dx := minImage(x - center[0])
-		dy := minImage(y - center[1])
-		dz := minImage(z - center[2])
-		rr := math.Sqrt(dx*dx + dy*dy + dz*dz)
-		if rr < 1e-12 {
-			rr = 1e-12
+	grids := allGrids(h)
+	partials := make([]profilePartial, len(grids))
+	par.For(p.Workers, len(grids), 1, func(_, lo, hi int) {
+		for gi := lo; gi < hi; gi++ {
+			pp := &partials[gi]
+			pp.mass = make([]float64, nb)
+			pp.vol = make([]float64, nb)
+			pp.dmMass = make([]float64, nb)
+			pp.vr = make([]float64, nb)
+			pp.cs = make([]float64, nb)
+			pp.temp = make([]float64, nb)
+			pp.h2 = make([]float64, nb)
+			pp.hi = make([]float64, nb)
+			forEachUncoveredCell(h, grids[gi], func(g *amr.Grid, i, j, k int, x, y, z float64) {
+				dx := minImage(x - center[0])
+				dy := minImage(y - center[1])
+				dz := minImage(z - center[2])
+				rr := math.Sqrt(dx*dx + dy*dy + dz*dz)
+				if rr < 1e-12 {
+					rr = 1e-12
+				}
+				b := int((math.Log(rr) - lrMin) / dlr)
+				if b < 0 || b >= nb {
+					return
+				}
+				cv := g.CellVolume()
+				rho := g.State.Rho.At(i, j, k)
+				m := rho * cv
+				pp.mass[b] += m
+				pp.vol[b] += cv
+				pp.dmMass[b] += g.DMRho.At(i, j, k) * cv
+				vr := (g.State.Vx.At(i, j, k)*dx + g.State.Vy.At(i, j, k)*dy + g.State.Vz.At(i, j, k)*dz) / rr
+				pp.vr[b] += m * vr
+				eint := g.State.Eint.At(i, j, k)
+				pp.cs[b] += m * math.Sqrt(gamma*(gamma-1)*eint)
+				if hasChem {
+					mu := cellMu(g, i, j, k)
+					tK := eint * p.Units.Velocity * p.Units.Velocity * (gamma - 1) * mu * units.MProton / units.KBoltzmann
+					pp.temp[b] += m * tK
+					hi := g.State.Species[chem.HI].At(i, j, k)
+					h2 := g.State.Species[chem.H2I].At(i, j, k)
+					pp.h2[b] += m * h2 / rho
+					pp.hi[b] += m * hi / rho
+				} else {
+					pp.temp[b] += m * p.Units.TempFromE(eint, gamma, units.MeanMolecularWeightNeutral)
+				}
+				pp.cells++
+			})
 		}
-		b := int((math.Log(rr) - lrMin) / dlr)
-		if b < 0 || b >= nb {
-			return
-		}
-		cv := g.CellVolume()
-		rho := g.State.Rho.At(i, j, k)
-		m := rho * cv
-		pr.Mass[b] += m
-		vol[b] += cv
-		dmMass[b] += g.DMRho.At(i, j, k) * cv
-		vr := (g.State.Vx.At(i, j, k)*dx + g.State.Vy.At(i, j, k)*dy + g.State.Vz.At(i, j, k)*dz) / rr
-		pr.Vr[b] += m * vr
-		eint := g.State.Eint.At(i, j, k)
-		pr.Cs[b] += m * math.Sqrt(gamma*(gamma-1)*eint)
-		if hasChem {
-			mu := cellMu(g, i, j, k)
-			tK := eint * p.Units.Velocity * p.Units.Velocity * (gamma - 1) * mu * units.MProton / units.KBoltzmann
-			pr.Temp[b] += m * tK
-			hi := g.State.Species[chem.HI].At(i, j, k)
-			h2 := g.State.Species[chem.H2I].At(i, j, k)
-			pr.H2Frac[b] += m * h2 / rho
-			pr.HIFrac[b] += m * hi / rho
-		} else {
-			pr.Temp[b] += m * p.Units.TempFromE(eint, gamma, units.MeanMolecularWeightNeutral)
-		}
-		pr.CellsUsed++
 	})
+	// Fixed-order reduction: grid order, then bin order.
+	for gi := range partials {
+		pp := &partials[gi]
+		for b := 0; b < nb; b++ {
+			pr.Mass[b] += pp.mass[b]
+			vol[b] += pp.vol[b]
+			dmMass[b] += pp.dmMass[b]
+			pr.Vr[b] += pp.vr[b]
+			pr.Cs[b] += pp.cs[b]
+			pr.Temp[b] += pp.temp[b]
+			pr.H2Frac[b] += pp.h2[b]
+			pr.HIFrac[b] += pp.hi[b]
+		}
+		pr.CellsUsed += pp.cells
+	}
 
 	var cum float64
 	for b := 0; b < nb; b++ {
@@ -211,42 +276,51 @@ func minImage(d float64) float64 {
 // Slice samples a 2-D plane of the composite solution. axis selects the
 // normal (0=x: plane spans y,z); coord is the plane position in box units;
 // the window [lo0,hi0)x[lo1,hi1) is sampled at n×n points. value extracts
-// the quantity from the finest covering grid.
-func Slice(h *amr.Hierarchy, axis int, coord float64, lo0, hi0, lo1, hi1 float64, n int,
+// the quantity from the finest covering grid. Rows are sampled in
+// parallel on `workers` par goroutines (0 = NumCPU, 1 = serial); each row
+// is written by exactly one worker, so the image is bitwise identical at
+// any worker count.
+func Slice(h *amr.Hierarchy, axis int, coord float64, lo0, hi0, lo1, hi1 float64, n, workers int,
 	value func(g *amr.Grid, i, j, k int) float64) [][]float64 {
 	out := make([][]float64, n)
 	for b := range out {
 		out[b] = make([]float64, n)
 	}
-	for b := 0; b < n; b++ {
-		c1 := lo1 + (float64(b)+0.5)*(hi1-lo1)/float64(n)
-		for a := 0; a < n; a++ {
-			c0 := lo0 + (float64(a)+0.5)*(hi0-lo0)/float64(n)
-			var x, y, z float64
-			switch axis {
-			case 0:
-				x, y, z = coord, c0, c1
-			case 1:
-				x, y, z = c0, coord, c1
-			default:
-				x, y, z = c0, c1, coord
+	par.For(workers, n, 0, func(_, blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			c1 := lo1 + (float64(b)+0.5)*(hi1-lo1)/float64(n)
+			for a := 0; a < n; a++ {
+				c0 := lo0 + (float64(a)+0.5)*(hi0-lo0)/float64(n)
+				g, i, j, k := sampleCell(h, axis, coord, c0, c1)
+				out[b][a] = value(g, i, j, k)
 			}
-			g := h.FinestGridAt(wrap01(x), wrap01(y), wrap01(z))
-			i := int((wrap01(x) - g.Edge[0].Float64()) / g.Dx)
-			j := int((wrap01(y) - g.Edge[1].Float64()) / g.Dx)
-			k := int((wrap01(z) - g.Edge[2].Float64()) / g.Dx)
-			i = clampI(i, g.Nx-1)
-			j = clampI(j, g.Ny-1)
-			k = clampI(k, g.Nz-1)
-			out[b][a] = value(g, i, j, k)
 		}
-	}
+	})
 	return out
 }
 
+// sampleCell locates the finest grid cell covering the sample point with
+// in-plane coordinates (c0,c1) on the plane axis=coord.
+func sampleCell(h *amr.Hierarchy, axis int, coord, c0, c1 float64) (g *amr.Grid, i, j, k int) {
+	var x, y, z float64
+	switch axis {
+	case 0:
+		x, y, z = coord, c0, c1
+	case 1:
+		x, y, z = c0, coord, c1
+	default:
+		x, y, z = c0, c1, coord
+	}
+	g = h.FinestGridAt(wrap01(x), wrap01(y), wrap01(z))
+	i = clampI(int((wrap01(x)-g.Edge[0].Float64())/g.Dx), g.Nx-1)
+	j = clampI(int((wrap01(y)-g.Edge[1].Float64())/g.Dx), g.Ny-1)
+	k = clampI(int((wrap01(z)-g.Edge[2].Float64())/g.Dx), g.Nz-1)
+	return g, i, j, k
+}
+
 // DensitySlice is the Fig. 3 quantity: log10 of gas density.
-func DensitySlice(h *amr.Hierarchy, axis int, coord float64, lo0, hi0, lo1, hi1 float64, n int) [][]float64 {
-	return Slice(h, axis, coord, lo0, hi0, lo1, hi1, n, func(g *amr.Grid, i, j, k int) float64 {
+func DensitySlice(h *amr.Hierarchy, axis int, coord float64, lo0, hi0, lo1, hi1 float64, n, workers int) [][]float64 {
+	return Slice(h, axis, coord, lo0, hi0, lo1, hi1, n, workers, func(g *amr.Grid, i, j, k int) float64 {
 		return math.Log10(math.Max(g.State.Rho.At(i, j, k), 1e-300))
 	})
 }

@@ -121,7 +121,7 @@ func TestRadialProfileBadParams(t *testing.T) {
 func TestSliceResolvesFineData(t *testing.T) {
 	h := buildTestHierarchy(t)
 	// Slice through the center: the peak must appear, values finite.
-	img := DensitySlice(h, 2, 0.5, 0.3, 0.7, 0.3, 0.7, 32)
+	img := DensitySlice(h, 2, 0.5, 0.3, 0.7, 0.3, 0.7, 32, 1)
 	if len(img) != 32 || len(img[0]) != 32 {
 		t.Fatal("bad image shape")
 	}
@@ -138,6 +138,177 @@ func TestSliceResolvesFineData(t *testing.T) {
 	}
 	if peak < 1 { // log10(~20)
 		t.Errorf("slice missed the peak: max log rho %v", peak)
+	}
+}
+
+// buildMarkerHierarchy makes a 2-level hierarchy whose coarse data is 1
+// everywhere while every refined (level-1) cell holds 7 — so any sampler
+// that resolves a covered point from the coarse grid is caught
+// immediately. The static region is [0.25,0.75)³; the rebuild pads it, so
+// tests read the actual refined extent with markerExtent.
+func buildMarkerHierarchy(t *testing.T) *amr.Hierarchy {
+	t.Helper()
+	cfg := amr.DefaultConfig(16)
+	cfg.SelfGravity = false
+	cfg.JeansN = 0
+	cfg.StaticLevels = 1
+	cfg.StaticLo = [3]float64{0.25, 0.25, 0.25}
+	cfg.StaticHi = [3]float64{0.75, 0.75, 0.75}
+	cfg.MaxLevel = 1
+	h, err := amr.NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := h.Root()
+	for k := 0; k < 16; k++ {
+		for j := 0; j < 16; j++ {
+			for i := 0; i < 16; i++ {
+				root.State.Rho.Set(i, j, k, 1)
+				root.State.Eint.Set(i, j, k, 1)
+				root.State.Etot.Set(i, j, k, 1)
+			}
+		}
+	}
+	h.RebuildHierarchy(1)
+	if len(h.Levels) < 2 || len(h.Levels[1]) == 0 {
+		t.Fatal("marker hierarchy has no refined grids")
+	}
+	for _, g := range h.Levels[1] {
+		for k := 0; k < g.Nz; k++ {
+			for j := 0; j < g.Ny; j++ {
+				for i := 0; i < g.Nx; i++ {
+					g.State.Rho.Set(i, j, k, 7)
+				}
+			}
+		}
+	}
+	return h
+}
+
+// markerExtent returns the [lo,hi) extent of the single refined region
+// of a marker hierarchy, in box units (identical along every axis).
+func markerExtent(t *testing.T, h *amr.Hierarchy) (lo, hi float64) {
+	t.Helper()
+	g := h.Levels[1][0]
+	lo = g.Edge[0].Float64()
+	hi = lo + float64(g.Nx)*g.Dx
+	// The exactness arguments below need the extent to sit on 1/32
+	// sample boundaries; the 16³ root with refine 2 guarantees it.
+	if lo != 0.1875 || hi != 0.8125 {
+		t.Fatalf("unexpected refined extent [%v,%v)", lo, hi)
+	}
+	return lo, hi
+}
+
+// TestSliceRefinedDataWins samples a plane through a refined region and
+// checks every pixel comes from the finest covering grid, never the
+// stale coarse value underneath it.
+func TestSliceRefinedDataWins(t *testing.T) {
+	h := buildMarkerHierarchy(t)
+	lo, hi := markerExtent(t, h)
+	rho := func(g *amr.Grid, i, j, k int) float64 { return g.State.Rho.At(i, j, k) }
+	img := Slice(h, 2, 0.5, 0, 1, 0, 1, 32, 1, rho)
+	for b, row := range img {
+		for a, v := range row {
+			x := (float64(a) + 0.5) / 32
+			y := (float64(b) + 0.5) / 32
+			inside := x > lo && x < hi && y > lo && y < hi
+			if inside && v != 7 {
+				t.Fatalf("pixel (%d,%d) inside the refined region reads %v, want the fine value 7", a, b, v)
+			}
+			if !inside && v != 1 {
+				t.Fatalf("pixel (%d,%d) outside the refined region reads %v, want the coarse value 1", a, b, v)
+			}
+		}
+	}
+}
+
+// TestSurfaceDensityRefinedDataWins integrates columns through the
+// marker hierarchy: a line of sight through the refined region must pick
+// up the fine value over exactly its depth. The extent sits on dyadic
+// sample boundaries, so the expected columns are exact, not approximate:
+// inside, depth*(7-1)+1; outside, 1.
+func TestSurfaceDensityRefinedDataWins(t *testing.T) {
+	h := buildMarkerHierarchy(t)
+	lo, hi := markerExtent(t, h)
+	depth := hi - lo // 0.625 = 20/32, exactly representable
+	wantInside := depth*6 + 1
+	sd := SurfaceDensity(h, 2, 0, 1, 0, 1, 32, 32, 1)
+	for b, row := range sd {
+		for a, v := range row {
+			x := (float64(a) + 0.5) / 32
+			y := (float64(b) + 0.5) / 32
+			inside := x > lo && x < hi && y > lo && y < hi
+			if inside && v != wantInside {
+				t.Fatalf("column (%d,%d) through the refined region = %v, want exactly %v", a, b, v, wantInside)
+			}
+			if !inside && v != 1 {
+				t.Fatalf("column (%d,%d) outside = %v, want exactly 1", a, b, v)
+			}
+		}
+	}
+}
+
+// bitwiseEqual2D compares two images exactly (Float64bits, so -0 vs 0 or
+// NaN payload drift also counts as a difference).
+func bitwiseEqual2D(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for r := range a {
+		if len(a[r]) != len(b[r]) {
+			return false
+		}
+		for c := range a[r] {
+			if math.Float64bits(a[r][c]) != math.Float64bits(b[r][c]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestAnalysisKernelsBitwiseAcrossWorkers pins the determinism contract
+// of the parallel analysis kernels: slices, projections and radial
+// profiles are bitwise identical at any worker count.
+func TestAnalysisKernelsBitwiseAcrossWorkers(t *testing.T) {
+	h := buildTestHierarchy(t)
+	u := units.Cosmological(256*units.KpcCM, 1, 0.5, 0.05)
+	rho := func(g *amr.Grid, i, j, k int) float64 { return g.State.Rho.At(i, j, k) }
+
+	refSlice := Slice(h, 2, 0.5, 0, 1, 0, 1, 33, 1, rho)
+	refProj := SurfaceDensity(h, 1, 0, 1, 0, 1, 33, 19, 1)
+	refProf, err := RadialProfile(h, [3]float64{0.5, 0.5, 0.5}, ProfileParams{
+		RMin: 0.03, RMax: 0.5, NBins: 11, Gamma: 5.0 / 3.0, Units: u, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 4, 7} {
+		if got := Slice(h, 2, 0.5, 0, 1, 0, 1, 33, workers, rho); !bitwiseEqual2D(got, refSlice) {
+			t.Fatalf("Slice differs at %d workers", workers)
+		}
+		if got := SurfaceDensity(h, 1, 0, 1, 0, 1, 33, 19, workers); !bitwiseEqual2D(got, refProj) {
+			t.Fatalf("SurfaceDensity differs at %d workers", workers)
+		}
+		got, err := RadialProfile(h, [3]float64{0.5, 0.5, 0.5}, ProfileParams{
+			RMin: 0.03, RMax: 0.5, NBins: 11, Gamma: 5.0 / 3.0, Units: u, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cols := range [][2][]float64{
+			{refProf.Mass, got.Mass}, {refProf.Enclosed, got.Enclosed},
+			{refProf.Density, got.Density}, {refProf.Vr, got.Vr},
+			{refProf.Cs, got.Cs}, {refProf.Temp, got.Temp},
+		} {
+			if !bitwiseEqual2D([][]float64{cols[0]}, [][]float64{cols[1]}) {
+				t.Fatalf("RadialProfile differs at %d workers", workers)
+			}
+		}
+		if got.CellsUsed != refProf.CellsUsed {
+			t.Fatalf("CellsUsed %d at %d workers, want %d", got.CellsUsed, workers, refProf.CellsUsed)
+		}
 	}
 }
 

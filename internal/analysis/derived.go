@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/amr"
 	"repro/internal/chem"
+	"repro/internal/par"
 	"repro/internal/units"
 )
 
@@ -87,23 +88,42 @@ func XRayEmissivity(h *amr.Hierarchy, g *amr.Grid, i, j, k int) float64 {
 // window, returning an n×n column-density map in code units × box length
 // (the §6 projection / surface-density diagnostic for flattened objects).
 // nsamp sets the number of integration samples along the line of sight.
-func SurfaceDensity(h *amr.Hierarchy, axis int, lo0, hi0, lo1, hi1 float64, n, nsamp int) [][]float64 {
+// It is ProjectField for the gas density.
+func SurfaceDensity(h *amr.Hierarchy, axis int, lo0, hi0, lo1, hi1 float64, n, nsamp, workers int) [][]float64 {
+	return ProjectField(h, axis, lo0, hi0, lo1, hi1, n, nsamp, workers,
+		func(g *amr.Grid, i, j, k int) float64 {
+			return g.State.Rho.At(i, j, k)
+		})
+}
+
+// ProjectField integrates an arbitrary cell quantity along the given axis
+// over the window, sampling the finest covering grid at nsamp points per
+// line of sight. Pixel rows are distributed over `workers` par goroutines
+// (0 = NumCPU, 1 = serial); every pixel accumulates its own line of sight
+// serially in sample order, so the projection is bitwise identical at any
+// worker count.
+func ProjectField(h *amr.Hierarchy, axis int, lo0, hi0, lo1, hi1 float64, n, nsamp, workers int,
+	value func(g *amr.Grid, i, j, k int) float64) [][]float64 {
 	out := make([][]float64, n)
 	for b := range out {
 		out[b] = make([]float64, n)
 	}
 	dlos := 1.0 / float64(nsamp)
-	for s := 0; s < nsamp; s++ {
-		coord := (float64(s) + 0.5) * dlos
-		sl := Slice(h, axis, coord, lo0, hi0, lo1, hi1, n, func(g *amr.Grid, i, j, k int) float64 {
-			return g.State.Rho.At(i, j, k)
-		})
-		for b := 0; b < n; b++ {
+	par.For(workers, n, 0, func(_, blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			c1 := lo1 + (float64(b)+0.5)*(hi1-lo1)/float64(n)
 			for a := 0; a < n; a++ {
-				out[b][a] += sl[b][a] * dlos
+				c0 := lo0 + (float64(a)+0.5)*(hi0-lo0)/float64(n)
+				var sum float64
+				for s := 0; s < nsamp; s++ {
+					coord := (float64(s) + 0.5) * dlos
+					g, i, j, k := sampleCell(h, axis, coord, c0, c1)
+					sum += value(g, i, j, k) * dlos
+				}
+				out[b][a] = sum
 			}
 		}
-	}
+	})
 	return out
 }
 

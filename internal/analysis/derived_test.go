@@ -9,7 +9,7 @@ func TestSurfaceDensityUniform(t *testing.T) {
 	h := buildTestHierarchy(t)
 	// Column through a uniform region far from the clump integrates to
 	// ~rho*1 = 1 (full box length).
-	sd := SurfaceDensity(h, 2, 0.0, 0.12, 0.0, 0.12, 4, 32)
+	sd := SurfaceDensity(h, 2, 0.0, 0.12, 0.0, 0.12, 4, 32, 1)
 	for _, row := range sd {
 		for _, v := range row {
 			// The line of sight passes near the clump plane once, so
@@ -20,8 +20,8 @@ func TestSurfaceDensityUniform(t *testing.T) {
 		}
 	}
 	// Column through the clump center exceeds the corner column.
-	cen := SurfaceDensity(h, 2, 0.49, 0.51, 0.49, 0.51, 1, 64)
-	cor := SurfaceDensity(h, 2, 0.01, 0.03, 0.01, 0.03, 1, 64)
+	cen := SurfaceDensity(h, 2, 0.49, 0.51, 0.49, 0.51, 1, 64, 1)
+	cor := SurfaceDensity(h, 2, 0.01, 0.03, 0.01, 0.03, 1, 64, 1)
 	if cen[0][0] <= cor[0][0] {
 		t.Fatalf("central column %v not above corner %v", cen[0][0], cor[0][0])
 	}

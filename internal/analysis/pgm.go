@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"math"
 	"os"
 )
 
@@ -19,27 +18,11 @@ func WritePGM(w io.Writer, data [][]float64) error {
 		return fmt.Errorf("analysis: empty slice data")
 	}
 	n0 := len(data[0])
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, row := range data {
-		for _, v := range row {
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
-		}
-	}
-	if hi == lo {
-		hi = lo + 1
-	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "P5\n%d %d\n255\n", n0, n1)
-	for i := n1 - 1; i >= 0; i-- { // flip so +axis1 points up
-		for _, v := range data[i] {
-			bw.WriteByte(byte(255 * (v - lo) / (hi - lo)))
-		}
-	}
+	quantizeRows(data, func(_ int, pix []byte) {
+		bw.Write(pix)
+	})
 	return bw.Flush()
 }
 

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"fmt"
+	"image"
+	"image/png"
+	"io"
+)
+
+// WritePNG writes a 2-D field as an 8-bit grayscale PNG with the same
+// auto-scaling and orientation as WritePGM ([min,max] → [0,255], +axis1
+// points up).
+func WritePNG(w io.Writer, data [][]float64) error {
+	n1 := len(data)
+	if n1 == 0 {
+		return fmt.Errorf("analysis: empty slice data")
+	}
+	n0 := len(data[0])
+	img := image.NewGray(image.Rect(0, 0, n0, n1))
+	quantizeRows(data, func(row int, pix []byte) {
+		copy(img.Pix[row*img.Stride:], pix)
+	})
+	return png.Encode(w, img)
+}
+
+// quantizeRows maps the field to 8-bit gray rows — [min,max] scaled to
+// [0,255], constant images widened to a single level, rows emitted
+// top-first with the last data row on top (+axis1 up) — the one scaling
+// convention both image encoders share.
+func quantizeRows(data [][]float64, emit func(row int, pix []byte)) {
+	lo, hi := dataRange(data)
+	n1 := len(data)
+	pix := make([]byte, len(data[0]))
+	for row := 0; row < n1; row++ {
+		src := data[n1-1-row] // flip so +axis1 points up
+		for col, v := range src {
+			pix[col] = byte(255 * (v - lo) / (hi - lo))
+		}
+		emit(row, pix)
+	}
+}
+
+// dataRange returns the [min,max] of a 2-D field, widened to a non-empty
+// interval so constant images map to a single gray level.
+func dataRange(data [][]float64) (lo, hi float64) {
+	lo, hi = data[0][0], data[0][0]
+	for _, row := range data {
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	return lo, hi
+}

@@ -207,22 +207,15 @@ func (s *Simulation) record() {
 // densest point.
 func (s *Simulation) RadialProfileAtPeak(nbins int) (*analysis.Profile, error) {
 	pos, _ := analysis.DensestPoint(s.H)
-	rmin := s.finestDx() * 0.5
+	rmin := s.H.FinestDx() * 0.5
 	return analysis.RadialProfile(s.H, pos, analysis.ProfileParams{
-		RMin:  rmin,
-		RMax:  0.5,
-		NBins: nbins,
-		Gamma: s.H.Cfg.Hydro.Gamma,
-		Units: s.H.Cfg.Units,
+		RMin:    rmin,
+		RMax:    0.5,
+		NBins:   nbins,
+		Gamma:   s.H.Cfg.Hydro.Gamma,
+		Units:   s.H.Cfg.Units,
+		Workers: s.H.Cfg.Workers,
 	})
-}
-
-func (s *Simulation) finestDx() float64 {
-	lv := s.H.MaxLevel()
-	if len(s.H.Levels[lv]) == 0 {
-		return 1.0 / float64(s.H.Cfg.RootN)
-	}
-	return s.H.Levels[lv][0].Dx
 }
 
 // UsageTable renders the §5 component-usage table for the run so far.
@@ -251,7 +244,7 @@ func (s *Simulation) ZoomFrames(n int, factor float64, res int) [][][]float64 {
 	half := 0.5
 	for f := 0; f < n; f++ {
 		frames[f] = analysis.DensitySlice(s.H, 2, pos[2],
-			pos[0]-half, pos[0]+half, pos[1]-half, pos[1]+half, res)
+			pos[0]-half, pos[0]+half, pos[1]-half, pos[1]+half, res, s.H.Cfg.Workers)
 		half /= factor
 	}
 	return frames

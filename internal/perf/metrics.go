@@ -20,6 +20,15 @@ type JobMetrics struct {
 	Rebuilds       int     `json:"rebuilds"`
 	EstimatedFlops float64 `json:"estimated_flops"`
 	SustainedRate  float64 `json:"sustained_rate"`
+	// AnalysisSeconds is the wall-clock spent evaluating derived-output
+	// requests (slices, projections, profiles, ...) at root-step
+	// boundaries — in-flight data products, billed separately from the
+	// physics above. ArtifactCount/ArtifactBytes describe what the job's
+	// artifact store retained. Zero for jobs with no output requests;
+	// filled by the sim scheduler, not CollectJobMetrics.
+	AnalysisSeconds float64 `json:"analysis_seconds,omitempty"`
+	ArtifactCount   int     `json:"artifact_count,omitempty"`
+	ArtifactBytes   int     `json:"artifact_bytes,omitempty"`
 	// ComponentSeconds maps the §5 usage-table rows (hydrodynamics,
 	// Poisson solver, ...) to wall seconds.
 	ComponentSeconds map[string]float64 `json:"component_seconds,omitempty"`

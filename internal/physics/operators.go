@@ -36,9 +36,14 @@ type HydroOp struct{}
 // NewHydro returns the hydrodynamics operator.
 func NewHydro() *HydroOp { return &HydroOp{} }
 
-func (*HydroOp) Name() string         { return "hydro" }
+// Name identifies the operator in the per-op timing table.
+func (*HydroOp) Name() string { return "hydro" }
+
+// Component bills the operator's wall-clock to the hydro row.
 func (*HydroOp) Component() Component { return CompHydro }
-func (*HydroOp) NGhost() int          { return hydro.NGhost }
+
+// NGhost is the solver's ghost-zone depth.
+func (*HydroOp) NGhost() int { return hydro.NGhost }
 
 // Apply runs the sweep set. The worker count inherits the grid's budget
 // (which the driver has already divided between concurrently stepping
@@ -74,9 +79,14 @@ type GravityKickOp struct{}
 // NewGravityKick returns the fluid gravity half-kick operator.
 func NewGravityKick() *GravityKickOp { return &GravityKickOp{} }
 
-func (*GravityKickOp) Name() string         { return "gravity.kick" }
+// Name identifies the operator in the per-op timing table.
+func (*GravityKickOp) Name() string { return "gravity.kick" }
+
+// Component bills the operator's wall-clock to the gravity row.
 func (*GravityKickOp) Component() Component { return CompGravity }
-func (*GravityKickOp) NGhost() int          { return 0 }
+
+// NGhost is zero: the kick is cell-local.
+func (*GravityKickOp) NGhost() int { return 0 }
 
 // Apply kicks the fluid by dt/2 with the level's acceleration field.
 func (*GravityKickOp) Apply(ctx *Context, g *Grid, dt float64) {
@@ -86,6 +96,7 @@ func (*GravityKickOp) Apply(ctx *Context, g *Grid, dt float64) {
 	hydro.KickGravity(g.State, g.GAcc[0], g.GAcc[1], g.GAcc[2], dt/2)
 }
 
+// Timestep is unconstrained: the kick follows the hydro CFL.
 func (*GravityKickOp) Timestep(*Context, *Grid) float64 { return math.Inf(1) }
 
 // NBodyOp advances the grid's particles with a kick-drift-kick step using
@@ -95,9 +106,14 @@ type NBodyOp struct{}
 // NewNBody returns the particle push operator.
 func NewNBody() *NBodyOp { return &NBodyOp{} }
 
-func (*NBodyOp) Name() string         { return "nbody" }
+// Name identifies the operator in the per-op timing table.
+func (*NBodyOp) Name() string { return "nbody" }
+
+// Component bills the operator's wall-clock to the N-body row.
 func (*NBodyOp) Component() Component { return CompNBody }
-func (*NBodyOp) NGhost() int          { return 1 }
+
+// NGhost is one: CIC interpolation reads the neighbor cell.
+func (*NBodyOp) NGhost() int { return 1 }
 
 // Apply runs the KDK push.
 func (*NBodyOp) Apply(ctx *Context, g *Grid, dt float64) {
@@ -136,9 +152,14 @@ type ExpansionOp struct{}
 // NewExpansion returns the expansion-drag operator.
 func NewExpansion() *ExpansionOp { return &ExpansionOp{} }
 
-func (*ExpansionOp) Name() string         { return "expansion" }
+// Name identifies the operator in the per-op timing table.
+func (*ExpansionOp) Name() string { return "expansion" }
+
+// Component bills the operator's wall-clock to the overhead row.
 func (*ExpansionOp) Component() Component { return CompOther }
-func (*ExpansionOp) NGhost() int          { return 0 }
+
+// NGhost is zero: the drag is cell-local.
+func (*ExpansionOp) NGhost() int { return 0 }
 
 // Apply drags peculiar velocities and internal energy by the current aH.
 func (*ExpansionOp) Apply(ctx *Context, g *Grid, dt float64) {
@@ -166,9 +187,14 @@ type ChemistryOp struct{}
 // NewChemistry returns the chemistry & cooling operator.
 func NewChemistry() *ChemistryOp { return &ChemistryOp{} }
 
-func (*ChemistryOp) Name() string         { return "chemistry" }
+// Name identifies the operator in the per-op timing table.
+func (*ChemistryOp) Name() string { return "chemistry" }
+
+// Component bills the operator's wall-clock to the chemistry row.
 func (*ChemistryOp) Component() Component { return CompChemistry }
-func (*ChemistryOp) NGhost() int          { return 0 }
+
+// NGhost is zero: every cell's network is independent.
+func (*ChemistryOp) NGhost() int { return 0 }
 
 // Apply solves the per-cell stiff ODE network. Every cell is independent
 // (the dominant per-cell cost of a chemistry run), so the loop
@@ -220,4 +246,5 @@ func (*ChemistryOp) Apply(ctx *Context, g *Grid, dt float64) {
 	g.Stats.ChemCellCalls += int64(g.NumCells())
 }
 
+// Timestep is unconstrained: the stiff network sub-cycles internally.
 func (*ChemistryOp) Timestep(*Context, *Grid) float64 { return math.Inf(1) }

@@ -35,6 +35,8 @@ import (
 // wall-clock time to.
 type Component int
 
+// The usage-table rows of §5: hydrodynamics, Poisson solver, chemistry &
+// cooling, N-body, and everything else.
 const (
 	CompHydro Component = iota
 	CompGravity

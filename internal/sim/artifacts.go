@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/analysis"
+)
+
+// ArtifactMeta is the JSON-facing description of one stored artifact —
+// everything but the payload bytes.
+type ArtifactMeta struct {
+	Name        string  `json:"name"`
+	Kind        string  `json:"kind"`
+	Field       string  `json:"field,omitempty"`
+	Step        int     `json:"step"`
+	Time        float64 `json:"time"`
+	ContentType string  `json:"content_type"`
+	Size        int     `json:"size"`
+}
+
+func metaOf(a analysis.Artifact) ArtifactMeta {
+	return ArtifactMeta{
+		Name:        a.Name,
+		Kind:        string(a.Kind),
+		Field:       a.Field,
+		Step:        a.Step,
+		Time:        a.Time,
+		ContentType: a.ContentType,
+		Size:        len(a.Data),
+	}
+}
+
+// ArtifactIndex is the GET /jobs/{id}/artifacts payload: the retained
+// artifacts in production order plus the store's bookkeeping.
+type ArtifactIndex struct {
+	Count   int `json:"count"`
+	Bytes   int `json:"bytes"`
+	Dropped int `json:"dropped"` // artifacts evicted or refused by the size bound
+	// Capacity is the per-job byte budget the store evicts against.
+	Capacity  int            `json:"capacity"`
+	Artifacts []ArtifactMeta `json:"artifacts"`
+}
+
+// ArtifactStore is a bounded, per-job collection of derived-output
+// artifacts. Artifacts are retained in production order up to a byte and
+// count budget; when a new artifact would exceed it, the oldest retained
+// artifacts are evicted first (a long run's trailing products win over
+// its head). Watchers stream artifact-ready metadata with full replay,
+// mirroring Job.Watch.
+type ArtifactStore struct {
+	mu       sync.Mutex
+	maxBytes int
+	maxCount int
+	bytes    int
+	dropped  int
+	arts     []analysis.Artifact
+	subs     []chan ArtifactMeta
+	closed   bool
+}
+
+// newArtifactStore sizes a store; budgets <= 0 take the scheduler
+// defaults.
+func newArtifactStore(maxBytes, maxCount int) *ArtifactStore {
+	if maxBytes <= 0 {
+		maxBytes = DefaultArtifactBytes
+	}
+	if maxCount <= 0 {
+		maxCount = DefaultArtifactCount
+	}
+	return &ArtifactStore{maxBytes: maxBytes, maxCount: maxCount}
+}
+
+// Put stores one artifact, evicting oldest-first to fit the budgets. An
+// artifact larger than the whole byte budget is refused (counted in
+// Dropped). Watchers are notified without blocking.
+func (s *ArtifactStore) Put(a analysis.Artifact) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(a.Data) > s.maxBytes {
+		s.dropped++
+		return
+	}
+	for len(s.arts) > 0 && (s.bytes+len(a.Data) > s.maxBytes || len(s.arts)+1 > s.maxCount) {
+		s.bytes -= len(s.arts[0].Data)
+		s.arts[0] = analysis.Artifact{} // release the payload; the backing array outlives the re-slice
+		s.arts = s.arts[1:]
+		s.dropped++
+	}
+	s.arts = append(s.arts, a)
+	s.bytes += len(a.Data)
+	m := metaOf(a)
+	for _, ch := range s.subs {
+		select {
+		case ch <- m:
+		default: // lagging subscriber: drop, never stall the job
+		}
+	}
+}
+
+// Get returns the retained artifact with the given name.
+func (s *ArtifactStore) Get(name string) (analysis.Artifact, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.arts {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return analysis.Artifact{}, false
+}
+
+// All returns the retained artifacts in production order. The payload
+// bytes are shared, not copied; treat them as read-only.
+func (s *ArtifactStore) All() []analysis.Artifact {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]analysis.Artifact, len(s.arts))
+	copy(out, s.arts)
+	return out
+}
+
+// Index snapshots the store's metadata.
+func (s *ArtifactStore) Index() ArtifactIndex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := ArtifactIndex{
+		Count:     len(s.arts),
+		Bytes:     s.bytes,
+		Dropped:   s.dropped,
+		Capacity:  s.maxBytes,
+		Artifacts: make([]ArtifactMeta, len(s.arts)),
+	}
+	for i, a := range s.arts {
+		idx.Artifacts[i] = metaOf(a)
+	}
+	return idx
+}
+
+// Count returns the number of retained artifacts and their total bytes.
+func (s *ArtifactStore) Count() (n, bytes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.arts), s.bytes
+}
+
+// Watch subscribes to artifact-ready events: the channel first replays
+// the metadata of every retained artifact, then receives one ArtifactMeta
+// per new artifact (dropped, not blocked on, when the subscriber lags),
+// and is closed when the job reaches a terminal state. Detach abandoned
+// live subscriptions with Unwatch.
+func (s *ArtifactStore) Watch() <-chan ArtifactMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan ArtifactMeta, len(s.arts)+64)
+	for _, a := range s.arts {
+		ch <- metaOf(a)
+	}
+	if s.closed {
+		close(ch)
+		return ch
+	}
+	s.subs = append(s.subs, ch)
+	return ch
+}
+
+// Unwatch detaches a live Watch subscription and closes its channel.
+// Harmless on subscriptions the store already closed.
+func (s *ArtifactStore) Unwatch(ch <-chan ArtifactMeta) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, sub := range s.subs {
+		if sub == ch {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			close(sub)
+			return
+		}
+	}
+}
+
+// close marks the store complete (its job is terminal) and closes every
+// subscriber channel. Stored artifacts remain readable.
+func (s *ArtifactStore) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, ch := range s.subs {
+		close(ch)
+	}
+	s.subs = nil
+}
+
+// Artifact-store sizing defaults: enough for a sweep's worth of images
+// or a couple of small snapshots per job without letting any one job pin
+// unbounded memory.
+const (
+	DefaultArtifactBytes = 32 << 20
+	DefaultArtifactCount = 256
+)
+
+// MaxOutputsPerRequest caps the output-request list of a single job; a
+// request wanting more products should split into several jobs.
+const MaxOutputsPerRequest = 16
+
+// validateOutputs normalizes a request's output list and applies the
+// service caps (stricter than the analysis-level bounds, for the same
+// reason rootn is capped: one request must not be able to OOM the
+// service).
+func validateOutputs(reqs []analysis.OutputRequest) ([]analysis.OutputRequest, error) {
+	if len(reqs) > MaxOutputsPerRequest {
+		return nil, fmt.Errorf("sim: %d output requests exceeds the cap %d", len(reqs), MaxOutputsPerRequest)
+	}
+	out := make([]analysis.OutputRequest, len(reqs))
+	for i, r := range reqs {
+		n, err := r.Normalize()
+		if err != nil {
+			return nil, fmt.Errorf("sim: output request %d: %w", i, err)
+		}
+		if n.N > MaxOutputN {
+			return nil, fmt.Errorf("sim: output request %d: n=%d exceeds the service cap %d", i, n.N, MaxOutputN)
+		}
+		if n.NSamp > MaxOutputN {
+			return nil, fmt.Errorf("sim: output request %d: nsamp=%d exceeds the service cap %d", i, n.NSamp, MaxOutputN)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// MaxOutputN caps image resolutions and line-of-sight sample counts of
+// service jobs: a 1024² float64 image is 8 MB before encoding, already a
+// quarter of the default artifact budget.
+const MaxOutputN = 1024

@@ -16,6 +16,9 @@ import (
 //	GET    /jobs/{id}        one job's status
 //	GET    /jobs/{id}/result the completed Result (409 until done)
 //	GET    /jobs/{id}/events per-step progress as streamed NDJSON
+//	GET    /jobs/{id}/artifacts         derived-output index (JSON)
+//	GET    /jobs/{id}/artifacts/events  artifact-ready stream (NDJSON)
+//	GET    /jobs/{id}/artifacts/{name}  one artifact body (PGM/PNG/JSON/…)
 //	DELETE /jobs/{id}        cancel
 //	GET    /problems         the registered problem catalog
 //	GET    /healthz          liveness + uptime
@@ -27,6 +30,9 @@ func (s *Scheduler) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/artifacts", s.handleArtifactIndex)
+	mux.HandleFunc("GET /jobs/{id}/artifacts/events", s.handleArtifactEvents)
+	mux.HandleFunc("GET /jobs/{id}/artifacts/{name}", s.handleArtifact)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /problems", handleProblems)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -153,6 +159,65 @@ func (s *Scheduler) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			enc.Encode(p)
+			flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleArtifactIndex lists the job's retained derived-output products.
+func (s *Scheduler) handleArtifactIndex(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Artifacts().Index())
+	}
+}
+
+// handleArtifact serves one artifact body under its own content type, so
+// a browser renders a PNG projection directly and `curl -O` saves a
+// ready-to-open file.
+func (s *Scheduler) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	a, ok := j.Artifacts().Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %s has no artifact %q (it may not be ready, or was evicted)", j.ID, name))
+		return
+	}
+	w.Header().Set("Content-Type", a.ContentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(a.Data)
+}
+
+// handleArtifactEvents streams artifact-ready metadata as
+// newline-delimited JSON: one object per stored artifact (starting with
+// a replay of those already present), closing once the job is terminal.
+func (s *Scheduler) handleArtifactEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	flush() // commit the header even if no artifact ever arrives
+	enc := json.NewEncoder(w)
+	watch := j.Artifacts().Watch()
+	defer j.Artifacts().Unwatch(watch)
+	for {
+		select {
+		case m, open := <-watch:
+			if !open {
+				return
+			}
+			enc.Encode(m)
 			flush()
 		case <-r.Context().Done():
 			return

@@ -1,0 +1,202 @@
+package sim
+
+// The README smoke test: every `curl` example in README.md is replayed
+// against a real test server, in document order. A renamed endpoint, a
+// stale request body or a removed field breaks this test, so the docs
+// cannot drift from the API — this is the CI docs job's "runnable
+// documentation" gate.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// curlCmd is one parsed README example.
+type curlCmd struct {
+	line   string
+	method string
+	path   string
+	body   string
+}
+
+// readmeCurlLines extracts the curl command lines from README.md's
+// fenced code blocks.
+func readmeCurlLines(t *testing.T) []string {
+	t.Helper()
+	data, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence && strings.HasPrefix(trimmed, "curl ") {
+			out = append(out, trimmed)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("README.md has no curl examples to smoke-test")
+	}
+	return out
+}
+
+// tokenize splits a shell-ish line on spaces, keeping single-quoted
+// strings (the JSON bodies) intact.
+func tokenize(line string) []string {
+	var tokens []string
+	var cur strings.Builder
+	inQuote := false
+	for _, r := range line {
+		switch {
+		case r == '\'':
+			inQuote = !inQuote
+		case r == ' ' && !inQuote:
+			if cur.Len() > 0 {
+				tokens = append(tokens, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		tokens = append(tokens, cur.String())
+	}
+	return tokens
+}
+
+// parseCurl understands exactly the curl dialect the README is allowed
+// to use: -s/-sS/-O flag noise, -X METHOD, -d BODY (implies POST), a
+// :8080-rooted URL, and a trailing "| ..." pipe or "# ..." comment. An
+// unrecognized token fails the test — examples must stay simple enough
+// to be machine-verified.
+func parseCurl(t *testing.T, line string) curlCmd {
+	t.Helper()
+	cmd := curlCmd{line: line, method: http.MethodGet}
+	tokens := tokenize(line)
+	for i := 1; i < len(tokens); i++ {
+		tok := tokens[i]
+		switch {
+		case tok == "|" || strings.HasPrefix(tok, "#"):
+			return cmd // pipe target / comment: not part of the request
+		case tok == "-s" || tok == "-sS" || tok == "-O" || tok == "-sO" || tok == "-i":
+			// display-only flags
+		case tok == "-X":
+			i++
+			if i >= len(tokens) {
+				t.Fatalf("README example has -X with no method: %q", line)
+			}
+			cmd.method = tokens[i]
+		case tok == "-d":
+			i++
+			if i >= len(tokens) {
+				t.Fatalf("README example has -d with no body: %q", line)
+			}
+			cmd.body = tokens[i]
+			if cmd.method == http.MethodGet {
+				cmd.method = http.MethodPost
+			}
+		case strings.HasPrefix(tok, ":8080/"):
+			cmd.path = strings.TrimPrefix(tok, ":8080")
+		default:
+			t.Fatalf("README example uses a curl feature the smoke test cannot verify: %q in %q", tok, line)
+		}
+	}
+	if cmd.path == "" {
+		t.Fatalf("README example has no :8080 URL: %q", line)
+	}
+	return cmd
+}
+
+// TestReadmeCurlExamples replays every README curl example against a
+// live server in document order, threading the job ID and artifact name
+// of the most recent POST through the <id> and <name> placeholders.
+func TestReadmeCurlExamples(t *testing.T) {
+	s := NewScheduler(Config{MaxConcurrent: 2, TotalWorkers: 2})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var lastID string
+	waitDone := func() {
+		t.Helper()
+		j, ok := s.Get(lastID)
+		if !ok {
+			t.Fatalf("submitted job %s not found", lastID)
+		}
+		select {
+		case <-j.Done():
+		case <-time.After(120 * time.Second):
+			t.Fatalf("job %s did not finish", lastID)
+		}
+		if st := j.State(); st != Done {
+			res, err := j.Result()
+			t.Fatalf("job %s finished %s (res %+v err %v)", lastID, st, res, err)
+		}
+	}
+	firstArtifact := func() string {
+		t.Helper()
+		waitDone()
+		j, _ := s.Get(lastID)
+		arts := j.Artifacts().All()
+		if len(arts) == 0 {
+			t.Fatalf("README example needs an artifact, but job %s produced none", lastID)
+		}
+		return arts[0].Name
+	}
+
+	for _, line := range readmeCurlLines(t) {
+		cmd := parseCurl(t, line)
+		if strings.Contains(cmd.path, "<id>") {
+			if lastID == "" {
+				t.Fatalf("README example references <id> before any POST /jobs: %q", line)
+			}
+			waitDone() // GETs describe the finished example job
+			cmd.path = strings.ReplaceAll(cmd.path, "<id>", lastID)
+		}
+		if strings.Contains(cmd.path, "<name>") {
+			cmd.path = strings.ReplaceAll(cmd.path, "<name>", firstArtifact())
+		}
+		req, err := http.NewRequest(cmd.method, srv.URL+cmd.path, strings.NewReader(cmd.body))
+		if err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+		if cmd.body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		// Cancelling the already finished example job is a legitimate
+		// 409; everything else must succeed.
+		if cmd.method == http.MethodDelete && resp.StatusCode == http.StatusConflict {
+			continue
+		}
+		if resp.StatusCode >= 400 {
+			t.Fatalf("README example failed: %q -> %s\n%s", line, resp.Status, body)
+		}
+		if cmd.method == http.MethodPost && strings.HasPrefix(cmd.path, "/jobs") {
+			var sub struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(body, &sub); err != nil || sub.ID == "" {
+				t.Fatalf("%q: submit response has no job id (err %v):\n%s", line, err, body)
+			}
+			lastID = sub.ID
+		}
+	}
+}

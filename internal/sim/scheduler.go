@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/par"
 	"repro/internal/perf"
@@ -28,6 +29,13 @@ type Config struct {
 	// QueueDepth bounds the jobs waiting for a slot; Submit fails once
 	// the backlog is full (default 256).
 	QueueDepth int
+	// ArtifactBytes bounds each job's derived-output artifact store;
+	// oldest artifacts are evicted first once a job exceeds it (default
+	// DefaultArtifactBytes).
+	ArtifactBytes int
+	// ArtifactCount bounds the artifacts a job retains (default
+	// DefaultArtifactCount).
+	ArtifactCount int
 }
 
 func (c Config) withDefaults() Config {
@@ -42,6 +50,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
+	}
+	if c.ArtifactBytes <= 0 {
+		c.ArtifactBytes = DefaultArtifactBytes
+	}
+	if c.ArtifactCount <= 0 {
+		c.ArtifactCount = DefaultArtifactCount
 	}
 	return c
 }
@@ -59,6 +73,8 @@ func (c Config) slotWorkers() int {
 // State is a job's lifecycle phase.
 type State int
 
+// The job lifecycle: Queued → Running → one of the terminal states
+// (Done, Failed, Cancelled).
 const (
 	Queued State = iota
 	Running
@@ -67,6 +83,7 @@ const (
 	Cancelled
 )
 
+// String renders the state for logs and the JSON API.
 func (s State) String() string {
 	switch s {
 	case Queued:
@@ -100,13 +117,16 @@ type Result struct {
 	// Hash is amr.(*Hierarchy).ChecksumHex of the evolved hierarchy —
 	// the bitwise identity of the answer, directly comparable to a
 	// local core.New run with the same resolved configuration.
-	Hash     string          `json:"hash"`
-	Steps    int             `json:"steps"`
-	Time     float64         `json:"time"`
-	MaxLevel int             `json:"maxlevel"`
-	NumGrids int             `json:"grids"`
-	SDR      float64         `json:"sdr"`
-	Metrics  perf.JobMetrics `json:"metrics"`
+	Hash     string  `json:"hash"`
+	Steps    int     `json:"steps"`
+	Time     float64 `json:"time"`
+	MaxLevel int     `json:"maxlevel"`
+	NumGrids int     `json:"grids"`
+	SDR      float64 `json:"sdr"`
+	// Artifacts counts the derived-output products the job retains
+	// (fetch them under /jobs/{id}/artifacts).
+	Artifacts int             `json:"artifacts"`
+	Metrics   perf.JobMetrics `json:"metrics"`
 }
 
 // Job is one scheduled simulation. The zero job is not usable; obtain
@@ -122,9 +142,10 @@ type Job struct {
 	StepBudget int
 	MaxTime    float64
 
-	sched  *Scheduler
-	res    resolved
-	doneCh chan struct{}
+	sched     *Scheduler
+	res       resolved
+	doneCh    chan struct{}
+	artifacts *ArtifactStore
 
 	mu          sync.Mutex
 	state       State
@@ -144,6 +165,12 @@ type Job struct {
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// Artifacts returns the job's derived-output store. It is non-nil for
+// every scheduled job (empty when the request declared no outputs) and
+// remains readable after the job is terminal, for as long as the job is
+// retained.
+func (j *Job) Artifacts() *ArtifactStore { return j.artifacts }
 
 // State returns the job's current lifecycle phase.
 func (j *Job) State() State {
@@ -267,6 +294,7 @@ func (j *Job) finishLocked(state State, res *Result, err error) bool {
 	}
 	j.subs = nil
 	j.cancel = nil
+	j.artifacts.close()
 	close(j.doneCh)
 	return true
 }
@@ -281,9 +309,13 @@ type Status struct {
 	Progress    Progress `json:"progress"`
 	Submissions int      `json:"submissions"`
 	CacheHits   int      `json:"cache_hits"`
-	Error       string   `json:"error,omitempty"`
-	Hash        string   `json:"hash,omitempty"`
-	WallSeconds float64  `json:"wall_seconds"`
+	// Artifacts and ArtifactBytes count the derived-output products
+	// retained so far (see GET /jobs/{id}/artifacts).
+	Artifacts     int     `json:"artifacts"`
+	ArtifactBytes int     `json:"artifact_bytes"`
+	Error         string  `json:"error,omitempty"`
+	Hash          string  `json:"hash,omitempty"`
+	WallSeconds   float64 `json:"wall_seconds"`
 }
 
 // Status snapshots the job.
@@ -300,6 +332,7 @@ func (j *Job) Status() Status {
 		Submissions: j.submissions,
 		CacheHits:   j.cacheHits,
 	}
+	st.Artifacts, st.ArtifactBytes = j.artifacts.Count()
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
@@ -471,6 +504,7 @@ func (s *Scheduler) SubmitWithDisposition(req Request) (*Job, Disposition, error
 		sched:      s,
 		res:        r,
 		doneCh:     make(chan struct{}),
+		artifacts:  newArtifactStore(s.cfg.ArtifactBytes, s.cfg.ArtifactCount),
 		submitted:  time.Now(),
 	}
 	j.submissions = 1
@@ -662,7 +696,27 @@ func (s *Scheduler) evolve(ctx context.Context, j *Job) (res *Result, err error)
 	if err != nil {
 		return nil, err
 	}
-	steps, err := sm.RunContext(ctx, j.res.steps, j.res.maxTime, func(info core.StepInfo) {
+	// The derived-output plan runs at root-step boundaries inside the
+	// observer, on the job's own worker budget; its wall-clock is billed
+	// separately from the physics (Metrics.AnalysisSeconds). An
+	// evaluation error fails the job — the request was validated at
+	// submit, so one here is a real service defect, not user error.
+	plan, err := analysis.NewOutputPlan(j.res.outputs)
+	if err != nil {
+		return nil, err
+	}
+	var analysisWall time.Duration
+	var outputErr error
+	emit := func(a analysis.Artifact) error {
+		j.artifacts.Put(a)
+		return nil
+	}
+	// runCtx lets an output-evaluation error stop the physics at the next
+	// root-step boundary instead of burning the remaining step budget on
+	// a job already doomed to fail.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	steps, err := sm.RunContext(runCtx, j.res.steps, j.res.maxTime, func(info core.StepInfo) {
 		j.publish(Progress{
 			Step:     info.Step,
 			Time:     info.Time,
@@ -670,18 +724,41 @@ func (s *Scheduler) evolve(ctx context.Context, j *Job) (res *Result, err error)
 			MaxLevel: info.MaxLevel,
 			NumGrids: info.NumGrids,
 		})
+		if outputErr != nil {
+			return
+		}
+		t0 := time.Now()
+		if outputErr = plan.Step(sm.H, j.res.problem, info.Step, j.res.opts.Workers, emit); outputErr != nil {
+			cancelRun()
+		}
+		analysisWall += time.Since(t0)
 	})
+	// outputErr outranks the cancellation it triggered (execute inspects
+	// the outer ctx, so this still reports as Failed, not Cancelled).
+	if outputErr != nil {
+		return nil, outputErr
+	}
 	if err != nil {
 		return nil, err
 	}
+	t0 := time.Now()
+	if err := plan.Finish(sm.H, j.res.problem, steps-1, j.res.opts.Workers, emit); err != nil {
+		return nil, err
+	}
+	analysisWall += time.Since(t0)
+
 	h := sm.H
+	metrics := perf.CollectJobMetrics(h.Stats, h.Timing, sm.Wall())
+	metrics.AnalysisSeconds = analysisWall.Seconds()
+	metrics.ArtifactCount, metrics.ArtifactBytes = j.artifacts.Count()
 	return &Result{
-		Hash:     h.ChecksumHex(),
-		Steps:    steps,
-		Time:     h.Time,
-		MaxLevel: h.MaxLevel(),
-		NumGrids: h.NumGrids(),
-		SDR:      h.SpatialDynamicRange(),
-		Metrics:  perf.CollectJobMetrics(h.Stats, h.Timing, sm.Wall()),
+		Hash:      h.ChecksumHex(),
+		Steps:     steps,
+		Time:      h.Time,
+		MaxLevel:  h.MaxLevel(),
+		NumGrids:  h.NumGrids(),
+		SDR:       h.SpatialDynamicRange(),
+		Artifacts: metrics.ArtifactCount,
+		Metrics:   metrics,
 	}, nil
 }

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"maps"
 
+	"repro/internal/analysis"
 	"repro/internal/problems"
 )
 
@@ -60,6 +61,11 @@ type Request struct {
 	Workers int `json:"workers,omitempty"`
 	// Knobs are the problem-specific -p key=value numeric knobs.
 	Knobs map[string]float64 `json:"knobs,omitempty"`
+	// Outputs declares the derived data products the job evaluates at
+	// root-step boundaries into its artifact store (served under
+	// /jobs/{id}/artifacts). Order matters: it numbers the artifacts and
+	// is part of the job's identity.
+	Outputs []analysis.OutputRequest `json:"outputs,omitempty"`
 }
 
 // DefaultSteps is the root-step budget of a Request that sets none.
@@ -113,6 +119,13 @@ func Merge(base, over Request) Request {
 		maps.Copy(merged, over.Knobs)
 		out.Knobs = merged
 	}
+	if len(over.Outputs) > 0 {
+		// A non-empty output list replaces the base's wholesale (order
+		// is identity), unlike the key-wise knob merge. An explicit
+		// empty list is indistinguishable from unset — a row cannot
+		// clear the defaults' outputs, only override them.
+		out.Outputs = over.Outputs
+	}
 	return out
 }
 
@@ -124,6 +137,9 @@ type resolved struct {
 	opts    problems.Opts
 	steps   int
 	maxTime float64
+	// outputs is the normalized derived-output list; part of the job
+	// identity because it determines which artifacts exist.
+	outputs []analysis.OutputRequest
 }
 
 // resolve validates req and normalizes it against the spec defaults,
@@ -174,7 +190,11 @@ func resolve(req Request, slotWorkers, maxWorkers int) (resolved, error) {
 	if o.Workers <= 0 {
 		o.Workers = slotWorkers
 	}
-	r := resolved{problem: req.Problem, opts: o, steps: req.Steps, maxTime: req.MaxTime}
+	outputs, err := validateOutputs(req.Outputs)
+	if err != nil {
+		return resolved{}, err
+	}
+	r := resolved{problem: req.Problem, opts: o, steps: req.Steps, maxTime: req.MaxTime, outputs: outputs}
 	if r.steps <= 0 {
 		r.steps = DefaultSteps
 	}
@@ -208,10 +228,14 @@ const (
 
 // key returns the canonical job identity: a short sha256 digest of the
 // problem name, the fully resolved Opts (including the effective worker
-// budget — see problems.Opts.Canonical for why) and the run bounds.
+// budget — see problems.Opts.Canonical for why), the run bounds, and the
+// normalized output-request list — two jobs that differ only in which
+// data products they collect are distinct jobs, or a coalesced
+// submission could come back missing the artifacts it asked for.
 func (r resolved) key() string {
-	s := fmt.Sprintf("problem=%s;%s;steps=%d;maxtime=%g",
-		r.problem, r.opts.Canonical(), r.steps, r.maxTime)
+	s := fmt.Sprintf("problem=%s;%s;steps=%d;maxtime=%g;outputs=%s",
+		r.problem, r.opts.Canonical(), r.steps, r.maxTime,
+		analysis.CanonicalOutputs(r.outputs))
 	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:8])
 }

@@ -17,6 +17,7 @@
 package snapshot
 
 import (
+	"bytes"
 	"compress/gzip"
 	"encoding/gob"
 	"fmt"
@@ -213,6 +214,17 @@ func decodeFields(g *amr.Grid, rec GridRec) error {
 		copy(fld.Data, rec.Fields[fi])
 	}
 	return nil
+}
+
+// Encode serializes the hierarchy to an in-memory snapshot in the Write
+// format — the payload of the sim job service's "snapshot" data product,
+// and any other sink that is not a file.
+func Encode(h *amr.Hierarchy, problem string) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Write(&buf, h, problem); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // Save writes a snapshot to path; problem is the registry name of the
