@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test test-full vet bench bench-scaling bench-sim bench-projection golden-update problems docs clean
+# Pinned staticcheck release used by `make staticcheck` and the CI
+# staticcheck job; bump deliberately, in its own commit.
+STATICCHECK_VERSION ?= 2025.1.1
+
+.PHONY: build test test-full vet staticcheck bench bench-scaling bench-sim bench-projection golden-update problems docs clean
 
 build:
 	$(GO) build ./...
@@ -15,6 +19,11 @@ test-full:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet, at the pinned version (needs network the
+# first time, to fetch the tool into the module cache).
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 # All paper-reproduction benchmarks.
 bench:
@@ -59,7 +68,7 @@ problems:
 docs:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
-	$(GO) run ./cmd/doccheck $$(ls -d internal/*/ | sed 's|^|./|;s|/$$||')
+	$(GO) run ./cmd/doccheck $$($(GO) list -f '{{.Dir}}' ./internal/...)
 	$(GO) test -run TestReadmeCurlExamples ./internal/sim
 
 clean:

@@ -26,10 +26,17 @@
 // cannot clear it — put product-free rows in a sweep without default
 // outputs).
 //
+// With -data the sweep runs against a durable job store (the same
+// layout `enzogo serve -data` uses): results persist across process
+// restarts, so re-running a sweep — after a crash, an edit that adds
+// rows, or on a store warmed by the service — answers already-completed
+// rows as cache hits instead of recomputing them.
+//
 // Usage:
 //
 //	enzobatch -f sweep.json -slots 4 -out results.json
 //	enzobatch -f examples/sweeps/sedov_projections.json -artifacts products
+//	enzobatch -f sweep.json -data /var/lib/enzogo   # re-runnable / warm-store
 package main
 
 import (
@@ -45,6 +52,7 @@ import (
 
 	"repro/internal/problems"
 	"repro/internal/sim"
+	"repro/internal/sim/diskstore"
 )
 
 // Sweep is the file format: defaults merged under every job row.
@@ -68,6 +76,7 @@ func main() {
 	workers := flag.Int("workers", 0, "total par worker budget partitioned across slots (0 = NumCPU)")
 	out := flag.String("out", "", "write the full JSON report here")
 	artifactDir := flag.String("artifacts", "", "write each job's derived-output artifacts under this directory")
+	dataDir := flag.String("data", "", "durable job store directory: completed rows are cache hits on a re-run (share it with `enzogo serve -data`)")
 	verbose := flag.Bool("v", false, "stream per-step progress lines")
 	flag.Parse()
 	if *file == "" {
@@ -89,15 +98,35 @@ func main() {
 		log.Fatalf("%s: sweep has no jobs", *file)
 	}
 
-	sched := sim.NewScheduler(sim.Config{
+	cfg := sim.Config{
 		MaxConcurrent: *slots,
 		TotalWorkers:  *workers,
 		// Retain every row: a sweep is exactly the workload where late
 		// duplicates should hit earlier results.
 		CacheSize:  2 * len(sweep.Jobs),
 		QueueDepth: len(sweep.Jobs) + 1,
-	})
+	}
+	if *dataDir != "" {
+		store, err := diskstore.New(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Store = store
+		// Cache eviction is the store's retention policy: evicted jobs
+		// are deleted from disk. A sweep-sized cache against a shared
+		// serve store would wipe every prior result the moment recovery
+		// overflows it, so a warm sweep never evicts — retention belongs
+		// to the long-lived serve instance.
+		cfg.CacheSize = 1 << 30
+	}
+	sched := sim.NewScheduler(cfg)
 	defer sched.Close()
+	if recovered, _, err := sched.RecoverState(); err != nil {
+		log.Printf("warm store recovery: %v", err)
+	} else if recovered > 0 {
+		fmt.Printf("warm store %s: %d completed jobs recovered (matching rows will be cache hits)\n",
+			*dataDir, recovered)
+	}
 
 	name := sweep.Name
 	if name == "" {

@@ -25,12 +25,20 @@
 //	    -output projection,field=rho,axis=2,n=128,every=5 \
 //	    -output slice,field=temp,format=png -outdir products
 //
+// A `-output checkpoint,every=N` spec writes periodic restart files
+// (loadable with -restart) alongside the science products — the offline
+// flavor of the job service's durability checkpoints.
+//
 // `enzogo serve` runs the simulation job service instead of a one-shot
 // problem: an HTTP/JSON API (internal/sim) that schedules, dedupes and
-// caches runs across a bounded slot pool. See the README's "Serving &
-// batch sweeps" section for the endpoints.
+// caches runs across a bounded slot pool. With -data it is durable:
+// results, artifacts and checkpoints live under the data directory,
+// interrupted jobs resume from their latest checkpoint on the next
+// start, and SIGTERM drains gracefully (checkpoint, then exit). See the
+// README's "Serving & batch sweeps" section for the endpoints.
 //
 //	enzogo serve -addr :8080 -slots 4
+//	enzogo serve -addr :8080 -data /var/lib/enzogo -checkpoint-every 5
 package main
 
 import (
@@ -52,10 +60,15 @@ import (
 	"repro/internal/perf"
 	"repro/internal/problems"
 	"repro/internal/sim"
+	"repro/internal/sim/diskstore"
 	"repro/internal/snapshot"
 )
 
-// serve runs the job service until SIGINT/SIGTERM.
+// serve runs the job service until SIGINT/SIGTERM. With -data it runs
+// durably: jobs, results, artifacts and restart checkpoints persist
+// under the data directory, interrupted jobs resume on the next start,
+// and shutdown drains gracefully (every running job is checkpointed at
+// its next root-step boundary before the process exits).
 func serve(args []string) {
 	fs := flag.NewFlagSet("enzogo serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
@@ -65,16 +78,35 @@ func serve(args []string) {
 	queue := fs.Int("queue", 256, "max jobs waiting for a slot")
 	artifactBytes := fs.Int("artifact-bytes", sim.DefaultArtifactBytes, "per-job derived-output store budget in bytes (oldest artifacts evicted first)")
 	artifactCount := fs.Int("artifact-count", sim.DefaultArtifactCount, "per-job derived-output artifact count budget")
+	dataDir := fs.String("data", "", "durable job store directory (empty = in-memory only: nothing survives a restart)")
+	ckptEvery := fs.Int("checkpoint-every", 5, "with -data: checkpoint running jobs every N root steps (0 = no step cadence)")
+	ckptTime := fs.Float64("checkpoint-time", 0, "with -data: checkpoint running jobs every T code time (0 = no time cadence)")
 	fs.Parse(args)
 
-	sched := sim.NewScheduler(sim.Config{
+	cfg := sim.Config{
 		MaxConcurrent: *slots,
 		TotalWorkers:  *workers,
 		CacheSize:     *cache,
 		QueueDepth:    *queue,
 		ArtifactBytes: *artifactBytes,
 		ArtifactCount: *artifactCount,
-	})
+	}
+	if *dataDir != "" {
+		store, err := diskstore.New(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Store = store
+		cfg.CheckpointEvery = *ckptEvery
+		cfg.CheckpointTime = *ckptTime
+	}
+	sched := sim.NewScheduler(cfg)
+	if recovered, resumed, err := sched.RecoverState(); err != nil {
+		log.Printf("enzogo serve: store recovery: %v", err)
+	} else if *dataDir != "" {
+		log.Printf("enzogo serve: data dir %s: recovered %d jobs (%d resumed mid-run)",
+			*dataDir, recovered, resumed)
+	}
 	srv := &http.Server{Addr: *addr, Handler: sched.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -95,6 +127,14 @@ func serve(args []string) {
 	// in-flight handlers (e.g. /events streams) to finish before tearing
 	// the scheduler down under them.
 	<-drained
+	if *dataDir != "" {
+		// Graceful drain: running jobs checkpoint at their next root-step
+		// boundary and are recorded as interrupted, so the next
+		// `enzogo serve -data` resumes them where they stopped.
+		sched.Drain()
+		log.Printf("enzogo serve: drained with checkpoints into %s and stopped", *dataDir)
+		return
+	}
 	sched.Close()
 	log.Printf("enzogo serve: drained and stopped")
 }

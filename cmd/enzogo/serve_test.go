@@ -1,0 +1,230 @@
+package main
+
+// The graceful-drain acceptance test for `enzogo serve -data`: SIGTERM
+// with a job running must checkpoint it, exit cleanly, and a restarted
+// server must resume it to the same bitwise answer an uninterrupted run
+// produces. This drives the real binary with real signals — the process
+// lifecycle is exactly what the test is about.
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// buildEnzogo compiles the binary under test into dir.
+func buildEnzogo(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "enzogo")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freeAddr reserves an ephemeral localhost port and releases it for the
+// server to claim (a benign race no other allocator on this host is
+// competing in during tests).
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startServe launches `enzogo serve` and waits for /healthz.
+func startServe(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"serve"}, args...)...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("server never became healthy")
+}
+
+func getStatus(t *testing.T, base, id string) sim.Status {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st sim.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestServeGracefulDrainSIGTERM(t *testing.T) {
+	tmp := t.TempDir()
+	bin := buildEnzogo(t, tmp)
+	dataDir := filepath.Join(tmp, "data")
+	addr := freeAddr(t)
+	base := "http://" + addr
+
+	cmd := startServe(t, bin, "-addr", addr, "-data", dataDir, "-slots", "1", "-workers", "1", "-checkpoint-every", "2")
+	defer cmd.Process.Kill()
+	waitHealthy(t, base)
+
+	body := `{"problem":"sedov","rootn":16,"maxlevel":1,"steps":24,"workers":1,"knobs":{"e0":20}}`
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub sim.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sub.ID == "" {
+		t.Fatal("no job id")
+	}
+
+	// SIGTERM once the job is demonstrably mid-run.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached a running, pre-completion state")
+		}
+		st := getStatus(t, base, sub.ID)
+		if st.State == "running" && st.Progress.Step >= 1 {
+			break
+		}
+		if st.State == "done" {
+			t.Fatal("job finished before SIGTERM; enlarge the request")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("serve did not exit clean on SIGTERM: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("serve hung on SIGTERM")
+	}
+
+	// The drain must have left a checkpoint and an interrupted (not
+	// terminal) record on disk.
+	ckptDir := filepath.Join(dataDir, "jobs", sub.ID, "checkpoints")
+	entries, err := os.ReadDir(ckptDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no checkpoint on disk after drain: %v", err)
+	}
+	manifest, err := os.ReadFile(filepath.Join(dataDir, "jobs", sub.ID, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m sim.JobManifest
+	if err := json.Unmarshal(manifest, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.State != sim.ManifestInterrupted {
+		t.Fatalf("manifest state %q after drain, want %q", m.State, sim.ManifestInterrupted)
+	}
+
+	// Restart: the job resumes from the drain checkpoint and completes.
+	addr2 := freeAddr(t)
+	base2 := "http://" + addr2
+	cmd2 := startServe(t, bin, "-addr", addr2, "-data", dataDir, "-slots", "1", "-workers", "1", "-checkpoint-every", "2")
+	defer cmd2.Process.Kill()
+	waitHealthy(t, base2)
+
+	var final sim.Status
+	deadline = time.Now().Add(300 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed job never finished: %+v", final)
+		}
+		final = getStatus(t, base2, sub.ID)
+		if final.State == "done" {
+			break
+		}
+		if final.State == "failed" || final.State == "cancelled" {
+			t.Fatalf("resumed job %s: %+v", final.State, final)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !final.Recovered || !strings.HasPrefix(final.ResumedFrom, "checkpoint step ") {
+		t.Fatalf("no resume provenance on restarted job: %+v", final)
+	}
+
+	// Bitwise identity against an uninterrupted in-process run of the
+	// same canonical request.
+	ref := sim.NewScheduler(sim.Config{MaxConcurrent: 1, TotalWorkers: 1})
+	defer ref.Close()
+	var req sim.Request
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	rj, err := ref.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	refRes, err := rj.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rj.ID != sub.ID {
+		t.Fatalf("canonical identity differs: served %s, in-process %s", sub.ID, rj.ID)
+	}
+	if final.Hash != refRes.Hash {
+		t.Fatalf("drained+resumed hash %s, uninterrupted %s", final.Hash, refRes.Hash)
+	}
+
+	// And the second server shuts down clean too.
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited2 := make(chan error, 1)
+	go func() { exited2 <- cmd2.Wait() }()
+	select {
+	case err := <-exited2:
+		if err != nil {
+			t.Fatalf("second serve did not exit clean: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("second serve hung on SIGTERM")
+	}
+}

@@ -119,6 +119,15 @@
 // (regenerate intentionally with `make golden-update`). To serve over
 // HTTP, mount sim.(*Scheduler).Handler on any mux.
 //
+// Persistence is pluggable (sim.Store): wire internal/sim/diskstore
+// under the scheduler (`enzogo serve -data dir`, sim.Config.Store) and
+// the service becomes durable — completed results and artifacts survive
+// restarts as cache hits, running jobs checkpoint on a cadence
+// (Config.CheckpointEvery/CheckpointTime) and resume bitwise-identically
+// after a kill, and Scheduler.Drain checkpoints everything running
+// before a graceful exit. docs/ARCHITECTURE.md ("Durability & recovery")
+// has the on-disk layout and the recovery sequence.
+//
 // # Derived data products
 //
 // Jobs return science products, not just hashes: a Request may carry

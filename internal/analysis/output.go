@@ -45,6 +45,14 @@ const (
 	// internal/snapshot format), so a consumer can restart or re-analyze
 	// offline without touching the service host's disk.
 	KindSnapshot OutputKind = "snapshot"
+	// KindCheckpoint is a restart checkpoint: the same self-describing
+	// payload as KindSnapshot under a checkpoint_* name. It exists as a
+	// distinct kind so checkpoint cadence rides the same OutputPlan
+	// machinery as every other product while consumers (the sim job
+	// store, an enzogo -output run writing restart files) can route it
+	// differently from science products. The sim service reserves it for
+	// its own durability machinery and rejects it in job requests.
+	KindCheckpoint OutputKind = "checkpoint"
 )
 
 // OutputFields lists the cell quantities slices and projections accept,
@@ -179,11 +187,11 @@ func (r OutputRequest) Normalize() (OutputRequest, error) {
 			return r, fmt.Errorf("analysis: clump min_sep %g not in (0,1]", r.MinSep)
 		}
 		r.Field, r.Axis, r.Coord, r.N, r.NSamp, r.Format = "", 0, 0, 0, 0, ""
-	case KindSnapshot:
+	case KindSnapshot, KindCheckpoint:
 		r.Field, r.Axis, r.Coord, r.N, r.NSamp, r.Format = "", 0, 0, 0, 0, ""
 		r.Threshold, r.MinSep = 0, 0
 	default:
-		return r, fmt.Errorf("analysis: output kind %q unknown (want slice|projection|profile|clumps|snapshot)", r.Kind)
+		return r, fmt.Errorf("analysis: output kind %q unknown (want slice|projection|profile|clumps|snapshot|checkpoint)", r.Kind)
 	}
 	if r.Every < 0 {
 		return r, fmt.Errorf("analysis: output cadence every=%d must be >= 0", r.Every)
@@ -293,6 +301,11 @@ type Artifact struct {
 	Time float64 `json:"time"`
 	// ContentType is the payload MIME type.
 	ContentType string `json:"content_type"`
+	// RawSize is the uncompressed payload size of a compressed product
+	// (snapshot/checkpoint gob bytes before gzip); 0 for products whose
+	// Data is not compressed. len(Data) is always the on-wire size, so
+	// artifact indexes can report both sides of the compression.
+	RawSize int64 `json:"raw_size,omitempty"`
 	// Data is the encoded payload. Omitted from JSON metadata listings.
 	Data []byte `json:"-"`
 }
@@ -428,13 +441,14 @@ func (r OutputRequest) Evaluate(h *amr.Hierarchy, problem string, step, workers 
 			Step: step, Time: h.Time,
 			Threshold: r.Threshold, MinSep: r.MinSep, Clumps: clumps,
 		})
-	case KindSnapshot:
-		data, err := snapshot.Encode(h, problem)
+	case KindSnapshot, KindCheckpoint:
+		data, raw, err := snapshot.EncodeSized(h, problem)
 		if err != nil {
 			return art, err
 		}
-		art.Name = fmt.Sprintf("snapshot_step%04d.gob.gz", step)
+		art.Name = fmt.Sprintf("%s_step%04d.gob.gz", r.Kind, step)
 		art.ContentType = "application/gzip"
+		art.RawSize = raw
 		art.Data = data
 		return art, nil
 	}
@@ -512,6 +526,15 @@ func NewOutputPlan(reqs []OutputRequest) (*OutputPlan, error) {
 		p.emitted[i] = -1
 	}
 	return p, nil
+}
+
+// Prime seeds the time-cadence baseline, as if the plan had already
+// observed a step at code time t. A run resumed from a checkpoint primes
+// its plans with the checkpoint's time so every_time cadences continue
+// from where the interrupted run left off instead of re-firing at the
+// first post-resume step.
+func (p *OutputPlan) Prime(t float64) {
+	p.prevTime, p.havePrev = t, true
 }
 
 // Step fires every request whose cadence is due after root step `step`

@@ -209,6 +209,34 @@ func TestEvaluateSnapshotRoundTrips(t *testing.T) {
 	}
 }
 
+// TestEvaluateCheckpointKind: the checkpoint product is a restart
+// snapshot under a checkpoint_* name, with the compression accounting
+// (RawSize) filled in.
+func TestEvaluateCheckpointKind(t *testing.T) {
+	h := buildTestHierarchy(t)
+	r, err := OutputRequest{Kind: KindCheckpoint, Every: 3}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Evaluate(h, "ckpttest", 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "checkpoint_step0007.gob.gz" {
+		t.Fatalf("checkpoint artifact name %q", a.Name)
+	}
+	if a.RawSize <= int64(len(a.Data)) {
+		t.Fatalf("RawSize %d should exceed compressed size %d", a.RawSize, len(a.Data))
+	}
+	h2, problem, err := snapshot.Read(bytes.NewReader(a.Data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problem != "ckpttest" || h2.ChecksumHex() != h.ChecksumHex() {
+		t.Fatalf("checkpoint does not reproduce the hierarchy")
+	}
+}
+
 func TestEvaluateClumpsCatalog(t *testing.T) {
 	h := buildTestHierarchy(t)
 	r, _ := OutputRequest{Kind: KindClumps, Threshold: 5, MinSep: 0.2}.Normalize()

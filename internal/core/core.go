@@ -160,27 +160,79 @@ type StepInfo struct {
 // cancelled; cancellation is observed between root steps, so the
 // hierarchy is always left in a consistent post-step state. observe, when
 // non-nil, is called after every completed step. Returns the number of
-// steps taken and ctx.Err() when cancellation cut the run short.
+// steps taken and ctx.Err() when cancellation cut the run short. It is
+// Run without the resume/checkpoint machinery.
 func (s *Simulation) RunContext(ctx context.Context, maxSteps int, maxTime float64, observe func(StepInfo)) (int, error) {
-	for n := 0; n < maxSteps; n++ {
+	return s.Run(ctx, RunOpts{MaxSteps: maxSteps, MaxTime: maxTime, Observe: observe})
+}
+
+// RunOpts configures Run: the run bounds plus the two hooks the durable
+// job service threads through the stack — a per-step observer and a
+// checkpoint hook, with a StartStep offset so a run resumed from a
+// checkpoint keeps the interrupted run's global step numbering (cadence
+// plans and artifact names depend on it).
+type RunOpts struct {
+	// MaxSteps bounds the root steps taken by this call (for a resumed
+	// run: the steps remaining, not the job's total budget).
+	MaxSteps int
+	// MaxTime stops the run once code time reaches it (0 = no bound).
+	MaxTime float64
+	// StartStep is the global index of the first step this call takes —
+	// 0 for a fresh run, checkpointStep+1 when resuming. StepInfo.Step is
+	// numbered from it.
+	StartStep int
+	// Observe, when non-nil, is called after every completed root step.
+	Observe func(StepInfo)
+	// Checkpoint, when non-nil, is called after every completed root step
+	// (after Observe); the callee decides whether a checkpoint is due —
+	// typically an analysis.OutputPlan carrying a "checkpoint" output
+	// request — and persists the encoded hierarchy. A checkpoint error
+	// stops the run: a job that cannot persist its progress must fail
+	// loudly, not run on with stale durability.
+	Checkpoint func(StepInfo) error
+}
+
+// Run advances up to o.MaxSteps root steps under the given bounds and
+// hooks (see RunOpts). Cancellation and checkpointing are observed only
+// at root-step boundaries, so the hierarchy is always left in a
+// consistent post-step state. Returns the number of steps taken by this
+// call, and ctx.Err() when cancellation cut the run short or the first
+// checkpoint-hook error.
+func (s *Simulation) Run(ctx context.Context, o RunOpts) (int, error) {
+	for n := 0; n < o.MaxSteps; n++ {
 		if err := ctx.Err(); err != nil {
 			return n, err
 		}
-		if maxTime > 0 && s.H.Time >= maxTime {
+		if o.MaxTime > 0 && s.H.Time >= o.MaxTime {
 			return n, nil
 		}
 		dt := s.Step()
-		if observe != nil {
-			observe(StepInfo{
-				Step:     n,
-				Time:     s.H.Time,
-				Dt:       dt,
-				MaxLevel: s.H.MaxLevel(),
-				NumGrids: s.H.NumGrids(),
-			})
+		info := StepInfo{
+			Step:     o.StartStep + n,
+			Time:     s.H.Time,
+			Dt:       dt,
+			MaxLevel: s.H.MaxLevel(),
+			NumGrids: s.H.NumGrids(),
+		}
+		if o.Observe != nil {
+			o.Observe(info)
+		}
+		if o.Checkpoint != nil {
+			if err := o.Checkpoint(info); err != nil {
+				return n + 1, err
+			}
 		}
 	}
-	return maxSteps, nil
+	return o.MaxSteps, nil
+}
+
+// Resume wraps a hierarchy restored from a snapshot/checkpoint
+// (snapshot.Read) as a runnable Simulation — the restart path of the
+// durable job service and the enzogo -restart flow. The caller is
+// responsible for fixing runtime knobs that do not carry across hosts
+// (h.Cfg.Workers) before stepping.
+func Resume(h *amr.Hierarchy, problem string) *Simulation {
+	return &Simulation{H: h, Problem: problem}
 }
 
 // Wall returns the accumulated evolution wall-clock time.

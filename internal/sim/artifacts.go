@@ -8,7 +8,10 @@ import (
 )
 
 // ArtifactMeta is the JSON-facing description of one stored artifact —
-// everything but the payload bytes.
+// everything but the payload bytes. Size is always the stored (on-wire)
+// byte count; for compressed products (snapshot/checkpoint payloads)
+// RawSize additionally reports the uncompressed gob size, so the index
+// shows both sides of the compression.
 type ArtifactMeta struct {
 	Name        string  `json:"name"`
 	Kind        string  `json:"kind"`
@@ -17,6 +20,7 @@ type ArtifactMeta struct {
 	Time        float64 `json:"time"`
 	ContentType string  `json:"content_type"`
 	Size        int     `json:"size"`
+	RawSize     int64   `json:"raw_size,omitempty"`
 }
 
 func metaOf(a analysis.Artifact) ArtifactMeta {
@@ -28,6 +32,7 @@ func metaOf(a analysis.Artifact) ArtifactMeta {
 		Time:        a.Time,
 		ContentType: a.ContentType,
 		Size:        len(a.Data),
+		RawSize:     a.RawSize,
 	}
 }
 
@@ -71,24 +76,44 @@ func newArtifactStore(maxBytes, maxCount int) *ArtifactStore {
 	return &ArtifactStore{maxBytes: maxBytes, maxCount: maxCount}
 }
 
-// Put stores one artifact, evicting oldest-first to fit the budgets. An
-// artifact larger than the whole byte budget is refused (counted in
-// Dropped). Watchers are notified without blocking.
-func (s *ArtifactStore) Put(a analysis.Artifact) {
+// Put stores one artifact, evicting oldest-first to fit the budgets.
+// It reports whether the artifact was retained at all, and the names it
+// evicted to make room — both so a persistent backing store can mirror
+// the store's contents exactly (a refused artifact must not be
+// persisted, an evicted one must be deleted). An artifact with the name
+// of a retained one replaces it in place — the path a resumed job takes
+// when it re-derives a product it had already emitted before the
+// interruption; the replacement bytes are bitwise identical, so
+// position and identity are preserved. An artifact larger than the
+// whole byte budget is refused (counted in Dropped). Watchers are
+// notified without blocking.
+func (s *ArtifactStore) Put(a analysis.Artifact) (evicted []string, stored bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(a.Data) > s.maxBytes {
 		s.dropped++
-		return
+		return nil, false
 	}
-	for len(s.arts) > 0 && (s.bytes+len(a.Data) > s.maxBytes || len(s.arts)+1 > s.maxCount) {
-		s.bytes -= len(s.arts[0].Data)
-		s.arts[0] = analysis.Artifact{} // release the payload; the backing array outlives the re-slice
-		s.arts = s.arts[1:]
-		s.dropped++
+	replaced := false
+	for i := range s.arts {
+		if s.arts[i].Name == a.Name {
+			s.bytes += len(a.Data) - len(s.arts[i].Data)
+			s.arts[i] = a
+			replaced = true
+			break
+		}
 	}
-	s.arts = append(s.arts, a)
-	s.bytes += len(a.Data)
+	if !replaced {
+		for len(s.arts) > 0 && (s.bytes+len(a.Data) > s.maxBytes || len(s.arts)+1 > s.maxCount) {
+			s.bytes -= len(s.arts[0].Data)
+			evicted = append(evicted, s.arts[0].Name)
+			s.arts[0] = analysis.Artifact{} // release the payload; the backing array outlives the re-slice
+			s.arts = s.arts[1:]
+			s.dropped++
+		}
+		s.arts = append(s.arts, a)
+		s.bytes += len(a.Data)
+	}
 	m := metaOf(a)
 	for _, ch := range s.subs {
 		select {
@@ -96,6 +121,7 @@ func (s *ArtifactStore) Put(a analysis.Artifact) {
 		default: // lagging subscriber: drop, never stall the job
 		}
 	}
+	return evicted, true
 }
 
 // Get returns the retained artifact with the given name.
@@ -215,6 +241,14 @@ func validateOutputs(reqs []analysis.OutputRequest) ([]analysis.OutputRequest, e
 	}
 	out := make([]analysis.OutputRequest, len(reqs))
 	for i, r := range reqs {
+		if r.Kind == analysis.KindCheckpoint {
+			// Reserved for the scheduler's own durability machinery:
+			// checkpoint cadence is service configuration
+			// (-checkpoint-every), not a per-job product. Use "snapshot"
+			// to get restartable state as a data product.
+			return nil, fmt.Errorf("sim: output request %d: kind %q is reserved (want a restartable state product? use %q)",
+				i, analysis.KindCheckpoint, analysis.KindSnapshot)
+		}
 		n, err := r.Normalize()
 		if err != nil {
 			return nil, fmt.Errorf("sim: output request %d: %w", i, err)

@@ -1,0 +1,519 @@
+// Package diskstore is the disk-backed sim.Store: one directory per job
+// under a data root, keyed by the job's canonical request hash, so a
+// restarted `enzogo serve -data dir` (or enzobatch -data sweep) recovers
+// completed results and artifacts as cache hits and resumes interrupted
+// jobs from their latest checkpoint.
+//
+// On-disk layout (everything written via temp-file + atomic rename, so
+// a kill at any instant leaves either the old record or the new one,
+// never a torn file):
+//
+//	<root>/jobs/<id>/manifest.json        the job-state WAL (latest transition wins)
+//	<root>/jobs/<id>/result.json          the terminal Result of a done job
+//	<root>/jobs/<id>/artifacts/index.json retained artifact metadata, production order
+//	<root>/jobs/<id>/artifacts/<name>     one payload per artifact
+//	<root>/jobs/<id>/checkpoints/step_NNNNNNNN.ckpt
+//	                                      snapshot-format restart points; the
+//	                                      latest two are retained
+//
+// Size gauges (checkpoint/artifact bytes) are scanned once at open and
+// maintained incrementally afterwards.
+package diskstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/sim"
+)
+
+// keepCheckpoints is how many most-recent checkpoints each job retains.
+// Two, not one: the newest is the resume point, the previous one is the
+// fallback that can never be mid-write when the process dies (rename is
+// atomic, but a belt goes well with suspenders that cheap).
+const keepCheckpoints = 2
+
+// Store implements sim.Store on a directory tree. Safe for concurrent
+// use; a single mutex serializes metadata writes (the payloads are
+// large, but job persistence is off the step hot path — checkpoint
+// cadence bounds how often it runs).
+type Store struct {
+	root string
+
+	mu        sync.Mutex
+	ckptBytes int64
+	ckptCount int
+	artBytes  int64
+	artCount  int
+}
+
+// New opens (creating if needed) a disk store rooted at dir and scans
+// its current sizes.
+func New(dir string) (*Store, error) {
+	s := &Store{root: dir}
+	if err := os.MkdirAll(s.jobsDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	ids, err := s.jobIDs()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		sweepTemps(s.jobDir(id))
+		sweepTemps(s.ckptDir(id))
+		sweepTemps(s.artDir(id))
+		s.ckptBytes += dirBytes(s.ckptDir(id), &s.ckptCount)
+		s.artBytes += dirBytes(s.artDir(id), &s.artCount)
+	}
+	// index.json is metadata, not payload: don't count it as artifact bytes.
+	for _, id := range ids {
+		if fi, err := os.Stat(filepath.Join(s.artDir(id), indexFile)); err == nil {
+			s.artBytes -= fi.Size()
+			s.artCount--
+		}
+	}
+	return s, nil
+}
+
+// indexFile is the per-job artifact metadata index.
+const indexFile = "index.json"
+
+func (s *Store) jobsDir() string          { return filepath.Join(s.root, "jobs") }
+func (s *Store) jobDir(id string) string  { return filepath.Join(s.jobsDir(), id) }
+func (s *Store) ckptDir(id string) string { return filepath.Join(s.jobDir(id), "checkpoints") }
+func (s *Store) artDir(id string) string  { return filepath.Join(s.jobDir(id), "artifacts") }
+
+// tmpPrefix marks in-flight writeAtomic files; they are never payloads.
+const tmpPrefix = ".tmp-"
+
+// dirBytes sums the regular payload files under dir (0 when absent),
+// counting them into *n. Orphaned writeAtomic temp files — a kill
+// between CreateTemp and Rename leaves one — are excluded.
+func dirBytes(dir string, n *int) int64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			continue
+		}
+		if fi, err := e.Info(); err == nil && fi.Mode().IsRegular() {
+			total += fi.Size()
+			*n++
+		}
+	}
+	return total
+}
+
+// sweepTemps deletes orphaned writeAtomic temp files under dir — the
+// crash-residue cleanup New runs per job directory (each crash would
+// otherwise add another orphan for the life of the job).
+func sweepTemps(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// jobIDs lists the job directories under the root.
+func (s *Store) jobIDs() ([]string, error) {
+	entries, err := os.ReadDir(s.jobsDir())
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	return ids, nil
+}
+
+// writeAtomic writes data to path via a temp file + rename, creating
+// the parent directory if needed.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, tmpPrefix+"*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Persistent reports true: this store is the durability backend.
+func (s *Store) Persistent() bool { return true }
+
+// SaveManifest rewrites the job's manifest.json atomically — the WAL of
+// state transitions (the latest write wins; a kill leaves the previous
+// record intact).
+func (s *Store) SaveManifest(m sim.JobManifest) error {
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return fmt.Errorf("diskstore: manifest %s: %w", m.ID, err)
+	}
+	if err := writeAtomic(filepath.Join(s.jobDir(m.ID), "manifest.json"), append(data, '\n')); err != nil {
+		return fmt.Errorf("diskstore: manifest %s: %w", m.ID, err)
+	}
+	return nil
+}
+
+// SaveResult persists a done job's result.json.
+func (s *Store) SaveResult(id string, res *sim.Result) error {
+	data, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		return fmt.Errorf("diskstore: result %s: %w", id, err)
+	}
+	if err := writeAtomic(filepath.Join(s.jobDir(id), "result.json"), append(data, '\n')); err != nil {
+		return fmt.Errorf("diskstore: result %s: %w", id, err)
+	}
+	return nil
+}
+
+// storedArtifact is one index.json row: the artifact metadata minus the
+// payload, which lives in the sibling file of the same name.
+type storedArtifact struct {
+	Name        string  `json:"name"`
+	Kind        string  `json:"kind"`
+	Field       string  `json:"field,omitempty"`
+	Step        int     `json:"step"`
+	Time        float64 `json:"time"`
+	ContentType string  `json:"content_type"`
+	RawSize     int64   `json:"raw_size,omitempty"`
+}
+
+// loadArtIndex reads a job's artifact index (empty when absent).
+func (s *Store) loadArtIndex(id string) ([]storedArtifact, error) {
+	data, err := os.ReadFile(filepath.Join(s.artDir(id), indexFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var idx []storedArtifact
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+func (s *Store) saveArtIndex(id string, idx []storedArtifact) error {
+	data, err := json.Marshal(idx)
+	if err != nil {
+		return err
+	}
+	return writeAtomic(filepath.Join(s.artDir(id), indexFile), append(data, '\n'))
+}
+
+// cleanName rejects artifact names that could escape the job directory.
+// The analysis layer never produces such names; this is defense against
+// a future producer that does.
+func cleanName(name string) error {
+	if name == "" || name == indexFile || strings.ContainsAny(name, "/\\") || strings.HasPrefix(name, ".") {
+		return fmt.Errorf("diskstore: unsafe artifact name %q", name)
+	}
+	return nil
+}
+
+// SaveArtifact writes the payload file and appends (or replaces) the
+// index row, keeping production order.
+func (s *Store) SaveArtifact(id string, a analysis.Artifact) error {
+	if err := cleanName(a.Name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, err := s.loadArtIndex(id)
+	if err != nil {
+		return fmt.Errorf("diskstore: artifact index %s: %w", id, err)
+	}
+	path := filepath.Join(s.artDir(id), a.Name)
+	var oldSize int64
+	if fi, err := os.Stat(path); err == nil {
+		oldSize = fi.Size()
+	}
+	if err := writeAtomic(path, a.Data); err != nil {
+		return fmt.Errorf("diskstore: artifact %s/%s: %w", id, a.Name, err)
+	}
+	row := storedArtifact{
+		Name: a.Name, Kind: string(a.Kind), Field: a.Field,
+		Step: a.Step, Time: a.Time, ContentType: a.ContentType, RawSize: a.RawSize,
+	}
+	replaced := false
+	for i := range idx {
+		if idx[i].Name == a.Name {
+			idx[i] = row
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		idx = append(idx, row)
+		s.artCount++
+	}
+	s.artBytes += int64(len(a.Data)) - oldSize
+	if err := s.saveArtIndex(id, idx); err != nil {
+		return fmt.Errorf("diskstore: artifact index %s: %w", id, err)
+	}
+	return nil
+}
+
+// DeleteArtifacts removes the named payloads and their index rows —
+// mirroring the in-memory store's oldest-first eviction.
+func (s *Store) DeleteArtifacts(id string, names []string) error {
+	if len(names) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, err := s.loadArtIndex(id)
+	if err != nil {
+		return fmt.Errorf("diskstore: artifact index %s: %w", id, err)
+	}
+	doomed := make(map[string]bool, len(names))
+	for _, n := range names {
+		doomed[n] = true
+	}
+	kept := idx[:0]
+	for _, row := range idx {
+		if !doomed[row.Name] {
+			kept = append(kept, row)
+			continue
+		}
+		path := filepath.Join(s.artDir(id), row.Name)
+		if fi, err := os.Stat(path); err == nil {
+			s.artBytes -= fi.Size()
+			s.artCount--
+		}
+		os.Remove(path)
+	}
+	if err := s.saveArtIndex(id, kept); err != nil {
+		return fmt.Errorf("diskstore: artifact index %s: %w", id, err)
+	}
+	return nil
+}
+
+// ckptName renders the checkpoint file for a root step; the fixed-width
+// numbering makes lexical order equal step order.
+func ckptName(step int) string { return fmt.Sprintf("step_%08d.ckpt", step) }
+
+// ckptStep parses a checkpoint file name back to its step (-1 when the
+// name is not a checkpoint).
+func ckptStep(name string) int {
+	var step int
+	if _, err := fmt.Sscanf(name, "step_%d.ckpt", &step); err != nil {
+		return -1
+	}
+	return step
+}
+
+// SaveCheckpoint writes the restart point atomically and prunes all but
+// the latest keepCheckpoints.
+func (s *Store) SaveCheckpoint(id string, step int, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := s.ckptDir(id)
+	path := filepath.Join(dir, ckptName(step))
+	// Rewriting the same step (a drain landing on a cadence boundary)
+	// replaces the file: account for the old size instead of
+	// double-counting.
+	var oldSize int64 = -1
+	if fi, err := os.Stat(path); err == nil {
+		oldSize = fi.Size()
+	}
+	if err := writeAtomic(path, data); err != nil {
+		return fmt.Errorf("diskstore: checkpoint %s step %d: %w", id, step, err)
+	}
+	if oldSize >= 0 {
+		s.ckptBytes += int64(len(data)) - oldSize
+	} else {
+		s.ckptBytes += int64(len(data))
+		s.ckptCount++
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil // the checkpoint itself landed; pruning is best-effort
+	}
+	var names []string
+	for _, e := range entries {
+		if ckptStep(e.Name()) >= 0 {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names[:max(0, len(names)-keepCheckpoints)] {
+		path := filepath.Join(dir, name)
+		if fi, err := os.Stat(path); err == nil {
+			s.ckptBytes -= fi.Size()
+			s.ckptCount--
+		}
+		os.Remove(path)
+	}
+	return nil
+}
+
+// LatestCheckpoint loads the most recent checkpoint, nil when the job
+// has none.
+func (s *Store) LatestCheckpoint(id string) (*sim.Checkpoint, error) {
+	entries, err := os.ReadDir(s.ckptDir(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: checkpoints %s: %w", id, err)
+	}
+	best, bestStep := "", -1
+	for _, e := range entries {
+		if step := ckptStep(e.Name()); step > bestStep {
+			best, bestStep = e.Name(), step
+		}
+	}
+	if bestStep < 0 {
+		return nil, nil
+	}
+	path := filepath.Join(s.ckptDir(id), best)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: checkpoint %s: %w", id, err)
+	}
+	ck := &sim.Checkpoint{Step: bestStep, Data: data}
+	if fi, err := os.Stat(path); err == nil {
+		ck.At = fi.ModTime()
+	}
+	return ck, nil
+}
+
+// DeleteCheckpoints drops every checkpoint of a job (it reached a
+// terminal state; there is nothing left to resume).
+func (s *Store) DeleteCheckpoints(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int
+	s.ckptBytes -= dirBytes(s.ckptDir(id), &n)
+	s.ckptCount -= n
+	if err := os.RemoveAll(s.ckptDir(id)); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	return nil
+}
+
+// DeleteJob removes the job's whole directory.
+func (s *Store) DeleteJob(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int
+	s.ckptBytes -= dirBytes(s.ckptDir(id), &n)
+	s.ckptCount -= n
+	n = 0
+	ab := dirBytes(s.artDir(id), &n)
+	if fi, err := os.Stat(filepath.Join(s.artDir(id), indexFile)); err == nil {
+		ab -= fi.Size()
+		n--
+	}
+	s.artBytes -= ab
+	s.artCount -= n
+	if err := os.RemoveAll(s.jobDir(id)); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	return nil
+}
+
+// Recover loads every persisted job: its manifest, the terminal result
+// of done jobs, and the retained artifacts in production order. Job
+// directories whose manifest is missing or unreadable are skipped (a
+// kill between MkdirAll and the first manifest write can leave one);
+// recovery must never take the service down.
+func (s *Store) Recover() ([]sim.RecoveredJob, error) {
+	ids, err := s.jobIDs()
+	if err != nil {
+		return nil, err
+	}
+	var out []sim.RecoveredJob
+	for _, id := range ids {
+		data, err := os.ReadFile(filepath.Join(s.jobDir(id), "manifest.json"))
+		if err != nil {
+			continue
+		}
+		var m sim.JobManifest
+		if err := json.Unmarshal(data, &m); err != nil || m.ID != id {
+			continue
+		}
+		rec := sim.RecoveredJob{Manifest: m}
+		if res, err := os.ReadFile(filepath.Join(s.jobDir(id), "result.json")); err == nil {
+			var r sim.Result
+			if json.Unmarshal(res, &r) == nil {
+				rec.Result = &r
+			}
+		}
+		idx, err := s.loadArtIndex(id)
+		if err == nil {
+			for _, row := range idx {
+				payload, err := os.ReadFile(filepath.Join(s.artDir(id), row.Name))
+				if err != nil {
+					continue
+				}
+				rec.Artifacts = append(rec.Artifacts, analysis.Artifact{
+					Name: row.Name, Kind: analysis.OutputKind(row.Kind), Field: row.Field,
+					Step: row.Step, Time: row.Time, ContentType: row.ContentType,
+					RawSize: row.RawSize, Data: payload,
+				})
+			}
+		}
+		out = append(out, rec)
+	}
+	// Oldest submissions first, so the scheduler's eviction order (and
+	// GET /jobs listing order) survives the restart.
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Manifest.SubmittedAt.Before(out[j].Manifest.SubmittedAt)
+	})
+	return out, nil
+}
+
+// Stats reports the maintained size gauges.
+func (s *Store) Stats() sim.StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sim.StoreStats{
+		CheckpointBytes: s.ckptBytes,
+		CheckpointCount: s.ckptCount,
+		ArtifactBytes:   s.artBytes,
+		ArtifactCount:   s.artCount,
+	}
+}
+
+// Close is a no-op: every write is already durable by the time the
+// call that made it returned.
+func (s *Store) Close() error { return nil }
+
+// Root returns the data directory the store was opened on.
+func (s *Store) Root() string { return s.root }
+
+// interface check
+var _ sim.Store = (*Store)(nil)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"repro/internal/problems"
 )
@@ -13,6 +14,7 @@ import (
 //
 //	POST   /jobs             submit a Request; identical configs coalesce
 //	GET    /jobs             list retained jobs in submit order
+//	                         (?status= filter, ?limit=/?offset= pagination)
 //	GET    /jobs/{id}        one job's status
 //	GET    /jobs/{id}/result the completed Result (409 until done)
 //	GET    /jobs/{id}/events per-step progress as streamed NDJSON
@@ -85,6 +87,9 @@ func (s *Scheduler) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests, err) // backpressure: retry later
 		return
+	case errors.Is(err, ErrStore):
+		writeError(w, http.StatusInternalServerError, err) // durability defect, not a bad request
+		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -96,13 +101,75 @@ func (s *Scheduler) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, SubmitResponse{Status: j.Status(), Disposition: string(disp)})
 }
 
+// handleList serves the retained job table in submit order, with
+// optional filtering and pagination for large (or freshly restored)
+// tables: ?status= keeps only jobs in that lifecycle state
+// (queued|running|done|failed|cancelled), ?offset= skips that many
+// matching rows, and ?limit= caps the rows returned (0 = no cap). The
+// response stays a bare JSON array; X-Total-Count carries the matching
+// row count before pagination.
 func (s *Scheduler) handleList(w http.ResponseWriter, r *http.Request) {
-	jobs := s.Jobs()
-	out := make([]Status, len(jobs))
-	for i, j := range jobs {
-		out[i] = j.Status()
+	q := r.URL.Query()
+	wantState := ""
+	if v := q.Get("status"); v != "" {
+		ok := false
+		for st := Queued; st <= Cancelled; st++ {
+			if st.String() == v {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown status %q (want queued|running|done|failed|cancelled)", v))
+			return
+		}
+		wantState = v
 	}
+	limit, err := queryInt(q.Get("limit"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit: %w", err))
+		return
+	}
+	offset, err := queryInt(q.Get("offset"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad offset: %w", err))
+		return
+	}
+
+	jobs := s.Jobs()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.Status()
+		if wantState != "" && st.State != wantState {
+			continue
+		}
+		out = append(out, st)
+	}
+	total := len(out)
+	if offset > len(out) {
+		offset = len(out)
+	}
+	out = out[offset:]
+	if limit > 0 && limit < len(out) {
+		out = out[:limit]
+	}
+	w.Header().Set("X-Total-Count", strconv.Itoa(total))
 	writeJSON(w, http.StatusOK, out)
+}
+
+// queryInt parses a non-negative integer query parameter, empty = def.
+func queryInt(v string, def int) (int, error) {
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("%d must be >= 0", n)
+	}
+	return n, nil
 }
 
 func (s *Scheduler) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
@@ -264,12 +331,20 @@ func handleProblems(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Scheduler) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	recovered, resumed, storeErr := s.RecoverState()
+	body := map[string]any{
 		"ok":             true,
 		"uptime_seconds": s.Uptime().Seconds(),
 		"slots":          s.cfg.MaxConcurrent,
 		"slot_workers":   s.SlotWorkers(),
-	})
+		"durable":        s.store.Persistent(),
+		"jobs_recovered": recovered,
+		"jobs_resumed":   resumed,
+	}
+	if storeErr != nil {
+		body["store_error"] = storeErr.Error()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Scheduler) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -289,4 +364,31 @@ func (s *Scheduler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "sim_slots %d\n", s.cfg.MaxConcurrent)
 	fmt.Fprintf(w, "sim_slot_workers %d\n", s.SlotWorkers())
 	fmt.Fprintf(w, "sim_uptime_seconds %g\n", s.Uptime().Seconds())
+	// Durable-store gauges: checkpoint/artifact footprint of the backing
+	// store, cache evictions applied to it, and what startup recovery
+	// rehydrated. A memory store reports zero byte gauges; the live
+	// in-memory artifact bytes are summed across retained jobs either way.
+	ss := s.store.Stats()
+	var liveArtifactBytes int64
+	for _, j := range s.Jobs() {
+		_, b := j.Artifacts().Count()
+		liveArtifactBytes += int64(b)
+	}
+	fmt.Fprintf(w, "sim_store_persistent %d\n", boolGauge(s.store.Persistent()))
+	fmt.Fprintf(w, "sim_store_checkpoint_bytes %d\n", ss.CheckpointBytes)
+	fmt.Fprintf(w, "sim_store_checkpoints %d\n", ss.CheckpointCount)
+	fmt.Fprintf(w, "sim_store_artifact_bytes %d\n", ss.ArtifactBytes)
+	fmt.Fprintf(w, "sim_artifact_bytes %d\n", liveArtifactBytes)
+	fmt.Fprintf(w, "sim_checkpoints_written_total %d\n", st.Checkpoints)
+	fmt.Fprintf(w, "sim_cache_evictions_total %d\n", st.CacheEvictions)
+	fmt.Fprintf(w, "sim_jobs_recovered %d\n", st.Recovered)
+	fmt.Fprintf(w, "sim_jobs_resumed %d\n", st.Resumed)
+}
+
+// boolGauge renders a bool as a 0/1 Prometheus gauge value.
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

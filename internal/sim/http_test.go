@@ -202,6 +202,83 @@ func TestHTTPStatusListEventsAndAux(t *testing.T) {
 	}
 }
 
+// TestHTTPListFilterAndPagination: GET /jobs navigates large job tables
+// via ?status=, ?limit= and ?offset=, with the pre-pagination match
+// count in X-Total-Count.
+func TestHTTPListFilterAndPagination(t *testing.T) {
+	s := NewScheduler(Config{MaxConcurrent: 1, TotalWorkers: 2})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Three distinct completed jobs plus one cancelled record.
+	var ids []string
+	for _, e0 := range []float64{5, 10, 15} {
+		sub := postJob(t, srv.URL, Request{Problem: "sedov", RootN: 8, MaxLevel: Int(0), Steps: 2,
+			Knobs: map[string]float64{"e0": e0}})
+		ids = append(ids, sub.ID)
+		waitResult(t, srv.URL, sub.ID)
+	}
+	cancelled := postJob(t, srv.URL, Request{Problem: "sedov", RootN: 8, MaxLevel: Int(1), Steps: 10000})
+	j, _ := s.Get(cancelled.ID)
+	<-j.Watch()
+	s.Cancel(cancelled.ID)
+	<-j.Done()
+
+	list := func(query string, wantTotal int) []Status {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/jobs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /jobs%s: %s", query, resp.Status)
+		}
+		if got := resp.Header.Get("X-Total-Count"); got != fmt.Sprint(wantTotal) {
+			t.Fatalf("GET /jobs%s: X-Total-Count %s, want %d", query, got, wantTotal)
+		}
+		var out []Status
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	if got := list("", 4); len(got) != 4 {
+		t.Fatalf("unfiltered list has %d rows", len(got))
+	}
+	done := list("?status=done", 3)
+	if len(done) != 3 {
+		t.Fatalf("done filter returned %d rows", len(done))
+	}
+	for i, st := range done {
+		if st.State != "done" || st.ID != ids[i] {
+			t.Fatalf("done row %d: %+v (submit order must be preserved)", i, st)
+		}
+	}
+	if got := list("?status=cancelled", 1); len(got) != 1 || got[0].ID != cancelled.ID {
+		t.Fatalf("cancelled filter: %+v", got)
+	}
+	page := list("?status=done&limit=1&offset=1", 3)
+	if len(page) != 1 || page[0].ID != ids[1] {
+		t.Fatalf("limit/offset page wrong: %+v", page)
+	}
+	if got := list("?offset=99", 4); len(got) != 0 {
+		t.Fatalf("over-offset should be empty, got %d rows", len(got))
+	}
+	for _, bad := range []string{"?status=bogus", "?limit=-1", "?offset=x"} {
+		resp, err := http.Get(srv.URL + "/jobs" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /jobs%s: %s, want 400", bad, resp.Status)
+		}
+	}
+}
+
 func TestHTTPCancel(t *testing.T) {
 	s := NewScheduler(Config{MaxConcurrent: 1, TotalWorkers: 2})
 	defer s.Close()

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/perf"
 	"repro/internal/problems"
+	"repro/internal/snapshot"
 )
 
 // Config sizes a Scheduler.
@@ -36,9 +38,25 @@ type Config struct {
 	// ArtifactCount bounds the artifacts a job retains (default
 	// DefaultArtifactCount).
 	ArtifactCount int
+	// Store is the persistence layer (nil = NewMemStore, nothing
+	// survives a restart). With a persistent store — diskstore.New —
+	// the scheduler recovers completed results/artifacts as cache hits
+	// at startup, resumes interrupted jobs from their latest
+	// checkpoint, and Drain checkpoints running jobs before exit.
+	Store Store
+	// CheckpointEvery writes a restart checkpoint after every N-th root
+	// step of a running job (0 = no step cadence). Only meaningful with
+	// a persistent store; ignored otherwise.
+	CheckpointEvery int
+	// CheckpointTime writes a restart checkpoint whenever a job's code
+	// time crosses a multiple of this interval (0 = no time cadence).
+	CheckpointTime float64
 }
 
 func (c Config) withDefaults() Config {
+	if c.Store == nil {
+		c.Store = NewMemStore()
+	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 2
 	}
@@ -161,6 +179,20 @@ type Job struct {
 	submitted   time.Time
 	started     time.Time
 	finished    time.Time
+
+	// Durability provenance (see Status): recovered marks a job
+	// rehydrated from the store at scheduler startup, resumedFrom names
+	// the checkpoint its execution continued from, and ckpts/ckptStep/
+	// ckptAt track the restart checkpoints written so far.
+	recovered   bool
+	resumedFrom string
+	ckpts       int
+	ckptStep    int
+	ckptAt      time.Time
+	// userCancelled marks an explicit Cancel of a running job, so a
+	// shutdown racing the cancellation cannot misclassify the job as
+	// interrupted (and resurrect it on the next start).
+	userCancelled bool
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -316,6 +348,18 @@ type Status struct {
 	Error         string  `json:"error,omitempty"`
 	Hash          string  `json:"hash,omitempty"`
 	WallSeconds   float64 `json:"wall_seconds"`
+	// Checkpoint provenance (persistent stores only): how many restart
+	// checkpoints the job has written, the root step and age of the
+	// latest one, whether the job was rehydrated from the store at
+	// scheduler startup, and — for a resumed execution — the checkpoint
+	// it continued from.
+	Checkpoints int `json:"checkpoints,omitempty"`
+	// CheckpointStep is a pointer so "checkpointed after root step 0"
+	// (a real value) is distinguishable from "no checkpoints" (absent).
+	CheckpointStep       *int    `json:"checkpoint_step,omitempty"`
+	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds,omitempty"`
+	Recovered            bool    `json:"recovered,omitempty"`
+	ResumedFrom          string  `json:"resumed_from,omitempty"`
 }
 
 // Status snapshots the job.
@@ -333,6 +377,16 @@ func (j *Job) Status() Status {
 		CacheHits:   j.cacheHits,
 	}
 	st.Artifacts, st.ArtifactBytes = j.artifacts.Count()
+	if j.ckpts > 0 {
+		st.Checkpoints = j.ckpts
+		step := j.ckptStep
+		st.CheckpointStep = &step
+		if !j.ckptAt.IsZero() {
+			st.CheckpointAgeSeconds = time.Since(j.ckptAt).Seconds()
+		}
+	}
+	st.Recovered = j.recovered
+	st.ResumedFrom = j.resumedFrom
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
@@ -360,6 +414,14 @@ type Stats struct {
 	Queued    int   `json:"queued"`  // current
 	Running   int   `json:"running"` // current
 	Cached    int   `json:"cached"`  // completed results retained (Done only)
+	// Durability counters: jobs rehydrated from the store at startup
+	// (Resumed of which re-queued to continue from a checkpoint),
+	// checkpoints written, and terminal records evicted from the cache
+	// (and deleted from the store) by the CacheSize bound.
+	Recovered      int64 `json:"recovered"`
+	Resumed        int64 `json:"resumed"`
+	Checkpoints    int64 `json:"checkpoints"`
+	CacheEvictions int64 `json:"cache_evictions"`
 }
 
 // Scheduler runs simulation jobs on a bounded set of slots, deduping
@@ -367,25 +429,38 @@ type Stats struct {
 // comment for the full contract.
 type Scheduler struct {
 	cfg     Config
+	store   Store
 	baseCtx context.Context
 	stop    context.CancelFunc
 	queue   chan *Job
 	wg      sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
-	jobs   map[string]*Job
-	order  []string // submit order of live+retained job IDs
-	stats  Stats
-	start  time.Time
+	// recoverWG tracks the startup goroutine that feeds recovered jobs
+	// into the queue; shutdown waits for it before closing the channel.
+	recoverWG sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	draining bool // Drain in progress: interrupted jobs checkpoint before the slots exit
+	jobs     map[string]*Job
+	order    []string // submit order of live+retained job IDs
+	stats    Stats
+	start    time.Time
+	storeErr error
 }
 
-// NewScheduler starts a scheduler with cfg's slots running.
+// NewScheduler starts a scheduler with cfg's slots running. With a
+// persistent store, it first recovers the store's persisted jobs:
+// completed results and artifacts rehydrate the cache (so identical
+// submissions are cache hits across process restarts), and interrupted
+// jobs are re-queued to resume from their latest checkpoint. Recovery
+// problems never prevent startup; inspect them with RecoverState.
 func NewScheduler(cfg Config) *Scheduler {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Scheduler{
 		cfg:     cfg,
+		store:   cfg.Store,
 		baseCtx: ctx,
 		stop:    cancel,
 		queue:   make(chan *Job, cfg.QueueDepth),
@@ -401,7 +476,161 @@ func NewScheduler(cfg Config) *Scheduler {
 			}
 		}()
 	}
+	s.recover()
 	return s
+}
+
+// RecoverState reports how startup recovery went: how many persisted
+// jobs were rehydrated (of which resumed mid-run) and the first error
+// recovery hit, if any.
+func (s *Scheduler) RecoverState() (recovered, resumed int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.Recovered, s.stats.Resumed, s.storeErr
+}
+
+// recover rehydrates the persistent store's jobs at startup. Resumable
+// jobs are fed into the queue from a separate goroutine: the queue can
+// be smaller than the recovered backlog, and NewScheduler (and with it
+// `enzogo serve`'s HTTP listener) must not block behind hours of
+// resumed evolution.
+func (s *Scheduler) recover() {
+	recs, err := s.store.Recover()
+	if err != nil {
+		s.mu.Lock()
+		s.storeErr = err
+		s.mu.Unlock()
+		return
+	}
+	var resumable []*Job
+	for _, rec := range recs {
+		j, err := s.recoverJob(rec)
+		if err != nil {
+			s.mu.Lock()
+			if s.storeErr == nil {
+				s.storeErr = err
+			}
+			s.mu.Unlock()
+			continue
+		}
+		if j != nil {
+			resumable = append(resumable, j)
+		}
+	}
+	if len(resumable) == 0 {
+		return
+	}
+	s.recoverWG.Add(1)
+	go func() {
+		defer s.recoverWG.Done()
+		for _, j := range resumable {
+			// Blocking send, in recovery order: the slots drain the
+			// queue (fast once shutdown cancels baseCtx), and shutdown
+			// closes it only after this goroutine exits.
+			s.queue <- j
+		}
+	}()
+}
+
+// recoverJob rehydrates one persisted job: terminal states become
+// retained records (done jobs with their result and artifacts — the
+// warm cache), non-terminal states are returned for re-queueing,
+// resuming from the latest checkpoint once a slot picks them up.
+func (s *Scheduler) recoverJob(rec RecoveredJob) (resumableJob *Job, err error) {
+	m := rec.Manifest
+	// Pin the manifest's effective worker budget: the job's canonical
+	// identity (and, via the CIC reduction order, its bitwise answer)
+	// depends on it, so a resumed run must not inherit this process's
+	// slot share. maxWorkers is relaxed to the pinned value on purpose —
+	// recovering on a smaller host must not orphan the job.
+	req := m.Request
+	req.Workers = m.Workers
+	r, err := resolve(req, s.cfg.slotWorkers(), max(s.cfg.TotalWorkers, m.Workers))
+	if err != nil {
+		return nil, fmt.Errorf("sim: recover %s: %w", m.ID, err)
+	}
+	j := &Job{
+		ID:         m.ID, // the store directory is the identity; trust it
+		Req:        m.Request,
+		Workers:    r.opts.Workers,
+		StepBudget: r.steps,
+		MaxTime:    r.maxTime,
+		sched:      s,
+		res:        r,
+		doneCh:     make(chan struct{}),
+		artifacts:  newArtifactStore(s.cfg.ArtifactBytes, s.cfg.ArtifactCount),
+		submitted:  m.SubmittedAt,
+		started:    m.StartedAt,
+		finished:   m.FinishedAt,
+		recovered:  true,
+		ckpts:      m.Checkpoints,
+		ckptStep:   m.CheckpointStep,
+		ckptAt:     m.CheckpointAt,
+	}
+	// Rehydrate artifacts (already persisted: no store write-back), but
+	// mirror any evictions — this process may run with smaller artifact
+	// budgets than the one that wrote them, and payloads the in-memory
+	// store refuses must not linger unreachable on disk.
+	var evicted []string
+	for _, a := range rec.Artifacts {
+		ev, stored := j.artifacts.Put(a)
+		evicted = append(evicted, ev...)
+		if !stored {
+			evicted = append(evicted, a.Name) // refused outright: reclaim its payload too
+		}
+	}
+	if err := s.store.DeleteArtifacts(m.ID, evicted); err != nil {
+		s.noteStoreErr(err)
+	}
+	resume := false
+	switch m.State {
+	case Done.String():
+		if rec.Result == nil {
+			return nil, fmt.Errorf("sim: recover %s: done without a result", m.ID)
+		}
+		j.state = Done
+		j.result = rec.Result
+		j.prog = Progress{Step: rec.Result.Steps - 1, Time: rec.Result.Time,
+			MaxLevel: rec.Result.MaxLevel, NumGrids: rec.Result.NumGrids}
+		j.artifacts.close()
+		close(j.doneCh)
+	case Failed.String(), Cancelled.String():
+		if m.State == Failed.String() {
+			j.state = Failed
+		} else {
+			j.state = Cancelled
+		}
+		j.err = fmt.Errorf("sim: job %s %s (recovered record): %s", m.ID, m.State, m.Error)
+		j.artifacts.close()
+		close(j.doneCh)
+	default: // queued, running, interrupted: run it (again)
+		resume = true
+		j.submissions = 1
+		j.finished = time.Time{}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil
+	}
+	if _, dup := s.jobs[m.ID]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("sim: recover %s: duplicate store record", m.ID)
+	}
+	s.jobs[m.ID] = j
+	s.order = append(s.order, m.ID)
+	s.stats.Recovered++
+	if resume {
+		s.stats.Resumed++
+	}
+	doomed := s.evictLocked()
+	s.mu.Unlock()
+	s.reap(doomed)
+	if resume {
+		return j, nil
+	}
+	return nil, nil
 }
 
 // Config returns the scheduler's effective (default-filled) configuration.
@@ -413,17 +642,86 @@ func (s *Scheduler) SlotWorkers() int { return s.cfg.slotWorkers() }
 
 // Close stops accepting submissions, cancels queued and running jobs and
 // waits for the slots to drain. Completed results remain readable.
-func (s *Scheduler) Close() {
+// Against a persistent store, jobs cut short by Close keep their
+// non-terminal manifests (plus any cadence checkpoints already written),
+// so the next scheduler on the same store treats them exactly like a
+// process kill and resumes them; use Drain to also checkpoint the
+// running jobs' current state first.
+func (s *Scheduler) Close() { s.shutdown(false) }
+
+// Drain is the graceful shutdown of a durable scheduler: it stops
+// accepting submissions, lets every running job reach its next root-step
+// boundary, writes a final restart checkpoint for each (persistent
+// stores only), records them as interrupted, and waits for the slots to
+// exit. A following NewScheduler on the same store resumes the drained
+// jobs from exactly where they stopped. On a non-persistent store Drain
+// is Close.
+func (s *Scheduler) Drain() { s.shutdown(true) }
+
+func (s *Scheduler) shutdown(drain bool) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
 	s.closed = true
-	close(s.queue)
+	s.draining = drain && s.store.Persistent()
 	s.mu.Unlock()
+	// Order matters: cancel first so the slots fast-drain whatever the
+	// recovery feeder is still enqueueing, wait the feeder out, and only
+	// then close the channel it sends on. Submit cannot race the close —
+	// it checks s.closed under s.mu before sending.
 	s.stop()
+	s.recoverWG.Wait()
+	close(s.queue)
 	s.wg.Wait()
+	s.store.Close()
+}
+
+// isDraining reports whether shutdown wants running jobs checkpointed.
+func (s *Scheduler) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// manifestOf snapshots a job into its persisted record with the given
+// manifest state.
+func (j *Job) manifestOf(state string) JobManifest {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	m := JobManifest{
+		ID:             j.ID,
+		Request:        j.Req,
+		Workers:        j.Workers,
+		State:          state,
+		Steps:          j.stepsDone,
+		Time:           j.prog.Time,
+		Checkpoints:    j.ckpts,
+		CheckpointStep: j.ckptStep,
+		CheckpointAt:   j.ckptAt,
+		ResumedFrom:    j.resumedFrom,
+		SubmittedAt:    j.submitted,
+		StartedAt:      j.started,
+		FinishedAt:     j.finished,
+	}
+	if j.err != nil {
+		m.Error = j.err.Error()
+	}
+	return m
+}
+
+// persist writes a job-state transition to the store. Persistence
+// failures after submit time are recorded (first one wins) rather than
+// failing the job: a degraded store should cost durability, not answers.
+func (s *Scheduler) persist(j *Job, state string) {
+	if err := s.store.SaveManifest(j.manifestOf(state)); err != nil {
+		s.mu.Lock()
+		if s.storeErr == nil {
+			s.storeErr = err
+		}
+		s.mu.Unlock()
+	}
 }
 
 // Disposition reports how a submission was satisfied.
@@ -469,8 +767,8 @@ func (s *Scheduler) SubmitWithDisposition(req Request) (*Job, Disposition, error
 	id := r.key()
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil, "", ErrClosed
 	}
 	if j, ok := s.jobs[id]; ok {
@@ -485,13 +783,20 @@ func (s *Scheduler) SubmitWithDisposition(req Request) (*Job, Disposition, error
 		case state == Done:
 			s.stats.Submitted++
 			s.stats.CacheHits++
+			s.mu.Unlock()
 			return j, CacheHit, nil
 		case !state.terminal():
 			s.stats.Submitted++
 			s.stats.Coalesced++
+			s.mu.Unlock()
 			return j, Coalesced, nil
 		}
-		// Failed or cancelled: drop the stale job and re-run below.
+		// Failed or cancelled: drop the stale job and re-run below. The
+		// store directory is NOT deleted (a RemoveAll must not run under
+		// s.mu): the fresh run's queued manifest overwrites the stale
+		// terminal one below, and any leftover artifacts are replaced by
+		// the re-run's bitwise-identical products (same canonical
+		// configuration) as it emits them.
 		s.removeLocked(id)
 	}
 
@@ -506,17 +811,35 @@ func (s *Scheduler) SubmitWithDisposition(req Request) (*Job, Disposition, error
 		doneCh:     make(chan struct{}),
 		artifacts:  newArtifactStore(s.cfg.ArtifactBytes, s.cfg.ArtifactCount),
 		submitted:  time.Now(),
+		ckptStep:   -1,
 	}
 	j.submissions = 1
+	// The submit-time manifest write is the one store failure surfaced to
+	// the submitter: a durable service that cannot record the job it just
+	// accepted should say so up front, not lose it silently on restart.
+	// It is a small bounded write (temp file + rename of a one-page JSON
+	// document) and the WAL-before-registration ordering needs the lock;
+	// the unbounded disk work (RemoveAll) never runs under s.mu.
+	if err := s.store.SaveManifest(j.manifestOf(Queued.String())); err != nil {
+		s.mu.Unlock()
+		return nil, "", fmt.Errorf("%w: %v", ErrStore, err)
+	}
 	select {
 	case s.queue <- j:
 	default:
+		s.mu.Unlock()
+		// Roll the manifest back outside the lock; the job was never
+		// registered, so nothing can resurrect the ID concurrently
+		// except an identical future submit, which reap guards against.
+		s.reap([]string{id})
 		return nil, "", fmt.Errorf("%w (%d jobs waiting)", ErrQueueFull, s.cfg.QueueDepth)
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.stats.Submitted++
-	s.evictLocked()
+	doomed := s.evictLocked()
+	s.mu.Unlock()
+	s.reap(doomed)
 	return j, Scheduled, nil
 }
 
@@ -559,10 +882,13 @@ func (s *Scheduler) Cancel(id string) bool {
 		// j.mu to move it to Running, so it cannot slip in between.
 		j.finishLocked(Cancelled, nil, fmt.Errorf("sim: job %s cancelled while queued", id))
 		j.mu.Unlock()
+		s.persist(j, Cancelled.String())
+		s.store.DeleteCheckpoints(id)
 		s.count(func(st *Stats) { st.Cancelled++ })
 		return true
 	default:
 		cancel := j.cancel
+		j.userCancelled = true
 		j.mu.Unlock()
 		if cancel != nil {
 			cancel()
@@ -592,7 +918,9 @@ func (s *Scheduler) Stats() Stats {
 // Uptime returns how long the scheduler has been running.
 func (s *Scheduler) Uptime() time.Duration { return time.Since(s.start) }
 
-// removeLocked forgets a job; s.mu must be held.
+// removeLocked forgets a job in memory; s.mu must be held. The caller
+// owns the matching store deletion (synchronously for a re-run of a
+// stale configuration, via reap after unlocking for evictions).
 func (s *Scheduler) removeLocked(id string) {
 	delete(s.jobs, id)
 	for i, oid := range s.order {
@@ -606,8 +934,11 @@ func (s *Scheduler) removeLocked(id string) {
 // evictLocked drops retained terminal jobs beyond the cache size:
 // failed/cancelled records go first (a failure record must never evict a
 // reusable completed result), then Done results oldest-first; s.mu must
-// be held.
-func (s *Scheduler) evictLocked() {
+// be held. It returns the evicted IDs for the caller to reap from the
+// store once the lock is released — the cache bound is the store's
+// retention policy, but a disk RemoveAll must not run under the global
+// mutex every HTTP handler takes.
+func (s *Scheduler) evictLocked() (doomed []string) {
 	terminal := 0
 	for _, j := range s.jobs {
 		if j.State().terminal() {
@@ -618,11 +949,30 @@ func (s *Scheduler) evictLocked() {
 		for i := 0; terminal > s.cfg.CacheSize && i < len(s.order); {
 			j := s.jobs[s.order[i]]
 			if st := j.State(); st.terminal() && (includeDone || st != Done) {
+				doomed = append(doomed, s.order[i])
 				s.removeLocked(s.order[i])
+				s.stats.CacheEvictions++
 				terminal--
 				continue // order shifted down; re-examine index i
 			}
 			i++
+		}
+	}
+	return doomed
+}
+
+// reap deletes evicted jobs from the store, outside s.mu. A job whose ID
+// came back to life in the meantime (the same configuration resubmitted
+// in the eviction window) is skipped; should the check itself race a
+// concurrent resubmission, the worst case is a deleted queued-state
+// manifest, which the job's next state transition rewrites.
+func (s *Scheduler) reap(doomed []string) {
+	for _, id := range doomed {
+		if _, live := s.Get(id); live {
+			continue
+		}
+		if err := s.store.DeleteJob(id); err != nil {
+			s.noteStoreErr(err)
 		}
 	}
 }
@@ -641,6 +991,7 @@ func (s *Scheduler) execute(j *Job) {
 	j.cancel = cancel
 	j.started = time.Now()
 	j.mu.Unlock()
+	s.persist(j, Running.String())
 
 	s.mu.Lock()
 	s.stats.Executed++
@@ -649,21 +1000,62 @@ func (s *Scheduler) execute(j *Job) {
 	res, err := s.evolve(ctx, j)
 	switch {
 	case err == nil:
+		if err := s.store.SaveResult(j.ID, res); err != nil {
+			s.noteStoreErr(err)
+		}
 		if j.finish(Done, res, nil) {
+			s.persist(j, Done.String())
+			s.store.DeleteCheckpoints(j.ID)
 			s.count(func(st *Stats) { st.Succeeded++ })
+		}
+	case ctx.Err() != nil && s.baseCtx.Err() != nil && !j.wasUserCancelled():
+		// The service is stopping, not the submitter cancelling: the
+		// in-process job ends, but the persisted record stays
+		// non-terminal ("interrupted") so the next scheduler on this
+		// store resumes it — from the freshly written drain checkpoint,
+		// its latest cadence checkpoint, or scratch. An explicit Cancel
+		// that raced the shutdown stays cancelled (next case), never
+		// resurrected.
+		j.mu.Lock()
+		done := j.stepsDone
+		j.mu.Unlock()
+		if j.finish(Cancelled, nil, fmt.Errorf("sim: job %s interrupted by shutdown after %d steps", j.ID, done)) {
+			s.persist(j, ManifestInterrupted)
+			s.count(func(st *Stats) { st.Cancelled++ })
 		}
 	case ctx.Err() != nil:
 		j.mu.Lock()
 		done := j.stepsDone
 		j.mu.Unlock()
 		if j.finish(Cancelled, nil, fmt.Errorf("sim: job %s cancelled after %d steps", j.ID, done)) {
+			s.persist(j, Cancelled.String())
+			s.store.DeleteCheckpoints(j.ID)
 			s.count(func(st *Stats) { st.Cancelled++ })
 		}
 	default:
 		if j.finish(Failed, nil, err) {
+			s.persist(j, Failed.String())
+			s.store.DeleteCheckpoints(j.ID)
 			s.count(func(st *Stats) { st.Failed++ })
 		}
 	}
+}
+
+// wasUserCancelled reports whether an explicit Cancel hit this job.
+func (j *Job) wasUserCancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.userCancelled
+}
+
+// noteStoreErr records a persistence failure (the first one wins) for
+// RecoverState/healthz visibility.
+func (s *Scheduler) noteStoreErr(err error) {
+	s.mu.Lock()
+	if s.storeErr == nil {
+		s.storeErr = err
+	}
+	s.mu.Unlock()
 }
 
 // count updates the terminal-outcome counters and re-applies the cache
@@ -671,14 +1063,16 @@ func (s *Scheduler) execute(j *Job) {
 func (s *Scheduler) count(f func(*Stats)) {
 	s.mu.Lock()
 	f(&s.stats)
-	s.evictLocked()
+	doomed := s.evictLocked()
 	s.mu.Unlock()
+	s.reap(doomed)
 }
 
-// evolve builds the job's problem and advances it under ctx, streaming
-// per-step progress to watchers. A panic in the physics (bad knob
-// combinations can produce them) is converted to a job failure rather
-// than taking the service down.
+// evolve builds the job's problem — or, for a recovered job with a
+// persisted checkpoint, decodes and resumes it — and advances it under
+// ctx, streaming per-step progress to watchers. A panic in the physics
+// (bad knob combinations can produce them) is converted to a job failure
+// rather than taking the service down.
 func (s *Scheduler) evolve(ctx context.Context, j *Job) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -692,10 +1086,6 @@ func (s *Scheduler) evolve(ctx context.Context, j *Job) (res *Result, err error)
 	if err := ctx.Err(); err != nil {
 		return nil, err // scheduler shutting down: skip the (costly) IC build
 	}
-	sm, err := core.New(j.res.problem, func(o *problems.Opts) { *o = j.res.opts })
-	if err != nil {
-		return nil, err
-	}
 	// The derived-output plan runs at root-step boundaries inside the
 	// observer, on the job's own worker budget; its wall-clock is billed
 	// separately from the physics (Metrics.AnalysisSeconds). An
@@ -705,10 +1095,51 @@ func (s *Scheduler) evolve(ctx context.Context, j *Job) (res *Result, err error)
 	if err != nil {
 		return nil, err
 	}
+	// The checkpoint cadence rides the same OutputPlan machinery as the
+	// data products, in a plan of its own: its artifacts route to the
+	// store's checkpoint files, not the artifact index, and it has no
+	// Finish guarantee (a completed job deletes its checkpoints instead).
+	var ckptPlan *analysis.OutputPlan
+	if s.store.Persistent() && (s.cfg.CheckpointEvery > 0 || s.cfg.CheckpointTime > 0) {
+		ckptPlan, err = analysis.NewOutputPlan([]analysis.OutputRequest{{
+			Kind:      analysis.KindCheckpoint,
+			Every:     s.cfg.CheckpointEvery,
+			EveryTime: s.cfg.CheckpointTime,
+		}})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Build or resume. A recovered job with a checkpoint decodes it and
+	// continues at the following step, keeping the interrupted run's
+	// global step numbering so cadences and artifact names line up.
+	sm, startStep, err := s.buildOrResume(j)
+	if err != nil {
+		return nil, err
+	}
+	if startStep > 0 {
+		plan.Prime(sm.H.Time)
+		if ckptPlan != nil {
+			ckptPlan.Prime(sm.H.Time)
+		}
+	}
+
 	var analysisWall time.Duration
 	var outputErr error
 	emit := func(a analysis.Artifact) error {
-		j.artifacts.Put(a)
+		evicted, stored := j.artifacts.Put(a)
+		if stored {
+			// Persist only what the in-memory store retained: an
+			// artifact refused by the byte budget must not linger
+			// unreachable on disk.
+			if err := s.store.SaveArtifact(j.ID, a); err != nil {
+				s.noteStoreErr(err)
+			}
+		}
+		if err := s.store.DeleteArtifacts(j.ID, evicted); err != nil {
+			s.noteStoreErr(err)
+		}
 		return nil
 	}
 	// runCtx lets an output-evaluation error stop the physics at the next
@@ -716,29 +1147,54 @@ func (s *Scheduler) evolve(ctx context.Context, j *Job) (res *Result, err error)
 	// a job already doomed to fail.
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
-	steps, err := sm.RunContext(runCtx, j.res.steps, j.res.maxTime, func(info core.StepInfo) {
-		j.publish(Progress{
-			Step:     info.Step,
-			Time:     info.Time,
-			Dt:       info.Dt,
-			MaxLevel: info.MaxLevel,
-			NumGrids: info.NumGrids,
-		})
-		if outputErr != nil {
-			return
-		}
-		t0 := time.Now()
-		if outputErr = plan.Step(sm.H, j.res.problem, info.Step, j.res.opts.Workers, emit); outputErr != nil {
-			cancelRun()
-		}
-		analysisWall += time.Since(t0)
+	taken, err := sm.Run(runCtx, core.RunOpts{
+		MaxSteps:  j.res.steps - startStep,
+		MaxTime:   j.res.maxTime,
+		StartStep: startStep,
+		Observe: func(info core.StepInfo) {
+			j.publish(Progress{
+				Step:     info.Step,
+				Time:     info.Time,
+				Dt:       info.Dt,
+				MaxLevel: info.MaxLevel,
+				NumGrids: info.NumGrids,
+			})
+			if outputErr != nil {
+				return
+			}
+			t0 := time.Now()
+			if outputErr = plan.Step(sm.H, j.res.problem, info.Step, j.res.opts.Workers, emit); outputErr != nil {
+				cancelRun()
+			}
+			analysisWall += time.Since(t0)
+		},
+		Checkpoint: func(info core.StepInfo) error {
+			if ckptPlan == nil {
+				return nil
+			}
+			return ckptPlan.Step(sm.H, j.res.problem, info.Step, j.res.opts.Workers,
+				func(a analysis.Artifact) error { return s.checkpoint(j, info.Step, a.Data) })
+		},
 	})
+	steps := startStep + taken
 	// outputErr outranks the cancellation it triggered (execute inspects
 	// the outer ctx, so this still reports as Failed, not Cancelled).
 	if outputErr != nil {
 		return nil, outputErr
 	}
 	if err != nil {
+		if ctx.Err() != nil && s.isDraining() && taken > 0 && !j.wasUserCancelled() {
+			// Graceful drain: persist the state reached at this root-step
+			// boundary so the next scheduler resumes here, not at the
+			// last cadence checkpoint.
+			if data, encErr := snapshot.Encode(sm.H, j.res.problem); encErr == nil {
+				if ckErr := s.checkpoint(j, steps-1, data); ckErr != nil {
+					s.noteStoreErr(ckErr)
+				}
+			} else {
+				s.noteStoreErr(encErr)
+			}
+		}
 		return nil, err
 	}
 	t0 := time.Now()
@@ -761,4 +1217,56 @@ func (s *Scheduler) evolve(ctx context.Context, j *Job) (res *Result, err error)
 		Artifacts: metrics.ArtifactCount,
 		Metrics:   metrics,
 	}, nil
+}
+
+// buildOrResume constructs the job's simulation: from the problem
+// registry for a fresh job, or from the latest persisted checkpoint for
+// a job recovered mid-run. Returns the global index of the first step
+// still to take. A checkpoint that fails to decode falls back to a
+// fresh build — a lost resume costs recomputation, never the job.
+func (s *Scheduler) buildOrResume(j *Job) (*core.Simulation, int, error) {
+	if j.recovered && s.store.Persistent() {
+		ck, err := s.store.LatestCheckpoint(j.ID)
+		if err != nil {
+			s.noteStoreErr(err)
+		}
+		if ck != nil && ck.Step < j.res.steps {
+			h, problem, err := snapshot.Read(bytes.NewReader(ck.Data))
+			if err == nil {
+				// Workers is a runtime knob of the saving process; the
+				// resolved budget (identical by construction, pinned by
+				// the manifest) is authoritative for this host.
+				h.Cfg.Workers = j.res.opts.Workers
+				j.mu.Lock()
+				j.resumedFrom = fmt.Sprintf("checkpoint step %d", ck.Step)
+				j.mu.Unlock()
+				return core.Resume(h, problem), ck.Step + 1, nil
+			}
+			s.noteStoreErr(fmt.Errorf("sim: job %s checkpoint unreadable, rebuilding: %w", j.ID, err))
+		}
+	}
+	sm, err := core.New(j.res.problem, func(o *problems.Opts) { *o = j.res.opts })
+	if err != nil {
+		return nil, 0, err
+	}
+	return sm, 0, nil
+}
+
+// checkpoint persists one restart point and updates the job's
+// provenance counters and manifest (the WAL records the checkpoint, so
+// a kill immediately after still resumes from it).
+func (s *Scheduler) checkpoint(j *Job, step int, data []byte) error {
+	if err := s.store.SaveCheckpoint(j.ID, step, data); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.ckpts++
+	j.ckptStep = step
+	j.ckptAt = time.Now()
+	j.mu.Unlock()
+	s.mu.Lock()
+	s.stats.Checkpoints++
+	s.mu.Unlock()
+	s.persist(j, Running.String())
+	return nil
 }

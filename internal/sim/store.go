@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/analysis"
+)
+
+// Store is the scheduler's pluggable persistence layer: job records (a
+// small manifest written as the WAL of state transitions), terminal
+// results, derived-output artifacts, and restart checkpoints. The
+// scheduler drives every implementation identically; what differs is
+// what survives a process restart:
+//
+//   - NewMemStore (the default) persists nothing — the scheduler's own
+//     in-memory job table is the only state, which is exactly the
+//     pre-durability behavior extracted behind this interface.
+//   - diskstore.New keeps one directory per job under a data root
+//     (atomic rename writes, manifest.json as the WAL) so a restarted
+//     scheduler recovers completed results as cache hits and resumes
+//     interrupted jobs from their latest checkpoint.
+//
+// Implementations must be safe for concurrent use; per-job methods are
+// only ever called sequentially for a given ID by the owning slot, but
+// different jobs write concurrently.
+type Store interface {
+	// Persistent reports whether the store survives a process restart.
+	// The scheduler skips checkpoint cadence entirely on non-persistent
+	// stores (a checkpoint nobody can recover is pure overhead).
+	Persistent() bool
+	// SaveManifest records a job-state transition. Called on every
+	// lifecycle edge (queued, running, checkpoint written, interrupted,
+	// done, failed, cancelled); the latest write wins.
+	SaveManifest(m JobManifest) error
+	// SaveResult persists a completed job's terminal result.
+	SaveResult(id string, res *Result) error
+	// SaveArtifact persists one derived-output artifact in production
+	// order; saving a name again replaces its payload.
+	SaveArtifact(id string, a analysis.Artifact) error
+	// DeleteArtifacts forgets named artifacts of a job — the mirror of
+	// ArtifactStore's oldest-first eviction.
+	DeleteArtifacts(id string, names []string) error
+	// SaveCheckpoint persists checkpoint bytes for the job at the given
+	// root step. Implementations retain at least the latest checkpoint;
+	// older ones may be pruned.
+	SaveCheckpoint(id string, step int, data []byte) error
+	// LatestCheckpoint returns the most recent checkpoint of a job, or
+	// nil when none exists.
+	LatestCheckpoint(id string) (*Checkpoint, error)
+	// DeleteCheckpoints drops a job's checkpoints — called once the job
+	// reaches a terminal state, when they can never be resumed from.
+	DeleteCheckpoints(id string) error
+	// DeleteJob forgets everything about a job (cache eviction, or a
+	// failed configuration being re-run fresh).
+	DeleteJob(id string) error
+	// Recover enumerates every persisted job for scheduler startup:
+	// terminal jobs rehydrate the cache, interrupted ones are re-queued
+	// to resume from their latest checkpoint.
+	Recover() ([]RecoveredJob, error)
+	// Stats reports the store's size gauges for /metrics.
+	Stats() StoreStats
+	// Close releases the store. The scheduler calls it from Close/Drain.
+	Close() error
+}
+
+// JobManifest is the persisted record of one job — the small JSON
+// document a disk store rewrites (atomically) on every state
+// transition, and everything recovery needs to reconstruct the job's
+// identity and provenance. Request plus Workers pin the job's canonical
+// configuration: recovery re-resolves the request with Workers forced,
+// so a resumed run keeps the exact worker budget (and therefore the
+// exact bitwise answer) of the interrupted one.
+type JobManifest struct {
+	ID      string  `json:"id"`
+	Request Request `json:"request"`
+	// Workers is the effective par budget the job ran with (the slot
+	// share at original submit time, or the request's pinned value).
+	Workers int `json:"workers"`
+	// State is the job's lifecycle phase: queued, running, interrupted,
+	// done, failed or cancelled. "interrupted" marks a run the process
+	// lost (kill, drain) that recovery should resume; the in-process
+	// states never contain it.
+	State string  `json:"state"`
+	Error string  `json:"error,omitempty"`
+	Steps int     `json:"steps_done"`
+	Time  float64 `json:"time"` // code time reached
+	// Checkpoint provenance: how many checkpoints the run has written,
+	// the root step of the latest one, and when it was written.
+	Checkpoints    int       `json:"checkpoints,omitempty"`
+	CheckpointStep int       `json:"checkpoint_step,omitempty"`
+	CheckpointAt   time.Time `json:"checkpoint_at,omitzero"`
+	// ResumedFrom names the checkpoint this run resumed from, when it
+	// did ("checkpoint step 12").
+	ResumedFrom string    `json:"resumed_from,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at,omitzero"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+}
+
+// Manifest state strings. In-memory State values map onto them via
+// State.String(); ManifestInterrupted exists only in the store.
+const (
+	// ManifestInterrupted marks a job whose process died (or drained)
+	// mid-run: recovery re-queues it to resume from its latest
+	// checkpoint.
+	ManifestInterrupted = "interrupted"
+)
+
+// Checkpoint is one persisted restart point: the snapshot-format bytes
+// of the hierarchy after root step Step.
+type Checkpoint struct {
+	// Step is the 0-based global root step the checkpoint was taken
+	// after; a resume continues at Step+1.
+	Step int
+	// Data is the snapshot.Encode payload.
+	Data []byte
+	// At is when the checkpoint was written.
+	At time.Time
+}
+
+// RecoveredJob is one persisted job surfaced by Store.Recover.
+type RecoveredJob struct {
+	Manifest JobManifest
+	// Result is the terminal result of a done job, nil otherwise.
+	Result *Result
+	// Artifacts are the retained derived-output products in production
+	// order.
+	Artifacts []analysis.Artifact
+}
+
+// StoreStats are the store's size gauges, exported on /metrics.
+type StoreStats struct {
+	// CheckpointBytes and CheckpointCount describe the restart
+	// checkpoints currently on disk (0 for memory stores).
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	CheckpointCount int   `json:"checkpoint_count"`
+	// ArtifactBytes and ArtifactCount describe the persisted artifact
+	// payloads (0 for memory stores — the in-memory artifact bytes are
+	// reported per job instead).
+	ArtifactBytes int64 `json:"artifact_bytes"`
+	ArtifactCount int   `json:"artifact_count"`
+}
+
+// ErrStore wraps persistence failures so the HTTP layer can answer 500
+// (a service defect) instead of 400 (a bad request).
+var ErrStore = errors.New("sim: store error")
+
+// memStore is the non-persistent Store: every method is a no-op,
+// because the scheduler's own in-memory job table already is the
+// "memory store" — this is the pre-durability behavior, extracted
+// behind the interface.
+type memStore struct{}
+
+// NewMemStore returns the in-memory Store the scheduler defaults to:
+// nothing survives a restart, checkpoints are disabled, and recovery
+// finds nothing.
+func NewMemStore() Store { return memStore{} }
+
+// Persistent reports false: nothing outlives the process.
+func (memStore) Persistent() bool { return false }
+
+// SaveManifest is a no-op.
+func (memStore) SaveManifest(JobManifest) error { return nil }
+
+// SaveResult is a no-op.
+func (memStore) SaveResult(string, *Result) error { return nil }
+
+// SaveArtifact is a no-op.
+func (memStore) SaveArtifact(string, analysis.Artifact) error { return nil }
+
+// DeleteArtifacts is a no-op.
+func (memStore) DeleteArtifacts(string, []string) error { return nil }
+
+// SaveCheckpoint is a no-op; the scheduler never checkpoints against a
+// non-persistent store.
+func (memStore) SaveCheckpoint(string, int, []byte) error { return nil }
+
+// LatestCheckpoint reports no checkpoint.
+func (memStore) LatestCheckpoint(string) (*Checkpoint, error) { return nil, nil }
+
+// DeleteCheckpoints is a no-op.
+func (memStore) DeleteCheckpoints(string) error { return nil }
+
+// DeleteJob is a no-op.
+func (memStore) DeleteJob(string) error { return nil }
+
+// Recover finds nothing.
+func (memStore) Recover() ([]RecoveredJob, error) { return nil, nil }
+
+// Stats reports zero gauges.
+func (memStore) Stats() StoreStats { return StoreStats{} }
+
+// Close is a no-op.
+func (memStore) Close() error { return nil }

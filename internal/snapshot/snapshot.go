@@ -30,7 +30,21 @@ import (
 
 // FormatVersion guards against decoding incompatible snapshots. Version 2
 // added the self-describing header (problem name + serialized config).
-const FormatVersion = 2
+// Version 3 formalizes the compression contract for the durable job
+// store's checkpoint cadence: the gob payload is gzip-compressed at
+// BestSpeed (checkpoints sit on the evolution hot path, where encode
+// stall matters more than a few percent of disk), the gzip header
+// carries a format tag, and writers report the uncompressed payload size
+// (WriteSized/EncodeSized) so artifact indexes can account for
+// compression. Read remains transparent across versions: a version-2
+// stream (default-compression gzip, untagged header) decodes exactly as
+// before.
+const FormatVersion = 3
+
+// gzipComment tags the gzip header of version-3 streams, so a snapshot
+// is identifiable without decompressing the gob payload. Version-2
+// streams carry no tag; Read accepts both.
+const gzipComment = "repro snapshot format 3"
 
 // File is the serialized run state.
 type File struct {
@@ -69,6 +83,27 @@ type GridRec struct {
 // registry name of the run's problem (may be ""); it is embedded in the
 // header so a restart is self-describing.
 func Write(w io.Writer, h *amr.Hierarchy, problem string) error {
+	_, err := WriteSized(w, h, problem)
+	return err
+}
+
+// countWriter counts the bytes passed through it — the uncompressed gob
+// payload size WriteSized reports.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteSized is Write, additionally reporting the uncompressed gob
+// payload size — the compression accounting the sim artifact index
+// exposes alongside each snapshot/checkpoint product's on-wire size.
+func WriteSized(w io.Writer, h *amr.Hierarchy, problem string) (rawBytes int64, err error) {
 	f := File{
 		Version: FormatVersion,
 		Problem: problem,
@@ -95,11 +130,16 @@ func Write(w io.Writer, h *amr.Hierarchy, problem string) error {
 			gi++
 		}
 	}
-	zw := gzip.NewWriter(w)
-	if err := gob.NewEncoder(zw).Encode(&f); err != nil {
-		return fmt.Errorf("snapshot: encode: %w", err)
+	zw, err := gzip.NewWriterLevel(w, gzip.BestSpeed)
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: gzip: %w", err)
 	}
-	return zw.Close()
+	zw.Comment = gzipComment
+	cw := &countWriter{w: zw}
+	if err := gob.NewEncoder(cw).Encode(&f); err != nil {
+		return 0, fmt.Errorf("snapshot: encode: %w", err)
+	}
+	return cw.n, zw.Close()
 }
 
 func encodeGrid(g *amr.Grid) GridRec {
@@ -147,8 +187,11 @@ func Read(r io.Reader) (*amr.Hierarchy, string, error) {
 	if err := gob.NewDecoder(zr).Decode(&f); err != nil {
 		return nil, "", fmt.Errorf("snapshot: decode: %w", err)
 	}
-	if f.Version != FormatVersion {
-		return nil, "", fmt.Errorf("snapshot: version %d, want %d", f.Version, FormatVersion)
+	// Old versions read transparently: the version-2 layout is identical
+	// modulo the compression level and the gzip header tag, both of which
+	// the decompressor absorbs.
+	if f.Version != FormatVersion && f.Version != 2 {
+		return nil, "", fmt.Errorf("snapshot: version %d unsupported (this build reads 2..%d)", f.Version, FormatVersion)
 	}
 	cfg := f.Config
 	h, err := amr.NewHierarchy(cfg)
@@ -217,14 +260,22 @@ func decodeFields(g *amr.Grid, rec GridRec) error {
 }
 
 // Encode serializes the hierarchy to an in-memory snapshot in the Write
-// format — the payload of the sim job service's "snapshot" data product,
-// and any other sink that is not a file.
+// format — the payload of the sim job service's "snapshot" data product
+// and its durability checkpoints, and any other sink that is not a file.
 func Encode(h *amr.Hierarchy, problem string) ([]byte, error) {
+	data, _, err := EncodeSized(h, problem)
+	return data, err
+}
+
+// EncodeSized is Encode, additionally reporting the uncompressed gob
+// payload size (see WriteSized).
+func EncodeSized(h *amr.Hierarchy, problem string) ([]byte, int64, error) {
 	var buf bytes.Buffer
-	if err := Write(&buf, h, problem); err != nil {
-		return nil, err
+	raw, err := WriteSized(&buf, h, problem)
+	if err != nil {
+		return nil, 0, err
 	}
-	return buf.Bytes(), nil
+	return buf.Bytes(), raw, nil
 }
 
 // Save writes a snapshot to path; problem is the registry name of the

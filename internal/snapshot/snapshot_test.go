@@ -178,6 +178,75 @@ func TestCosmoBackgroundIsFresh(t *testing.T) {
 	}
 }
 
+func TestLegacyV2ReadsTransparently(t *testing.T) {
+	// A pre-format-3 stream — default-compression gzip, no header tag,
+	// embedded Version 2 — must decode exactly as it always did.
+	h, _ := buildHierarchy(t)
+	var v3 bytes.Buffer
+	if err := Write(&v3, h, "legacy"); err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	zr, err := gzip.NewReader(bytes.NewReader(v3.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zr.Comment != gzipComment {
+		t.Fatalf("v3 gzip header tag %q, want %q", zr.Comment, gzipComment)
+	}
+	if err := gob.NewDecoder(zr).Decode(&f); err != nil {
+		t.Fatal(err)
+	}
+	f.Version = 2
+	var legacy bytes.Buffer
+	zw := gzip.NewWriter(&legacy) // default level, untagged header
+	if err := gob.NewEncoder(zw).Encode(&f); err != nil {
+		t.Fatal(err)
+	}
+	zw.Close()
+	h2, problem, err := Read(&legacy)
+	if err != nil {
+		t.Fatalf("legacy v2 stream rejected: %v", err)
+	}
+	if problem != "legacy" || h2.NumGrids() != h.NumGrids() {
+		t.Fatalf("legacy decode lost content: problem=%q grids=%d/%d", problem, h2.NumGrids(), h.NumGrids())
+	}
+	for idx, v := range h.Root().State.Rho.Data {
+		if h2.Root().State.Rho.Data[idx] != v {
+			t.Fatalf("legacy decode differs at %d", idx)
+		}
+	}
+}
+
+func TestEncodeSizedReportsRawBytes(t *testing.T) {
+	h, _ := buildHierarchy(t)
+	data, raw, err := EncodeSized(h, "sized")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw <= int64(len(data)) {
+		t.Fatalf("uncompressed payload %d should exceed compressed %d on this compressible hierarchy", raw, len(data))
+	}
+	// The reported raw size is exactly the gob payload: decompressing the
+	// stream must yield that many bytes.
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	buf := make([]byte, 32<<10)
+	for {
+		k, err := zr.Read(buf)
+		n += int64(k)
+		if err != nil {
+			break
+		}
+	}
+	if n != raw {
+		t.Fatalf("raw size %d, decompressed %d", raw, n)
+	}
+}
+
 func TestVersionMismatchRejected(t *testing.T) {
 	var raw bytes.Buffer
 	zw := gzip.NewWriter(&raw)
