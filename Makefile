@@ -4,7 +4,7 @@ GO ?= go
 # staticcheck job; bump deliberately, in its own commit.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test test-full vet staticcheck bench bench-scaling bench-sim bench-projection golden-update problems docs clean
+.PHONY: build test test-full vet staticcheck bench bench-scaling bench-kernels bench-sim bench-projection perfgate golden-update problems docs clean
 
 build:
 	$(GO) build ./...
@@ -25,14 +25,21 @@ vet:
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
-# All paper-reproduction benchmarks.
-bench:
+# All paper-reproduction benchmarks, plus the job-service rows — together
+# these regenerate every committed BENCH_*.json history (append a row; do
+# not overwrite).
+bench: bench-sim
 	$(GO) test -bench=. -benchmem .
 
 # Serial-vs-parallel scaling of the hot kernels (hydro sweeps, FFT
 # Poisson solve, multigrid) at 1/2/4/NumCPU workers.
 bench-scaling:
 	$(GO) test -run xxx -bench='Scaling' -benchmem .
+
+# The perfgate-gated kernel set (hydro step, multigrid, FFT, chemistry)
+# at 1/2/4/NumCPU workers; the baseline lives in BENCH_kernels.json.
+bench-kernels:
+	$(GO) test -run xxx -bench '^(BenchmarkScalingStep64|BenchmarkScalingMultigrid64|BenchmarkScalingGravityFFT64|BenchmarkChemistry)$$' -benchmem .
 
 # Job-service throughput (jobs/sec at 1/2/4 concurrent slots) and the
 # cache-hit fast path; the baseline lives in BENCH_sim.json.
@@ -43,6 +50,13 @@ bench-sim:
 # workers; the baseline lives in BENCH_projection.json.
 bench-projection:
 	$(GO) test -run xxx -bench 'Projection' -benchmem .
+
+# CI performance-regression gate: re-run the gated benchmarks and compare
+# ns/op against the latest row of each committed BENCH_*.json history
+# (±15% by default). PERFGATE_FLAGS widens the tolerance on noisy shared
+# runners, e.g. PERFGATE_FLAGS='-tol 0.25'.
+perfgate:
+	$(GO) run ./cmd/perfgate $(PERFGATE_FLAGS)
 
 # Regenerate the golden regression hashes after an INTENTIONAL physics
 # change (internal/problems/testdata/golden.json is the drift alarm).

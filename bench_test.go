@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/amr"
 	"repro/internal/analysis"
+	"repro/internal/chem"
 	"repro/internal/clustering"
 	"repro/internal/core"
 	"repro/internal/ep128"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/hydro"
 	"repro/internal/mesh"
 	"repro/internal/mp"
+	"repro/internal/par"
 	"repro/internal/perf"
 	"repro/internal/problems"
 	"repro/internal/units"
@@ -125,6 +127,42 @@ func BenchmarkScalingStep64(b *testing.B) {
 				h.Step()
 			}
 			b.ReportMetric(float64(h.Stats.CellUpdates)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}
+
+// BenchmarkChemistry measures the 12-species primordial network and
+// cooling kernel: chem.Pencil row batches driven by par.For — the
+// chemistry operator's execution model — over a 32³ block of cells
+// spanning the collapse's density range (1e-2..1e2 cm⁻³, a few hundred K)
+// at 1/2/4/NumCPU workers. Every cell is an independent stiff
+// integration, so results are bitwise identical across rows; the baseline
+// history lives in BENCH_kernels.json (`make bench-kernels`).
+func BenchmarkChemistry(b *testing.B) {
+	const n = 32
+	cp := chem.CoolParams{Redshift: 20}
+	sp := chem.DefaultSolverParams()
+	const dt = 3e11 // ~10 kyr in seconds, a typical chemistry step at these densities
+	for _, w := range scalingWorkerCounts() {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			for it := 0; it < b.N; it++ {
+				par.For(w, n*n, 0, func(_, lo, hi int) {
+					pen := chem.NewPencil(n)
+					for row := lo; row < hi; row++ {
+						for i := 0; i < n; i++ {
+							cell := row*n + i
+							nH := math.Pow(10, -2+4*float64(cell%97)/96)
+							s := chem.Primordial(nH, 3e-4, 2e-6)
+							for spc := 0; spc < chem.NumSpecies; spc++ {
+								pen.Species[spc][i] = s[spc]
+							}
+							pen.Eint[i] = chem.EintFromT(s, 150+50*float64(cell%53), 5.0/3)
+						}
+						pen.Evolve(dt, cp, sp)
+					}
+				})
+			}
+			b.ReportMetric(float64(n*n*n)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
 		})
 	}
 }

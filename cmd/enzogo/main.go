@@ -48,9 +48,12 @@ import (
 	"log"
 	"maps"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"slices"
 	"syscall"
 	"time"
@@ -107,7 +110,17 @@ func serve(args []string) {
 		log.Printf("enzogo serve: data dir %s: recovered %d jobs (%d resumed mid-run)",
 			*dataDir, recovered, resumed)
 	}
-	srv := &http.Server{Addr: *addr, Handler: sched.Handler()}
+	// The job API plus the standard pprof endpoints: profile a live
+	// service with e.g.
+	//   go tool pprof http://localhost:8080/debug/pprof/profile?seconds=30
+	mux := http.NewServeMux()
+	mux.Handle("/", sched.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	srv := &http.Server{Addr: *addr, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	drained := make(chan struct{})
@@ -163,6 +176,8 @@ func main() {
 		extras[key] = v
 		return nil
 	})
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run (IC build + step loop) to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	saveOut := flag.String("save", "", "write a self-describing snapshot here after the run")
 	restart := flag.String("restart", "", "restart from this snapshot instead of building -problem")
 	profileOut := flag.String("profile", "", "write a radial profile table to this file at the end")
@@ -191,6 +206,17 @@ func main() {
 			}
 		}
 		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	var sim *core.Simulation
@@ -306,6 +332,22 @@ func main() {
 	fmt.Printf("SDR achieved: %.0f   grids created: %d   rebuilds: %d\n",
 		sim.H.SpatialDynamicRange(), sim.H.Stats.GridsCreated, sim.H.Stats.RebuildCount)
 
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile() // idempotent with the deferred stop
+		fmt.Printf("cpu profile written to %s\n", *cpuProfile)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // settle live heap before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("heap profile written to %s\n", *memProfile)
+	}
 	if *saveOut != "" {
 		if err := snapshot.Save(*saveOut, sim.H, sim.Problem); err != nil {
 			log.Fatal(err)

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOut = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScalingStep64/workers1-4         	       6	 190123456 ns/op	  920000 cells/s
+BenchmarkScalingStep64/workers2-4         	      10	 101234567.5 ns/op
+BenchmarkScalingMultigrid64/workers1-4    	      36	  31000000 ns/op
+BenchmarkChemistry/workers1-4             	       1	1200000000 ns/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	res := parseBench(sampleBenchOut)
+	if len(res) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(res), res)
+	}
+	want := benchResult{Name: "BenchmarkScalingStep64/workers1", Iters: 6, NsPerOp: 190123456}
+	if res[0] != want {
+		t.Fatalf("first result %+v, want %+v", res[0], want)
+	}
+	if res[1].NsPerOp != 101234567.5 {
+		t.Errorf("fractional ns/op lost: %+v", res[1])
+	}
+	if res[3].Iters != 1 {
+		t.Errorf("iters wrong: %+v", res[3])
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkScalingStep64/workers1-4": "BenchmarkScalingStep64/workers1",
+		"BenchmarkProjection-16":            "BenchmarkProjection",
+		"BenchmarkNoSuffix":                 "BenchmarkNoSuffix",
+	} {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	bl := baseline{Ns: map[string]float64{
+		"BenchmarkScalingStep64/workers1":      200000000,  // measured -5%: ok
+		"BenchmarkScalingStep64/workers2":      200000000,  // measured -49%: improved
+		"BenchmarkScalingMultigrid64/workers1": 20000000,   // measured +55%: regression
+		"BenchmarkChemistry/workers1":          1000000000, // 1 iter < floor: skipped
+		"BenchmarkChemistry/workers2":          1000000000, // absent from output: missing
+	}}
+	ident := func(n string) (string, bool) { return n, true }
+	vs, missing := compare(parseBench(sampleBenchOut), bl, ident, 0.15, 2)
+	if len(vs) != 4 {
+		t.Fatalf("verdict count %d, want 4: %+v", len(vs), vs)
+	}
+	byKey := map[string]verdict{}
+	for _, v := range vs {
+		byKey[v.Key] = v
+	}
+	if v := byKey["BenchmarkScalingStep64/workers1"]; v.Regression || v.Improved || v.LowIters {
+		t.Errorf("within-tolerance run misjudged: %+v", v)
+	}
+	if !byKey["BenchmarkScalingStep64/workers2"].Improved {
+		t.Errorf("large speedup not flagged as improvement: %+v", byKey["BenchmarkScalingStep64/workers2"])
+	}
+	if !byKey["BenchmarkScalingMultigrid64/workers1"].Regression {
+		t.Errorf("slowdown not flagged: %+v", byKey["BenchmarkScalingMultigrid64/workers1"])
+	}
+	if !byKey["BenchmarkChemistry/workers1"].LowIters {
+		t.Errorf("below min-iters sample judged anyway: %+v", byKey["BenchmarkChemistry/workers1"])
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkChemistry/workers2" {
+		t.Errorf("missing = %v, want the absent workers2 row", missing)
+	}
+}
+
+func TestCPUMatching(t *testing.T) {
+	host := "Intel(R) Xeon(R) Processor @ 2.10GHz"
+	if !cpuMatches("Intel Xeon Processor @ 2.10GHz (NumCPU=1)", host) {
+		t.Error("decoration-stripped model should match")
+	}
+	if cpuMatches("AMD EPYC 7713", host) {
+		t.Error("different CPU should not match")
+	}
+	if m := cpuModel(); m == "" {
+		t.Error("cpuModel must return something")
+	}
+}
+
+// writeHistory writes a minimal BENCH history with the given ns map.
+func writeHistory(t *testing.T, dir, name, metric string, ns map[string]string) {
+	t.Helper()
+	var rows []string
+	for k, v := range ns {
+		rows = append(rows, `"`+k+`": `+v)
+	}
+	doc := `{"history": [{"date": "2026-01-01", "cpu": "Intel Xeon Processor @ 2.10GHz", "` +
+		metric + `": {` + strings.Join(rows, ",") + `}}]}`
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGateFailsOnDoctoredBaseline is the acceptance check for the gate
+// itself: against a baseline doctored to claim the kernels used to be much
+// faster than the measured output, run() must exit nonzero.
+func TestGateFailsOnDoctoredBaseline(t *testing.T) {
+	dir := t.TempDir()
+	// Baseline claims 10x faster kernels than the canned bench output.
+	writeHistory(t, dir, "BENCH_kernels.json", "ns_per_op", map[string]string{
+		"BenchmarkScalingStep64/workers1": "19000000",
+	})
+	old := runBenchCmd
+	runBenchCmd = func(pkg, bench, benchtime, d string) (string, error) { return sampleBenchOut, nil }
+	defer func() { runBenchCmd = old }()
+
+	var out, errOut strings.Builder
+	code := run([]string{"-dir", dir, "-only", "BENCH_kernels"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("doctored baseline: exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("report lacks FAIL line:\n%s", out.String())
+	}
+}
+
+// TestGatePassesWithinTolerance: same harness with an honest baseline.
+func TestGatePassesWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	writeHistory(t, dir, "BENCH_kernels.json", "ns_per_op", map[string]string{
+		"BenchmarkScalingStep64/workers1": "190000000",
+		"BenchmarkScalingStep64/workers2": "100000000",
+	})
+	old := runBenchCmd
+	runBenchCmd = func(pkg, bench, benchtime, d string) (string, error) { return sampleBenchOut, nil }
+	defer func() { runBenchCmd = old }()
+
+	var out, errOut strings.Builder
+	code := run([]string{"-dir", dir, "-only", "BENCH_kernels"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("honest baseline: exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Errorf("report lacks PASS line:\n%s", out.String())
+	}
+}
+
+// TestGateWarnsOnCPUMismatch: a foreign baseline CPU warns but does not
+// fail the gate.
+func TestGateWarnsOnCPUMismatch(t *testing.T) {
+	dir := t.TempDir()
+	doc := `{"history": [{"date": "2026-01-01", "cpu": "AMD EPYC 7713",
+		"ns_per_op": {"BenchmarkScalingStep64/workers1": 190000000}}]}`
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_kernels.json"), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := runBenchCmd
+	runBenchCmd = func(pkg, bench, benchtime, d string) (string, error) { return sampleBenchOut, nil }
+	defer func() { runBenchCmd = old }()
+
+	var out, errOut strings.Builder
+	code := run([]string{"-dir", dir, "-only", "BENCH_kernels"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("cpu mismatch must warn, not fail: exit %d\n%s\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "WARNING") {
+		t.Errorf("no CPU mismatch warning in:\n%s", out.String())
+	}
+}
+
+func TestLoadLatestTakesNewestRow(t *testing.T) {
+	dir := t.TempDir()
+	doc := `{"history": [
+		{"date": "2025-01-01", "cpu": "old host", "ns_per_op": {"k": 1}},
+		{"date": "2026-01-01", "cpu": "new host", "ns_per_op": {"k": 2}}
+	]}`
+	path := filepath.Join(dir, "BENCH_kernels.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := loadLatest(path, "ns_per_op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Date != "2026-01-01" || bl.CPU != "new host" || bl.Ns["k"] != 2 {
+		t.Fatalf("latest row not used: %+v", bl)
+	}
+}

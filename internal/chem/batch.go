@@ -1,0 +1,57 @@
+package chem
+
+// Pencil is an SoA batch of cells for the chemistry solver: one contiguous
+// row of number densities per species plus the specific internal energies,
+// evolved in a single pass. The grid operator gathers a row of cells into a
+// pencil (converting code units to CGS once, with the per-species mass
+// factors hoisted out of the cell loop), calls Evolve, and scatters the
+// result back — mirroring the hydro sweep's gather→kernel→scatter shape so
+// the species fields are walked as flat slices instead of per-cell At/Set
+// index arithmetic.
+//
+// Each cell remains an independent stiff-network integration (the paper's
+// sub-cycled backward-Euler scheme), so the batched form is bitwise
+// identical to calling EvolveCell per cell — which is exactly what Evolve
+// does, from L1-resident buffers. The rate coefficients are deliberately
+// NOT tabulated/interpolated across the batch: every cell's temperature
+// differs per sub-cycle, and bitwise reproducibility across refactors is
+// the acceptance bar for kernel rewrites (see docs/ARCHITECTURE.md).
+type Pencil struct {
+	// N is the number of cells in the batch.
+	N int
+	// Species holds one contiguous row of number densities [cm⁻³] per
+	// species.
+	Species [NumSpecies][]float64
+	// Eint holds the specific internal energy [erg/g] per cell.
+	Eint []float64
+	// Subcycles accumulates the total sub-cycle count of the last Evolve
+	// (the per-cell cost metric of the stiff network).
+	Subcycles int
+}
+
+// NewPencil allocates a pencil for rows of n cells.
+func NewPencil(n int) *Pencil {
+	p := &Pencil{N: n, Eint: make([]float64, n)}
+	for s := 0; s < NumSpecies; s++ {
+		p.Species[s] = make([]float64, n)
+	}
+	return p
+}
+
+// Evolve advances every cell of the pencil by dt [s] at fixed density,
+// updating the species and energy rows in place.
+func (p *Pencil) Evolve(dt float64, cp CoolParams, sp SolverParams) {
+	p.Subcycles = 0
+	for i := 0; i < p.N; i++ {
+		var cs State
+		for s := 0; s < NumSpecies; s++ {
+			cs[s] = p.Species[s][i]
+		}
+		out, e1, sub := EvolveCell(cs, p.Eint[i], dt, cp, sp)
+		for s := 0; s < NumSpecies; s++ {
+			p.Species[s][i] = out[s]
+		}
+		p.Eint[i] = e1
+		p.Subcycles += sub
+	}
+}

@@ -129,18 +129,28 @@ func residualWorkers(phi, rhs *mesh.Field3, dx float64, workers int) *mesh.Field
 }
 
 // residualInto computes the residual into a caller-supplied field,
-// letting iterative callers reuse one allocation across cycles.
+// letting iterative callers reuse one allocation across cycles. The rows
+// walk the flat arrays with precomputed strides instead of per-cell At()
+// index arithmetic (seven neighbor loads per cell in the hot loop).
 func residualInto(r, phi, rhs *mesh.Field3, dx float64, workers int) {
 	inv := 1 / (dx * dx)
+	pd, rd, dst := phi.Data, rhs.Data, r.Data
+	sy, sz := phi.StrideY(), phi.StrideZ()
 	par.For(workers, phi.Nz, 0, func(_, klo, khi int) {
 		for k := klo; k < khi; k++ {
 			for j := 0; j < phi.Ny; j++ {
+				idx := phi.Idx(0, j, k)
+				ridx := rhs.Idx(0, j, k)
+				didx := r.Idx(0, j, k)
 				for i := 0; i < phi.Nx; i++ {
-					lap := (phi.At(i+1, j, k) + phi.At(i-1, j, k) +
-						phi.At(i, j+1, k) + phi.At(i, j-1, k) +
-						phi.At(i, j, k+1) + phi.At(i, j, k-1) -
-						6*phi.At(i, j, k)) * inv
-					r.Set(i, j, k, rhs.At(i, j, k)-lap)
+					lap := (pd[idx+1] + pd[idx-1] +
+						pd[idx+sy] + pd[idx-sy] +
+						pd[idx+sz] + pd[idx-sz] -
+						6*pd[idx]) * inv
+					dst[didx] = rd[ridx] - lap
+					idx++
+					ridx++
+					didx++
 				}
 			}
 		}

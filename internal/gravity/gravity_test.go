@@ -171,7 +171,7 @@ func TestMultigridConvergenceRate(t *testing.T) {
 	p.MaxVCycles = 1
 	p.Tol = 0
 	r0 := ResidualNorm(phi, rhs, dx)
-	vcycle(phi, rhs, dx, p)
+	vcycle(phi, rhs, dx, p, &mgScratch{}, 0)
 	r1 := ResidualNorm(phi, rhs, dx)
 	if r1 > 0.2*r0 {
 		t.Fatalf("V-cycle convergence too slow: %e -> %e", r0, r1)

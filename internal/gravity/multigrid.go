@@ -47,6 +47,38 @@ func levelWorkers(f *mesh.Field3, workers int) int {
 	return workers
 }
 
+// mgScratch holds the per-level work fields of one SolveMultigrid call, so
+// the V-cycle recursion stops allocating a residual field and two coarse
+// fields per level per cycle (a 30-cycle solve on a 64³ grid used to churn
+// ~180 short-lived fields through the allocator; now each level's trio is
+// allocated once and reused for every subsequent cycle).
+type mgScratch struct {
+	levels []mgLevelBufs
+}
+
+// mgLevelBufs is one V-cycle level's reusable buffers: the fine residual
+// and the coarse (half-resolution) right-hand side and error fields.
+type mgLevelBufs struct {
+	res, crhs, cerr *mesh.Field3
+}
+
+// at returns the buffers for recursion depth d, allocating them to the
+// given fine shape on first visit. Shapes per depth are invariant across
+// the cycles of one solve, so reuse is safe.
+func (sc *mgScratch) at(d int, fine *mesh.Field3) mgLevelBufs {
+	for len(sc.levels) <= d {
+		sc.levels = append(sc.levels, mgLevelBufs{})
+	}
+	if sc.levels[d].res == nil {
+		sc.levels[d] = mgLevelBufs{
+			res:  mesh.NewField3(fine.Nx, fine.Ny, fine.Nz, fine.Ng),
+			crhs: mesh.NewField3(fine.Nx/2, fine.Ny/2, fine.Nz/2, 1),
+			cerr: mesh.NewField3(fine.Nx/2, fine.Ny/2, fine.Nz/2, 1),
+		}
+	}
+	return sc.levels[d]
+}
+
 // SolveMultigrid runs V-cycles until the residual drops below
 // tol*rms(rhs) or MaxVCycles is reached. phi holds the initial guess in
 // its active region and the Dirichlet boundary values in its first ghost
@@ -62,9 +94,10 @@ func SolveMultigrid(phi, rhs *mesh.Field3, dx float64, p MGParams) (float64, int
 	// (or reallocate) once per V-cycle.
 	w := levelWorkers(phi, p.Workers)
 	res := mesh.NewField3(phi.Nx, phi.Ny, phi.Nz, phi.Ng)
+	var sc mgScratch
 	var rel float64
 	for cyc := 0; cyc < p.MaxVCycles; cyc++ {
-		vcycle(phi, rhs, dx, p)
+		vcycle(phi, rhs, dx, p, &sc, 0)
 		residualInto(res, phi, rhs, dx, w)
 		rel = rmsActive(res) / rhsNorm
 		if rel < p.Tol {
@@ -74,7 +107,7 @@ func SolveMultigrid(phi, rhs *mesh.Field3, dx float64, p MGParams) (float64, int
 	return rel, p.MaxVCycles
 }
 
-func vcycle(phi, rhs *mesh.Field3, dx float64, p MGParams) {
+func vcycle(phi, rhs *mesh.Field3, dx float64, p MGParams, sc *mgScratch, depth int) {
 	nx, ny, nz := phi.Nx, phi.Ny, phi.Nz
 	if nx%2 != 0 || ny%2 != 0 || nz%2 != 0 || nx <= 2 || ny <= 2 || nz <= 2 {
 		// Bottom: smooth hard.
@@ -89,18 +122,27 @@ func vcycle(phi, rhs *mesh.Field3, dx float64, p MGParams) {
 	}
 	// Coarse-grid correction: residual restricted to the half grid;
 	// the error equation has homogeneous Dirichlet BCs (zero ghosts).
-	res := residualWorkers(phi, rhs, dx, w)
-	crhs := mesh.NewField3(nx/2, ny/2, nz/2, 1)
-	mesh.Restrict(crhs, res, 0, 0, 0, 2)
-	cerr := mesh.NewField3(nx/2, ny/2, nz/2, 1)
-	vcycle(cerr, crhs, 2*dx, p)
+	bufs := sc.at(depth, phi)
+	residualInto(bufs.res, phi, rhs, dx, w)
+	mesh.Restrict(bufs.crhs, bufs.res, 0, 0, 0, 2)
+	// The coarse error starts from a zero guess with zero (homogeneous
+	// Dirichlet) ghosts each cycle, exactly as a fresh allocation would.
+	bufs.cerr.Zero()
+	vcycle(bufs.cerr, bufs.crhs, 2*dx, p, sc, depth+1)
 	// Prolong the correction (piecewise constant is sufficient for the
-	// error; higher order gains little) and add.
+	// error; higher order gains little) and add, walking rows flat: each
+	// coarse value covers two consecutive fine cells.
+	cerr := bufs.cerr
+	pd, cd := phi.Data, cerr.Data
 	par.For(w, nz, 0, func(_, klo, khi int) {
 		for k := klo; k < khi; k++ {
 			for j := 0; j < ny; j++ {
-				for i := 0; i < nx; i++ {
-					phi.Add(i, j, k, cerr.At(i/2, j/2, k/2))
+				idx := phi.Idx(0, j, k)
+				cIdx := cerr.Idx(0, j/2, k/2)
+				for i := 0; i < nx; i += 2 {
+					c := cd[cIdx+i/2]
+					pd[idx+i] += c
+					pd[idx+i+1] += c
 				}
 			}
 		}
@@ -112,19 +154,27 @@ func vcycle(phi, rhs *mesh.Field3, dx float64, p MGParams) {
 
 // smoothRB performs one red-black Gauss-Seidel sweep of the 7-point
 // Laplacian. Cells of one color only read the other color, so the k-planes
-// of a color pass can run concurrently with bitwise-identical results.
+// of a color pass can run concurrently with bitwise-identical results. The
+// inner loop walks the flat arrays with precomputed strides — the At/Set
+// form recomputed the three-term index per neighbor access.
 func smoothRB(phi, rhs *mesh.Field3, dx float64, workers int) {
 	h2 := dx * dx
+	pd, rd := phi.Data, rhs.Data
+	sy, sz := phi.StrideY(), phi.StrideZ()
 	for color := 0; color < 2; color++ {
 		par.For(workers, phi.Nz, 0, func(_, klo, khi int) {
 			for k := klo; k < khi; k++ {
 				for j := 0; j < phi.Ny; j++ {
 					start := (k + j + color) % 2
+					idx := phi.Idx(start, j, k)
+					ridx := rhs.Idx(start, j, k)
 					for i := start; i < phi.Nx; i += 2 {
-						s := phi.At(i+1, j, k) + phi.At(i-1, j, k) +
-							phi.At(i, j+1, k) + phi.At(i, j-1, k) +
-							phi.At(i, j, k+1) + phi.At(i, j, k-1)
-						phi.Set(i, j, k, (s-h2*rhs.At(i, j, k))/6)
+						s := pd[idx+1] + pd[idx-1] +
+							pd[idx+sy] + pd[idx-sy] +
+							pd[idx+sz] + pd[idx-sz]
+						pd[idx] = (s - h2*rd[ridx]) / 6
+						idx += 2
+						ridx += 2
 					}
 				}
 			}
@@ -137,11 +187,12 @@ func rmsActive(f *mesh.Field3) float64 {
 	n := 0
 	for k := 0; k < f.Nz; k++ {
 		for j := 0; j < f.Ny; j++ {
-			for i := 0; i < f.Nx; i++ {
-				v := f.At(i, j, k)
+			base := f.Idx(0, j, k)
+			row := f.Data[base : base+f.Nx]
+			for _, v := range row {
 				s += v * v
-				n++
 			}
+			n += f.Nx
 		}
 	}
 	if n == 0 {

@@ -28,8 +28,8 @@ type ifaceFlux struct {
 func hllc(s iface, gamma float64) ifaceFlux {
 	cL := math.Sqrt(gamma * s.pL / s.rhoL)
 	cR := math.Sqrt(gamma * s.pR / s.rhoR)
-	sL := math.Min(s.uL-cL, s.uR-cR)
-	sR := math.Max(s.uL+cL, s.uR+cR)
+	sL := min(s.uL-cL, s.uR-cR)
+	sR := max(s.uL+cL, s.uR+cR)
 
 	eL := s.pL/(gamma-1) + 0.5*s.rhoL*(s.uL*s.uL+s.vL*s.vL+s.wL*s.wL)
 	eR := s.pR/(gamma-1) + 0.5*s.rhoR*(s.uR*s.uR+s.vR*s.vR+s.wR*s.wR)
@@ -90,7 +90,7 @@ func hllc(s iface, gamma float64) ifaceFlux {
 func rusanov(s iface, gamma float64) ifaceFlux {
 	cL := math.Sqrt(gamma * s.pL / s.rhoL)
 	cR := math.Sqrt(gamma * s.pR / s.rhoR)
-	smax := math.Max(math.Abs(s.uL)+cL, math.Abs(s.uR)+cR)
+	smax := max(math.Abs(s.uL)+cL, math.Abs(s.uR)+cR)
 
 	eL := s.pL/(gamma-1) + 0.5*s.rhoL*(s.uL*s.uL+s.vL*s.vL+s.wL*s.wL)
 	eR := s.pR/(gamma-1) + 0.5*s.rhoR*(s.uR*s.uR+s.vR*s.vR+s.wR*s.wR)

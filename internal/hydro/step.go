@@ -103,22 +103,18 @@ func gatherPencil(s *State, dir, c1, c2 int, pc *pencil, par Params) {
 		vu, vv, vw = s.Vz.Data, s.Vx.Data, s.Vy.Data
 	}
 	rhoD, eintD, etotD := s.Rho.Data, s.Eint.Data, s.Etot.Data
+	dRho, dEint, dEt, dP := pc.rho, pc.eint, pc.et, pc.p
+	dU, dV, dW := pc.u, pc.v, pc.w
 	for x, idx := 0, base; x < tot; x, idx = x+1, idx+stride {
-		rho := rhoD[idx]
-		if rho < par.FloorRho {
-			rho = par.FloorRho
-		}
-		ei := eintD[idx]
-		if ei < par.FloorEint {
-			ei = par.FloorEint
-		}
-		pc.rho[x] = rho
-		pc.eint[x] = ei
-		pc.et[x] = etotD[idx]
-		pc.p[x] = gm1 * rho * ei
-		pc.u[x] = vu[idx]
-		pc.v[x] = vv[idx]
-		pc.w[x] = vw[idx]
+		rho := max(rhoD[idx], par.FloorRho)
+		ei := max(eintD[idx], par.FloorEint)
+		dRho[x] = rho
+		dEint[x] = ei
+		dEt[x] = etotD[idx]
+		dP[x] = gm1 * rho * ei
+		dU[x] = vu[idx]
+		dV[x] = vv[idx]
+		dW[x] = vw[idx]
 	}
 	for sp := range s.Species {
 		spD := s.Species[sp].Data
@@ -154,14 +150,20 @@ func computeFluxes(pc *pencil, par Params, solver Solver, dtdx float64) {
 		hi = tot - 3
 	}
 	floorP := (par.Gamma - 1) * par.FloorRho * par.FloorEint
+	// Hoist the state rows out of the per-interface loop: pc.stL[v][f]
+	// costs two dependent loads per access in this innermost loop.
+	stL0, stL1, stL2, stL3, stL4, stL5 := pc.stL[0], pc.stL[1], pc.stL[2], pc.stL[3], pc.stL[4], pc.stL[5]
+	stR0, stR1, stR2, stR3, stR4, stR5 := pc.stR[0], pc.stR[1], pc.stR[2], pc.stR[3], pc.stR[4], pc.stR[5]
+	fMass, fMomU, fMomV, fMomW := pc.fMass, pc.fMomU, pc.fMomV, pc.fMomW
+	fE, fEint, uStar := pc.fE, pc.fEint, pc.uStar
 	for f := lo; f <= hi; f++ {
 		st := iface{
-			rhoL: math.Max(pc.stL[0][f], par.FloorRho),
-			uL:   pc.stL[1][f], vL: pc.stL[2][f], wL: pc.stL[3][f],
-			pL:   math.Max(pc.stL[4][f], floorP),
-			rhoR: math.Max(pc.stR[0][f], par.FloorRho),
-			uR:   pc.stR[1][f], vR: pc.stR[2][f], wR: pc.stR[3][f],
-			pR: math.Max(pc.stR[4][f], floorP),
+			rhoL: max(stL0[f], par.FloorRho),
+			uL:   stL1[f], vL: stL2[f], wL: stL3[f],
+			pL:   max(stL4[f], floorP),
+			rhoR: max(stR0[f], par.FloorRho),
+			uR:   stR1[f], vR: stR2[f], wR: stR3[f],
+			pR: max(stR4[f], floorP),
 		}
 		var fl ifaceFlux
 		if solver == SolverPPM {
@@ -169,22 +171,22 @@ func computeFluxes(pc *pencil, par Params, solver Solver, dtdx float64) {
 		} else {
 			fl = rusanov(st, par.Gamma)
 		}
-		pc.fMass[f] = fl.mass
-		pc.fMomU[f] = fl.momU
-		pc.fMomV[f] = fl.momV
-		pc.fMomW[f] = fl.momW
-		pc.fE[f] = fl.energy
-		pc.uStar[f] = fl.uStar
+		fMass[f] = fl.mass
+		fMomU[f] = fl.momU
+		fMomV[f] = fl.momV
+		fMomW[f] = fl.momW
+		fE[f] = fl.energy
+		uStar[f] = fl.uStar
 		// Passive scalars ride the mass flux, upwinded at the contact.
-		eintUp := pc.stL[5][f]
+		eintUp := stL5[f]
 		if fl.upwind < 0 {
-			eintUp = pc.stR[5][f]
+			eintUp = stR5[f]
 		}
-		pc.fEint[f] = fl.mass * eintUp
+		fEint[f] = fl.mass * eintUp
 		for sp := range pc.fSpecies {
 			// Species are advected as mass fractions q = rho_s/rho.
-			qL := pc.stL[6+sp][f] / math.Max(pc.stL[0][f], par.FloorRho)
-			qR := pc.stR[6+sp][f] / math.Max(pc.stR[0][f], par.FloorRho)
+			qL := pc.stL[6+sp][f] / max(stL0[f], par.FloorRho)
+			qR := pc.stR[6+sp][f] / max(stR0[f], par.FloorRho)
 			q := qL
 			if fl.upwind < 0 {
 				q = qR
@@ -203,90 +205,114 @@ func computeFluxes(pc *pencil, par Params, solver Solver, dtdx float64) {
 func reconPPM(pc *pencil, gamma, dtdx float64) {
 	tot := pc.n + 2*pc.ng
 	pc.reconParabola(pc.rho, pc.paRhoL, pc.paRhoR)
+	parabolaMoments(pc.rho, pc.paRhoL, pc.paRhoR, pc.paRhoDq, pc.paRhoQ6, tot)
 	pc.reconParabola(pc.u, pc.paUL, pc.paUR)
+	parabolaMoments(pc.u, pc.paUL, pc.paUR, pc.paUDq, pc.paUQ6, tot)
 	pc.reconParabola(pc.p, pc.paPL, pc.paPR)
+	parabolaMoments(pc.p, pc.paPL, pc.paPR, pc.paPDq, pc.paPQ6, tot)
+
+	// Upwind domains of dependence at each interface, shared by every
+	// contact-riding variable (the per-variable loop below used to
+	// recompute both clamps for each of its 3+nspecies passes).
+	uD, sigR, sigL := pc.u, pc.sigR, pc.sigL
+	for f := 3; f <= tot-3; f++ {
+		sigR[f] = clamp01(uD[f-1] * dtdx)
+		sigL[f] = clamp01(-uD[f] * dtdx)
+	}
 
 	// Passive (contact-riding) variables: rows 2 (v), 3 (w), 5 (eint),
 	// 6.. (species).
-	passives := [][]float64{pc.v, pc.w, pc.eint}
-	rows := []int{2, 3, 5}
+	pc.passiveRecon(pc.v, 2, tot)
+	pc.passiveRecon(pc.w, 3, tot)
+	pc.passiveRecon(pc.eint, 5, tot)
 	for sp := range pc.species {
-		passives = append(passives, pc.species[sp])
-		rows = append(rows, 6+sp)
-	}
-	for vi, q := range passives {
-		pc.reconParabola(q, pc.cellL, pc.cellR)
-		row := rows[vi]
-		for f := 3; f <= tot-3; f++ {
-			il, ir := f-1, f
-			pc.stL[row][f] = avgRight(q, pc.cellL, pc.cellR, il, clamp01(pc.u[il]*dtdx))
-			pc.stR[row][f] = avgLeft(q, pc.cellL, pc.cellR, ir, clamp01(-pc.u[ir]*dtdx))
-		}
+		pc.passiveRecon(pc.species[sp], 6+sp, tot)
 	}
 
 	// Acoustic variables with characteristic projection.
+	rhoD, pD := pc.rho, pc.p
+	rcl, rcr, rdq, rq6 := pc.paRhoL, pc.paRhoR, pc.paRhoDq, pc.paRhoQ6
+	ucl, ucr, udq, uq6 := pc.paUL, pc.paUR, pc.paUDq, pc.paUQ6
+	pcl, pcr, pdq, pq6 := pc.paPL, pc.paPR, pc.paPDq, pc.paPQ6
+	stL0, stL1, stL4 := pc.stL[0], pc.stL[1], pc.stL[4]
+	stR0, stR1, stR4 := pc.stR[0], pc.stR[1], pc.stR[4]
 	for f := 3; f <= tot-3; f++ {
 		// ---- Left state: right-moving waves out of cell f-1.
 		i := f - 1
-		rhoI, uI, pI := pc.rho[i], pc.u[i], pc.p[i]
+		rhoI, uI, pI := rhoD[i], uD[i], pD[i]
 		cI := math.Sqrt(gamma * pI / rhoI)
 		lamP, lamZ, lamM := uI+cI, uI, uI-cI
 		sRef := clamp01(lamP * dtdx)
-		refRho := avgRight(pc.rho, pc.paRhoL, pc.paRhoR, i, sRef)
-		refU := avgRight(pc.u, pc.paUL, pc.paUR, i, sRef)
-		refP := avgRight(pc.p, pc.paPL, pc.paPR, i, sRef)
+		refRho := avgRight(rcr, rdq, rq6, i, sRef)
+		refU := avgRight(ucr, udq, uq6, i, sRef)
+		refP := avgRight(pcr, pdq, pq6, i, sRef)
 		rhoL, uL, pL := refRho, refU, refP
 		// The + family coincides with the reference state (beta+ = 0).
 		if lamZ > 0 {
 			s := clamp01(lamZ * dtdx)
-			r0 := avgRight(pc.rho, pc.paRhoL, pc.paRhoR, i, s)
-			p0 := avgRight(pc.p, pc.paPL, pc.paPR, i, s)
+			r0 := avgRight(rcr, rdq, rq6, i, s)
+			p0 := avgRight(pcr, pdq, pq6, i, s)
 			beta0 := (refRho - r0) - (refP-p0)/(cI*cI)
 			rhoL -= beta0
 		}
 		if lamM > 0 {
 			s := clamp01(lamM * dtdx)
-			uM := avgRight(pc.u, pc.paUL, pc.paUR, i, s)
-			pM := avgRight(pc.p, pc.paPL, pc.paPR, i, s)
+			uM := avgRight(ucr, udq, uq6, i, s)
+			pM := avgRight(pcr, pdq, pq6, i, s)
 			betaM := -rhoI/(2*cI)*(refU-uM) + (refP-pM)/(2*cI*cI)
 			rhoL -= betaM
 			uL += betaM * cI / rhoI
 			pL -= betaM * cI * cI
 		}
-		pc.stL[0][f] = rhoL
-		pc.stL[1][f] = uL
-		pc.stL[4][f] = pL
+		stL0[f] = rhoL
+		stL1[f] = uL
+		stL4[f] = pL
 
 		// ---- Right state: left-moving waves out of cell f.
 		i = f
-		rhoI, uI, pI = pc.rho[i], pc.u[i], pc.p[i]
+		rhoI, uI, pI = rhoD[i], uD[i], pD[i]
 		cI = math.Sqrt(gamma * pI / rhoI)
 		lamP, lamZ, lamM = uI+cI, uI, uI-cI
 		sRef = clamp01(-lamM * dtdx)
-		refRho = avgLeft(pc.rho, pc.paRhoL, pc.paRhoR, i, sRef)
-		refU = avgLeft(pc.u, pc.paUL, pc.paUR, i, sRef)
-		refP = avgLeft(pc.p, pc.paPL, pc.paPR, i, sRef)
+		refRho = avgLeft(rcl, rdq, rq6, i, sRef)
+		refU = avgLeft(ucl, udq, uq6, i, sRef)
+		refP = avgLeft(pcl, pdq, pq6, i, sRef)
 		rhoR, uR, pR := refRho, refU, refP
 		// The - family coincides with the reference state (beta- = 0).
 		if lamZ < 0 {
 			s := clamp01(-lamZ * dtdx)
-			r0 := avgLeft(pc.rho, pc.paRhoL, pc.paRhoR, i, s)
-			p0 := avgLeft(pc.p, pc.paPL, pc.paPR, i, s)
+			r0 := avgLeft(rcl, rdq, rq6, i, s)
+			p0 := avgLeft(pcl, pdq, pq6, i, s)
 			beta0 := (refRho - r0) - (refP-p0)/(cI*cI)
 			rhoR -= beta0
 		}
 		if lamP < 0 {
 			s := clamp01(-lamP * dtdx)
-			uP := avgLeft(pc.u, pc.paUL, pc.paUR, i, s)
-			pP := avgLeft(pc.p, pc.paPL, pc.paPR, i, s)
+			uP := avgLeft(ucl, udq, uq6, i, s)
+			pP := avgLeft(pcl, pdq, pq6, i, s)
 			betaP := rhoI/(2*cI)*(refU-uP) + (refP-pP)/(2*cI*cI)
 			rhoR -= betaP
 			uR -= betaP * cI / rhoI
 			pR -= betaP * cI * cI
 		}
-		pc.stR[0][f] = rhoR
-		pc.stR[1][f] = uR
-		pc.stR[4][f] = pR
+		stR0[f] = rhoR
+		stR1[f] = uR
+		stR4[f] = pR
+	}
+}
+
+// passiveRecon reconstructs one contact-riding variable into state row
+// `row`: the monotonized parabola is built once, its moments hoisted, and
+// the per-interface averages use the shared sigR/sigL upwind domains.
+func (pc *pencil) passiveRecon(q []float64, row, tot int) {
+	pc.reconParabola(q, pc.cellL, pc.cellR)
+	parabolaMoments(q, pc.cellL, pc.cellR, pc.cellDq, pc.cellQ6, tot)
+	cl, cr, dq, q6 := pc.cellL, pc.cellR, pc.cellDq, pc.cellQ6
+	sigR, sigL := pc.sigR, pc.sigL
+	dstL, dstR := pc.stL[row], pc.stR[row]
+	for f := 3; f <= tot-3; f++ {
+		dstL[f] = avgRight(cr, dq, q6, f-1, sigR[f])
+		dstR[f] = avgLeft(cl, dq, q6, f, sigL[f])
 	}
 }
 
@@ -304,49 +330,51 @@ func updatePencil(pc *pencil, par Params, dtdx float64) {
 	if hi > tot-4 {
 		hi = tot - 4
 	}
-	for i := lo; i <= hi; i++ {
-		rho := pc.rho[i]
-		// Conserved quantities.
-		mU := rho * pc.u[i]
-		mV := rho * pc.v[i]
-		mW := rho * pc.w[i]
-		e := rho * pc.et[i]
-		rhoEint := rho * pc.eint[i]
-
-		nrho := rho - dtdx*(pc.fMass[i+1]-pc.fMass[i])
-		if nrho < par.FloorRho {
-			nrho = par.FloorRho
-		}
-		mU -= dtdx * (pc.fMomU[i+1] - pc.fMomU[i])
-		mV -= dtdx * (pc.fMomV[i+1] - pc.fMomV[i])
-		mW -= dtdx * (pc.fMomW[i+1] - pc.fMomW[i])
-		e -= dtdx * (pc.fE[i+1] - pc.fE[i])
-		// Dual internal energy: conservative advection + pdV work with
-		// interface velocities.
-		rhoEint -= dtdx * (pc.fEint[i+1] - pc.fEint[i])
-		rhoEint -= dtdx * pc.p[i] * (pc.uStar[i+1] - pc.uStar[i])
-
-		for sp := range pc.species {
-			rs := pc.species[sp][i] - dtdx*(pc.fSpecies[sp][i+1]-pc.fSpecies[sp][i])
+	rhoA, uA, vA, wA := pc.rho, pc.u, pc.v, pc.w
+	etA, eintA, pA := pc.et, pc.eint, pc.p
+	fMass, fMomU, fMomV, fMomW := pc.fMass, pc.fMomU, pc.fMomV, pc.fMomW
+	fE, fEint, uStar := pc.fE, pc.fEint, pc.uStar
+	// Species are write-disjoint from the base update; walking each
+	// species array in its own contiguous pass beats interleaving the
+	// accesses inside the base cell loop.
+	for sp := range pc.species {
+		qs, fs := pc.species[sp], pc.fSpecies[sp]
+		for i := lo; i <= hi; i++ {
+			rs := qs[i] - dtdx*(fs[i+1]-fs[i])
 			if rs < 0 {
 				rs = 0
 			}
-			pc.species[sp][i] = rs
+			qs[i] = rs
 		}
+	}
+	for i := lo; i <= hi; i++ {
+		rho := rhoA[i]
+		// Conserved quantities.
+		mU := rho * uA[i]
+		mV := rho * vA[i]
+		mW := rho * wA[i]
+		e := rho * etA[i]
+		rhoEint := rho * eintA[i]
 
-		pc.rho[i] = nrho
-		pc.u[i] = mU / nrho
-		pc.v[i] = mV / nrho
-		pc.w[i] = mW / nrho
-		eintAdv := rhoEint / nrho
-		if eintAdv < par.FloorEint {
-			eintAdv = par.FloorEint
-		}
+		nrho := max(rho-dtdx*(fMass[i+1]-fMass[i]), par.FloorRho)
+		mU -= dtdx * (fMomU[i+1] - fMomU[i])
+		mV -= dtdx * (fMomV[i+1] - fMomV[i])
+		mW -= dtdx * (fMomW[i+1] - fMomW[i])
+		e -= dtdx * (fE[i+1] - fE[i])
+		// Dual internal energy: conservative advection + pdV work with
+		// interface velocities.
+		rhoEint -= dtdx * (fEint[i+1] - fEint[i])
+		rhoEint -= dtdx * pA[i] * (uStar[i+1] - uStar[i])
+
+		rhoA[i] = nrho
+		uA[i] = mU / nrho
+		vA[i] = mV / nrho
+		wA[i] = mW / nrho
 		// eint carries the dual internal energy; SyncDualEnergy
 		// reconciles it with the conserved total energy after the
 		// full 3-D step.
-		pc.eint[i] = eintAdv
-		pc.et[i] = e / nrho
+		eintA[i] = max(rhoEint/nrho, par.FloorEint)
+		etA[i] = e / nrho
 	}
 }
 

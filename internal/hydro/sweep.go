@@ -96,12 +96,20 @@ type pencil struct {
 	// reconstruction scratch
 	ql, qr []float64 // per-interface left/right states
 	faceV  []float64 // 4th-order face values
+	slope  []float64 // per-cell monotonized central slope (shared by all faces)
 	cellL  []float64 // monotonized parabola left edge per cell
 	cellR  []float64 // monotonized parabola right edge per cell
-	// PPM parabolae for the acoustic variables (rho, u, p)
-	paRhoL, paRhoR []float64
-	paUL, paUR     []float64
-	paPL, paPR     []float64
+	// parabola moments for the shared (per-passive-variable) scratch:
+	// dq = cr-cl and q6 = 6(q - (cl+cr)/2), hoisted so the repeated
+	// avgLeft/avgRight evaluations stop recomputing them per call
+	cellDq, cellQ6 []float64
+	// upwind domains of dependence sigma = clamp01(±u dtdx) per interface,
+	// shared by every contact-riding variable
+	sigR, sigL []float64
+	// PPM parabolae for the acoustic variables (rho, u, p), with moments
+	paRhoL, paRhoR, paRhoDq, paRhoQ6 []float64
+	paUL, paUR, paUDq, paUQ6         []float64
+	paPL, paPR, paPDq, paPQ6         []float64
 	// per-interface reconstructed states for all variables:
 	// rows 0=rho 1=u 2=v 3=w 4=p 5=eint 6..=species
 	stL, stR [][]float64
@@ -120,11 +128,16 @@ func newPencil(n, ng, nspecies int) *pencil {
 		fE: make([]float64, tot+1), fEint: make([]float64, tot+1),
 		uStar: make([]float64, tot+1),
 		ql:    make([]float64, tot+1), qr: make([]float64, tot+1),
-		faceV: make([]float64, tot+1),
+		faceV: make([]float64, tot+1), slope: make([]float64, tot),
 		cellL: make([]float64, tot), cellR: make([]float64, tot),
+		cellDq: make([]float64, tot), cellQ6: make([]float64, tot),
+		sigR: make([]float64, tot+1), sigL: make([]float64, tot+1),
 		paRhoL: make([]float64, tot), paRhoR: make([]float64, tot),
+		paRhoDq: make([]float64, tot), paRhoQ6: make([]float64, tot),
 		paUL: make([]float64, tot), paUR: make([]float64, tot),
+		paUDq: make([]float64, tot), paUQ6: make([]float64, tot),
 		paPL: make([]float64, tot), paPR: make([]float64, tot),
+		paPDq: make([]float64, tot), paPQ6: make([]float64, tot),
 	}
 	for s := 0; s < nspecies; s++ {
 		p.species = append(p.species, make([]float64, tot))
@@ -190,32 +203,50 @@ func (pc *pencil) reconPLM(q []float64) {
 }
 
 // reconParabola computes the monotonized PPM parabola (left edge, right
-// edge) for every cell of q, storing into cl/cr (CW84 steps 1-2).
+// edge) for every cell of q, storing into cl/cr (CW84 steps 1-2). The
+// monotonized central slope of each cell is computed once into pc.slope and
+// shared by the two faces that reference it — the fused per-face form
+// (ppmInterface in earlier revisions) evaluated every slope twice.
 func (pc *pencil) reconParabola(q, cl, cr []float64) {
 	tot := pc.n + 2*pc.ng
+	sl := pc.slope
+	for i := 1; i <= tot-2; i++ {
+		sl[i] = mcSlope(q[i-1], q[i], q[i+1])
+	}
+	// 4th-order interface value at face f between cells f-1 and f
+	// (CW84 eq. 1.6).
+	fv := pc.faceV
 	for f := 2; f <= tot-2; f++ {
-		pc.faceV[f] = ppmInterface(q[f-2], q[f-1], q[f], q[f+1])
+		fv[f] = q[f-1] + 0.5*(q[f]-q[f-1]) - (sl[f]-sl[f-1])/6
 	}
 	for i := 2; i <= tot-3; i++ {
-		cl[i], cr[i] = ppmMonotonize(q[i], pc.faceV[i], pc.faceV[i+1])
+		cl[i], cr[i] = ppmMonotonize(q[i], fv[i], fv[i+1])
+	}
+}
+
+// parabolaMoments hoists the two per-cell parabola moments used by every
+// avgLeft/avgRight evaluation: dq = cr-cl and q6 = 6(q - (cl+cr)/2)
+// (the operands of CW84 eq. 1.12). The acoustic tracing evaluates the same
+// cell's average up to six times per interface; precomputing the moments
+// keeps those evaluations to a handful of flops each.
+func parabolaMoments(q, cl, cr, dq, q6 []float64, tot int) {
+	for i := 2; i <= tot-3; i++ {
+		dq[i] = cr[i] - cl[i]
+		q6[i] = 6 * (q[i] - 0.5*(cl[i]+cr[i]))
 	}
 }
 
 // avgRight returns the parabola average over [1-sigma, 1] of cell i (the
 // domain of dependence of a right-moving wave reaching the cell's right
-// face), CW84 eq. 1.12.
-func avgRight(q, cl, cr []float64, i int, sigma float64) float64 {
-	dq := cr[i] - cl[i]
-	q6 := 6 * (q[i] - 0.5*(cl[i]+cr[i]))
-	return cr[i] - 0.5*sigma*(dq-(1-2.0/3.0*sigma)*q6)
+// face), CW84 eq. 1.12, from precomputed moments.
+func avgRight(cr, dq, q6 []float64, i int, sigma float64) float64 {
+	return cr[i] - 0.5*sigma*(dq[i]-(1-2.0/3.0*sigma)*q6[i])
 }
 
 // avgLeft returns the parabola average over [0, sigma] of cell i (domain of
 // dependence of a left-moving wave reaching the cell's left face).
-func avgLeft(q, cl, cr []float64, i int, sigma float64) float64 {
-	dq := cr[i] - cl[i]
-	q6 := 6 * (q[i] - 0.5*(cl[i]+cr[i]))
-	return cl[i] + 0.5*sigma*(dq+(1-2.0/3.0*sigma)*q6)
+func avgLeft(cl, dq, q6 []float64, i int, sigma float64) float64 {
+	return cl[i] + 0.5*sigma*(dq[i]+(1-2.0/3.0*sigma)*q6[i])
 }
 
 func vanLeerSlope(l, c, r float64) float64 {
@@ -227,16 +258,12 @@ func vanLeerSlope(l, c, r float64) float64 {
 	return 2 * dl * dr / (dl + dr)
 }
 
-// ppmInterface returns the 4th-order interface value at the face between
-// the two middle cells of the stencil (qm1, qp1), with monotonized-central
-// slopes (Colella & Woodward 1984 eq. 1.6).
-func ppmInterface(qm2, qm1, qp1, qp2 float64) float64 {
-	d1 := mcSlope(qm2, qm1, qp1)
-	d2 := mcSlope(qm1, qp1, qp2)
-	return qm1 + 0.5*(qp1-qm1) - (d2-d1)/6
-}
-
-// mcSlope is the monotonized central-difference slope (CW84 eq. 1.8).
+// mcSlope is the monotonized central-difference slope (CW84 eq. 1.8). The
+// magnitude selection is the branch-free builtin min over intrinsic Abs
+// (math.Min compiled to a function call on amd64; the builtin does not).
+// The final sign test stays a branch: copysign(m, d) would flip the sign
+// when d underflows to -0, where this form must return +m to stay
+// bit-identical with the historical limiter (see TestLimiterBitwise*).
 func mcSlope(l, c, r float64) float64 {
 	d := 0.5 * (r - l)
 	dl := 2 * (c - l)
@@ -244,7 +271,7 @@ func mcSlope(l, c, r float64) float64 {
 	if dl*dr <= 0 {
 		return 0
 	}
-	m := math.Min(math.Abs(d), math.Min(math.Abs(dl), math.Abs(dr)))
+	m := min(math.Abs(d), math.Abs(dl), math.Abs(dr))
 	if d < 0 {
 		return -m
 	}
@@ -258,9 +285,10 @@ func ppmMonotonize(q, lft, rgt float64) (float64, float64) {
 	}
 	dq := rgt - lft
 	t := dq * (q - 0.5*(lft+rgt))
-	if t > dq*dq/6 {
+	lim := dq * dq / 6
+	if t > lim {
 		lft = 3*q - 2*rgt
-	} else if -dq*dq/6 > t {
+	} else if -lim > t {
 		rgt = 3*q - 2*lft
 	}
 	return lft, rgt

@@ -88,6 +88,10 @@ func ProlongLinear(parent, child *Field3, offI, offJ, offK, r, nb int) {
 // each block of r^3 fine cells into the coarse cell that contains it.
 // The child's active size must be a multiple of r in every dimension.
 func Restrict(parent, child *Field3, offI, offJ, offK, r int) {
+	if r == 2 {
+		restrict2(parent, child, offI, offJ, offK)
+		return
+	}
 	inv := 1.0 / float64(r*r*r)
 	for pk := 0; pk < child.Nz/r; pk++ {
 		for pj := 0; pj < child.Ny/r; pj++ {
@@ -101,6 +105,30 @@ func Restrict(parent, child *Field3, offI, offJ, offK, r int) {
 					}
 				}
 				parent.Set(offI/r+pi, offJ/r+pj, offK/r+pk, s*inv)
+			}
+		}
+	}
+}
+
+// restrict2 is the refinement-factor-2 fast path of Restrict: each coarse
+// cell averages a 2×2×2 fine block, walked with flat strides. The eight
+// summands are added in the same (dk, dj, di) order as the generic loop,
+// so the result is bitwise identical.
+func restrict2(parent, child *Field3, offI, offJ, offK int) {
+	const inv = 1.0 / 8
+	cd, pd := child.Data, parent.Data
+	sy, sz := child.StrideY(), child.StrideZ()
+	for pk := 0; pk < child.Nz/2; pk++ {
+		for pj := 0; pj < child.Ny/2; pj++ {
+			cIdx := child.Idx(0, 2*pj, 2*pk)
+			pIdx := parent.Idx(offI/2, offJ/2+pj, offK/2+pk)
+			for pi := 0; pi < child.Nx/2; pi++ {
+				b := cIdx + 2*pi
+				s := cd[b] + cd[b+1] +
+					cd[b+sy] + cd[b+1+sy] +
+					cd[b+sz] + cd[b+1+sz] +
+					cd[b+sy+sz] + cd[b+1+sy+sz]
+				pd[pIdx+pi] = s * inv
 			}
 		}
 	}

@@ -134,9 +134,21 @@ func (f *Field3) MinMaxActive() (min, max float64) {
 
 // ApplyPeriodicBC copies the active faces into the ghost zones assuming the
 // field is periodic in all three dimensions (root-grid boundary condition).
+//
+// When the ghost depth does not exceed any active dimension (every real
+// field in the code base), the fill runs as three sweeps of contiguous row
+// and plane copies — x ghosts from the same row, then whole rows across y,
+// then whole planes across z — instead of a per-cell wrap-and-skip walk.
+// Ghost values are copies of the identical active cells either way, so the
+// fast path is bitwise-identical to the reference loop (which remains as
+// the fallback for pathological ng > N shapes).
 func (f *Field3) ApplyPeriodicBC() {
 	ng := f.Ng
 	if ng == 0 {
+		return
+	}
+	if ng <= f.Nx && ng <= f.Ny && ng <= f.Nz {
+		f.applyPeriodicFast()
 		return
 	}
 	wrap := func(v, n int) int {
@@ -161,6 +173,45 @@ func (f *Field3) ApplyPeriodicBC() {
 				f.Set(i, j, k, f.At(wrap(i, f.Nx), js, ks))
 			}
 		}
+	}
+}
+
+// applyPeriodicFast fills periodic ghosts with strided row/plane copies.
+// Order matters: after the x pass each active row is fully valid including
+// its x ghosts, so the y pass can copy whole rows and the z pass whole
+// planes, leaving every ghost equal to its wrapped active cell.
+func (f *Field3) applyPeriodicFast() {
+	ng := f.Ng
+	d := f.Data
+	// x: within each active row, ghost i<0 maps to i+Nx, i>=Nx to i-Nx.
+	for k := 0; k < f.Nz; k++ {
+		for j := 0; j < f.Ny; j++ {
+			base := f.Idx(0, j, k)
+			copy(d[base-ng:base], d[base+f.Nx-ng:base+f.Nx])
+			copy(d[base+f.Nx:base+f.Nx+ng], d[base:base+ng])
+		}
+	}
+	// y: whole rows (with x ghosts) wrap across the y faces.
+	rowLen := f.TotalX()
+	for k := 0; k < f.Nz; k++ {
+		for g := 1; g <= ng; g++ {
+			lo := f.Idx(-f.Ng, -g, k)
+			loSrc := f.Idx(-f.Ng, f.Ny-g, k)
+			copy(d[lo:lo+rowLen], d[loSrc:loSrc+rowLen])
+			hi := f.Idx(-f.Ng, f.Ny-1+g, k)
+			hiSrc := f.Idx(-f.Ng, g-1, k)
+			copy(d[hi:hi+rowLen], d[hiSrc:hiSrc+rowLen])
+		}
+	}
+	// z: whole planes (with x and y ghosts) wrap across the z faces.
+	planeLen := f.TotalX() * f.TotalY()
+	for g := 1; g <= ng; g++ {
+		lo := f.Idx(-f.Ng, -f.Ng, -g)
+		loSrc := f.Idx(-f.Ng, -f.Ng, f.Nz-g)
+		copy(d[lo:lo+planeLen], d[loSrc:loSrc+planeLen])
+		hi := f.Idx(-f.Ng, -f.Ng, f.Nz-1+g)
+		hiSrc := f.Idx(-f.Ng, -f.Ng, g-1)
+		copy(d[hi:hi+planeLen], d[hiSrc:hiSrc+planeLen])
 	}
 }
 

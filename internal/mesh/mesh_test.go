@@ -292,3 +292,40 @@ func TestPropProlongBoundedByParentRange(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPeriodicBCFastMatchesReference drives the row/plane-copy fast path
+// against a per-cell wrap reference over assorted (including non-cubic and
+// minimum-size) shapes: every ghost must carry the bits of its wrapped
+// active cell.
+func TestPeriodicBCFastMatchesReference(t *testing.T) {
+	wrap := func(v, n int) int {
+		v %= n
+		if v < 0 {
+			v += n
+		}
+		return v
+	}
+	shapes := [][4]int{{4, 4, 4, 2}, {8, 4, 2, 2}, {2, 2, 2, 1}, {5, 3, 7, 3}, {6, 1, 1, 1}}
+	for _, s := range shapes {
+		nx, ny, nz, ng := s[0], s[1], s[2], s[3]
+		f := NewField3(nx, ny, nz, ng)
+		for k := 0; k < nz; k++ {
+			for j := 0; j < ny; j++ {
+				for i := 0; i < nx; i++ {
+					f.Set(i, j, k, 1e-300*float64(1+i)+float64(i+17*j+291*k)*1.37)
+				}
+			}
+		}
+		f.ApplyPeriodicBC()
+		for k := -ng; k < nz+ng; k++ {
+			for j := -ng; j < ny+ng; j++ {
+				for i := -ng; i < nx+ng; i++ {
+					want := f.At(wrap(i, nx), wrap(j, ny), wrap(k, nz))
+					if got := f.At(i, j, k); got != want {
+						t.Fatalf("shape %v ghost (%d,%d,%d) = %v, want %v", s, i, j, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -200,6 +200,14 @@ func (*ChemistryOp) NGhost() int { return 0 }
 // (the dominant per-cell cost of a chemistry run), so the loop
 // parallelizes over z-planes with bitwise-identical results at any worker
 // count.
+//
+// Cells are batched one x-row at a time through a chem.Pencil: the gather
+// and scatter passes walk each species field as a contiguous slice (one
+// species at a time, SoA) with the per-species mass factors and the
+// code-unit conversions hoisted out of the cell loop. The hoisted factors
+// are the exact subexpressions the per-cell form computed — never a
+// reassociated product — so the conversion arithmetic is bitwise identical
+// to the old At/Set loop.
 func (*ChemistryOp) Apply(ctx *Context, g *Grid, dt float64) {
 	if !ctx.Chemistry {
 		return
@@ -214,31 +222,59 @@ func (*ChemistryOp) Apply(ctx *Context, g *Grid, dt float64) {
 		cp.Redshift = 1/ctx.Cosmo.A - 1
 	}
 	st := g.State
+	// Per-species weights (electrons stored as n_e * m_p) and their CGS
+	// mass factors, plus the code-unit denominators, hoisted once per call.
+	var wgt, wm [chem.NumSpecies]float64
+	for sp := 0; sp < chem.NumSpecies; sp++ {
+		w := chem.AtomicWeight[sp]
+		if w == 0 {
+			w = 1
+		}
+		wgt[sp] = w
+		wm[sp] = w * units.MProton
+	}
+	den := u.Density * aFac
+	vel2 := u.Velocity * u.Velocity
+	nx := g.Nx
 	par.For(ctx.Workers, g.Nz, 0, func(_, klo, khi int) {
+		pen := chem.NewPencil(nx)
 		for k := klo; k < khi; k++ {
 			for j := 0; j < g.Ny; j++ {
-				for i := 0; i < g.Nx; i++ {
-					var cs chem.State
-					for sp := 0; sp < chem.NumSpecies; sp++ {
-						w := chem.AtomicWeight[sp]
-						if w == 0 {
-							w = 1 // electrons stored as n_e * m_p
-						}
-						cs[sp] = st.Species[sp].At(i, j, k) * u.Density * aFac / (w * units.MProton)
+				// Gather: code-unit species densities -> number
+				// densities [cm^-3], one contiguous row per species.
+				for sp := 0; sp < chem.NumSpecies; sp++ {
+					src := st.Species[sp].Data
+					base := st.Species[sp].Idx(0, j, k)
+					dst := pen.Species[sp]
+					m := wm[sp]
+					for i := 0; i < nx; i++ {
+						dst[i] = src[base+i] * u.Density * aFac / m
 					}
-					eint := st.Eint.At(i, j, k) * u.Velocity * u.Velocity
-					out, e1, _ := chem.EvolveCell(cs, eint, dtSec, cp, ctx.ChemParams)
-					for sp := 0; sp < chem.NumSpecies; sp++ {
-						w := chem.AtomicWeight[sp]
-						if w == 0 {
-							w = 1
-						}
-						st.Species[sp].Set(i, j, k, out[sp]*w*units.MProton/(u.Density*aFac))
+				}
+				eintD := st.Eint.Data
+				eBase := st.Eint.Idx(0, j, k)
+				for i := 0; i < nx; i++ {
+					pen.Eint[i] = eintD[eBase+i] * u.Velocity * u.Velocity
+				}
+
+				pen.Evolve(dtSec, cp, ctx.ChemParams)
+
+				// Scatter back to code units, again species-at-a-time.
+				for sp := 0; sp < chem.NumSpecies; sp++ {
+					dst := st.Species[sp].Data
+					base := st.Species[sp].Idx(0, j, k)
+					src := pen.Species[sp]
+					w := wgt[sp]
+					for i := 0; i < nx; i++ {
+						dst[base+i] = src[i] * w * units.MProton / den
 					}
-					newEint := e1 / (u.Velocity * u.Velocity)
-					dE := newEint - st.Eint.At(i, j, k)
-					st.Eint.Set(i, j, k, newEint)
-					st.Etot.Add(i, j, k, dE)
+				}
+				etotD := st.Etot.Data
+				tBase := st.Etot.Idx(0, j, k)
+				for i := 0; i < nx; i++ {
+					newEint := pen.Eint[i] / vel2
+					etotD[tBase+i] += newEint - eintD[eBase+i]
+					eintD[eBase+i] = newEint
 				}
 			}
 		}
