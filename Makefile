@@ -4,7 +4,7 @@ GO ?= go
 # staticcheck job; bump deliberately, in its own commit.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test test-full vet staticcheck bench bench-scaling bench-kernels bench-sim bench-projection perfgate golden-update problems docs clean
+.PHONY: build test test-full vet staticcheck bench bench-scaling bench-kernels bench-sim bench-serve bench-projection perfgate golden-update problems docs clean
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,7 @@ staticcheck:
 # All paper-reproduction benchmarks, plus the job-service rows — together
 # these regenerate every committed BENCH_*.json history (append a row; do
 # not overwrite).
-bench: bench-sim
+bench: bench-sim bench-serve
 	$(GO) test -bench=. -benchmem .
 
 # Serial-vs-parallel scaling of the hot kernels (hydro sweeps, FFT
@@ -45,6 +45,12 @@ bench-kernels:
 # cache-hit fast path; the baseline lives in BENCH_sim.json.
 bench-sim:
 	$(GO) test -run xxx -bench 'Sim(Throughput|CacheHit)' -benchmem ./internal/sim
+
+# Artifact serving throughput (cold/warm/etag304/tiles read regimes of
+# one GET through the scheduler handler); the baseline lives in
+# BENCH_serve.json.
+bench-serve:
+	$(GO) test -run xxx -bench 'ServeReads' -benchmem ./internal/sim
 
 # The derived-output projection kernel (SurfaceDensity) at 1/2/4/NumCPU
 # workers; the baseline lives in BENCH_projection.json.

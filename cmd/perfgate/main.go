@@ -1,8 +1,8 @@
 // Command perfgate is the CI performance-regression gate: it runs the
 // repository's named benchmarks (BenchmarkScaling*, BenchmarkChemistry,
-// BenchmarkProjection, BenchmarkSimThroughput), parses the `go test
-// -bench` output, and compares each ns/op against the latest row of the
-// committed BENCH_*.json histories. A benchmark slower than baseline by
+// BenchmarkProjection, BenchmarkSimThroughput, BenchmarkServeReads),
+// parses the `go test -bench` output, and compares each ns/op against
+// the latest row of the committed BENCH_*.json histories. A benchmark slower than baseline by
 // more than the tolerance is a regression and the gate exits 1; a
 // benchmark faster by more than the tolerance is reported as an
 // improvement worth recording (append a row to the history — never
@@ -109,6 +109,13 @@ var gates = []gateSpec{
 		Bench: "^BenchmarkSimThroughput$",
 		Key: func(name string) (string, bool) {
 			return strings.CutPrefix(name, "BenchmarkSimThroughput/")
+		},
+	},
+	{
+		File: "BENCH_serve.json", Metric: "ns_per_op", Pkg: "./internal/sim",
+		Bench: "^BenchmarkServeReads$",
+		Key: func(name string) (string, bool) {
+			return strings.CutPrefix(name, "BenchmarkServeReads/")
 		},
 	},
 }

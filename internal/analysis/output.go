@@ -35,6 +35,12 @@ const (
 	// KindProjection integrates a cell field along an axis — the §6
 	// surface-density / projected X-ray map.
 	KindProjection OutputKind = "projection"
+	// KindPyramid is KindProjection re-rendered for scale-out serving: a
+	// deep-zoom tile container (fixed PyramidTileSize PGM tiles at
+	// power-of-two downsample levels) instead of one monolithic image.
+	// Level-0 tiles reassemble byte-for-byte into the PGM of the
+	// equivalent projection request. See BuildTileSet.
+	KindPyramid OutputKind = "pyramid"
 	// KindProfile is the Fig. 4 mass-weighted radial profile about the
 	// current densest point.
 	KindProfile OutputKind = "profile"
@@ -124,7 +130,7 @@ type OutputRequest struct {
 // sparsely they were spelled.
 func (r OutputRequest) Normalize() (OutputRequest, error) {
 	switch r.Kind {
-	case KindSlice, KindProjection:
+	case KindSlice, KindProjection, KindPyramid:
 		if r.Field == "" {
 			r.Field = "rho"
 		}
@@ -135,16 +141,30 @@ func (r OutputRequest) Normalize() (OutputRequest, error) {
 			return r, fmt.Errorf("analysis: output axis %d not in 0..2", r.Axis)
 		}
 		if r.N == 0 {
-			r.N = 64
+			if r.Kind == KindPyramid {
+				r.N = 256
+			} else {
+				r.N = 64
+			}
 		}
 		if r.N < 4 || r.N > 4096 {
 			return r, fmt.Errorf("analysis: output resolution n=%d not in 4..4096", r.N)
 		}
-		if r.Format == "" {
-			r.Format = FormatPGM
-		}
-		if r.Format != FormatPGM && r.Format != FormatPNG && r.Format != FormatJSON {
-			return r, fmt.Errorf("analysis: output format %q not pgm|png|json", r.Format)
+		if r.Kind == KindPyramid {
+			// Tiles are always PGM; the container is the format.
+			if r.Format != "" {
+				return r, fmt.Errorf("analysis: pyramid outputs have no format knob (tiles are PGM)")
+			}
+			if r.N < PyramidTileSize || r.N&(r.N-1) != 0 {
+				return r, fmt.Errorf("analysis: pyramid resolution n=%d must be a power of two >= %d", r.N, PyramidTileSize)
+			}
+		} else {
+			if r.Format == "" {
+				r.Format = FormatPGM
+			}
+			if r.Format != FormatPGM && r.Format != FormatPNG && r.Format != FormatJSON {
+				return r, fmt.Errorf("analysis: output format %q not pgm|png|json", r.Format)
+			}
 		}
 		if r.Kind == KindSlice {
 			if r.Coord == 0 {
@@ -191,7 +211,7 @@ func (r OutputRequest) Normalize() (OutputRequest, error) {
 		r.Field, r.Axis, r.Coord, r.N, r.NSamp, r.Format = "", 0, 0, 0, 0, ""
 		r.Threshold, r.MinSep = 0, 0
 	default:
-		return r, fmt.Errorf("analysis: output kind %q unknown (want slice|projection|profile|clumps|snapshot|checkpoint)", r.Kind)
+		return r, fmt.Errorf("analysis: output kind %q unknown (want slice|projection|pyramid|profile|clumps|snapshot|checkpoint)", r.Kind)
 	}
 	if r.Every < 0 {
 		return r, fmt.Errorf("analysis: output cadence every=%d must be >= 0", r.Every)
@@ -416,6 +436,22 @@ func (r OutputRequest) Evaluate(h *amr.Hierarchy, problem string, step, workers 
 		}
 		data := ProjectField(h, r.Axis, 0, 1, 0, 1, r.N, r.NSamp, workers, value)
 		return r.encodeImage(art, data)
+	case KindPyramid:
+		value, err := FieldExtractor(h, r.Field)
+		if err != nil {
+			return art, err
+		}
+		// Same base map (and auto-scaling) as the equivalent projection,
+		// so level-0 tiles stitch back into that request's exact PGM.
+		data := ProjectField(h, r.Axis, 0, 1, 0, 1, r.N, r.NSamp, workers, value)
+		payload, err := BuildTileSet(data, PyramidTileSize, workers)
+		if err != nil {
+			return art, err
+		}
+		art.Name = fmt.Sprintf("pyramid_%s_%c_step%04d.tiles", r.Field, "xyz"[r.Axis], step)
+		art.ContentType = TileSetContentType
+		art.Data = payload
+		return art, nil
 	case KindProfile:
 		center, _ := DensestPoint(h)
 		pr, err := RadialProfile(h, center, ProfileParams{

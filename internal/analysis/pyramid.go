@@ -1,0 +1,241 @@
+package analysis
+
+// Deep-zoom projection pyramids: the millions-of-readers data product.
+// A pyramid renders the same integrated map as KindProjection and then
+// cuts it — plus a chain of 2×2-averaged downsample levels — into fixed
+// size PGM tiles, so a viewer fetches kilobytes at the zoom level it
+// needs instead of the whole map. The container is one artifact (a
+// ".tiles" file); the sim HTTP layer serves individual tiles from it
+// under /jobs/{id}/artifacts/{name}/{z}/{x}/{y}.
+//
+// Determinism contract: like every analysis kernel, the payload is
+// bitwise identical at any worker count. The base map is ProjectField
+// (row-disjoint par.For, fixed-order accumulation); downsampling and
+// quantization are per-element expressions with no cross-worker
+// reduction. All levels quantize against the *base* map's data range, so
+// gray levels agree across zoom levels — and so a reassembled level-0
+// raster is byte-identical to the PGM a KindProjection request with the
+// same knobs produces.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"repro/internal/par"
+)
+
+// PyramidTileSize is the fixed tile edge in pixels. Power of two, so
+// every level of a power-of-two base map tiles exactly.
+const PyramidTileSize = 64
+
+// TileSetContentType is the MIME type of the pyramid container artifact.
+const TileSetContentType = "application/x-repro-tileset"
+
+// tileSetMagic starts a serialized tile set; the decimal that follows is
+// the JSON header length in bytes.
+const tileSetMagic = "tileset1 "
+
+// TileRef locates one tile inside a TileSet payload. Z is the zoom
+// level (0 = full resolution, each further level halves the map), X/Y
+// the tile column/row at that level (Y=0 is the top row of the rendered
+// image), and Off/Len the tile's PGM bytes within the payload section.
+type TileRef struct {
+	Z   int `json:"z"`
+	X   int `json:"x"`
+	Y   int `json:"y"`
+	Off int `json:"off"`
+	Len int `json:"len"`
+}
+
+// TileSet is a parsed pyramid container: the header describing the
+// level geometry and quantization range, plus the concatenated PGM tile
+// payloads.
+type TileSet struct {
+	// N is the base (level 0) map resolution; level z is N>>z pixels on
+	// a side.
+	N int `json:"n"`
+	// TileSize is the tile edge in pixels (PyramidTileSize today).
+	TileSize int `json:"tile_size"`
+	// Levels is the number of zoom levels; the coarsest one is a single
+	// tile.
+	Levels int `json:"levels"`
+	// Lo and Hi are the data values mapped to gray 0 and 255 — the base
+	// map's range, shared by every level.
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+	// Tiles indexes every tile payload, ordered by (z, y, x).
+	Tiles []TileRef `json:"tiles"`
+
+	payload []byte // concatenated PGM tiles, offsets per Tiles
+}
+
+// PyramidLevels returns how many zoom levels an n-pixel base map yields
+// with the given tile size: halvings from n down to one tile.
+func PyramidLevels(n, tileSize int) int {
+	levels := 0
+	for s := n; s >= tileSize; s >>= 1 {
+		levels++
+	}
+	return levels
+}
+
+// BuildTileSet renders a 2-D field into a deep-zoom tile container.
+// len(data) must be a power-of-two multiple of tileSize (both powers of
+// two); workers sizes the par.For pool (0 = NumCPU, 1 = serial). The
+// output is bitwise independent of workers.
+func BuildTileSet(data [][]float64, tileSize, workers int) ([]byte, error) {
+	n := len(data)
+	if n == 0 || len(data[0]) != n {
+		return nil, fmt.Errorf("analysis: tile set needs a square map, got %dx%d", len(data), n)
+	}
+	if tileSize <= 0 || tileSize&(tileSize-1) != 0 {
+		return nil, fmt.Errorf("analysis: tile size %d is not a power of two", tileSize)
+	}
+	if n < tileSize || n&(n-1) != 0 {
+		return nil, fmt.Errorf("analysis: map size %d is not a power-of-two multiple of the tile size %d", n, tileSize)
+	}
+	lo, hi := dataRange(data)
+	ts := TileSet{
+		N:        n,
+		TileSize: tileSize,
+		Levels:   PyramidLevels(n, tileSize),
+		Lo:       lo,
+		Hi:       hi,
+	}
+	var payload bytes.Buffer
+	level := data
+	for z := 0; z < ts.Levels; z++ {
+		if z > 0 {
+			level = downsample2x2(level, workers)
+		}
+		raster := quantizeRaster(level, lo, hi, workers)
+		size := n >> z
+		per := size / tileSize
+		header := fmt.Sprintf("P5\n%d %d\n255\n", tileSize, tileSize)
+		for ty := 0; ty < per; ty++ {
+			for tx := 0; tx < per; tx++ {
+				ref := TileRef{Z: z, X: tx, Y: ty, Off: payload.Len()}
+				payload.WriteString(header)
+				for r := ty * tileSize; r < (ty+1)*tileSize; r++ {
+					payload.Write(raster[r][tx*tileSize : (tx+1)*tileSize])
+				}
+				ref.Len = payload.Len() - ref.Off
+				ts.Tiles = append(ts.Tiles, ref)
+			}
+		}
+	}
+	head, err := json.Marshal(ts)
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	out.Grow(len(tileSetMagic) + 24 + len(head) + payload.Len())
+	fmt.Fprintf(&out, "%s%d\n", tileSetMagic, len(head))
+	out.Write(head)
+	out.WriteByte('\n')
+	out.Write(payload.Bytes())
+	return out.Bytes(), nil
+}
+
+// downsample2x2 halves a map by averaging disjoint 2×2 blocks — the
+// fixed-order four-term sum every worker computes identically.
+func downsample2x2(data [][]float64, workers int) [][]float64 {
+	n := len(data) / 2
+	out := make([][]float64, n)
+	for b := range out {
+		out[b] = make([]float64, n)
+	}
+	par.For(workers, n, 0, func(_, blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			r0, r1 := data[2*b], data[2*b+1]
+			for a := 0; a < n; a++ {
+				out[b][a] = (r0[2*a] + r0[2*a+1] + r1[2*a] + r1[2*a+1]) * 0.25
+			}
+		}
+	})
+	return out
+}
+
+// quantizeRaster maps a field to the 8-bit gray raster the image
+// encoders produce — [lo,hi] scaled to [0,255], row 0 on top with +axis1
+// up — parallel over rows (each row is a disjoint write).
+func quantizeRaster(data [][]float64, lo, hi float64, workers int) [][]byte {
+	n1 := len(data)
+	out := make([][]byte, n1)
+	par.For(workers, n1, 0, func(_, blo, bhi int) {
+		for row := blo; row < bhi; row++ {
+			src := data[n1-1-row] // flip so +axis1 points up
+			pix := make([]byte, len(src))
+			for col, v := range src {
+				pix[col] = byte(255 * (v - lo) / (hi - lo))
+			}
+			out[row] = pix
+		}
+	})
+	return out
+}
+
+// ParseTileSet decodes a pyramid container produced by BuildTileSet.
+// The returned TileSet shares b's memory; treat it as read-only.
+func ParseTileSet(b []byte) (*TileSet, error) {
+	rest, ok := bytes.CutPrefix(b, []byte(tileSetMagic))
+	if !ok {
+		return nil, fmt.Errorf("analysis: not a tile set (missing %q magic)", tileSetMagic)
+	}
+	nl := bytes.IndexByte(rest, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("analysis: truncated tile set header")
+	}
+	headLen, err := strconv.Atoi(string(rest[:nl]))
+	if err != nil || headLen < 0 || nl+1+headLen+1 > len(rest) {
+		return nil, fmt.Errorf("analysis: bad tile set header length")
+	}
+	var ts TileSet
+	if err := json.Unmarshal(rest[nl+1:nl+1+headLen], &ts); err != nil {
+		return nil, fmt.Errorf("analysis: tile set header: %w", err)
+	}
+	ts.payload = rest[nl+1+headLen+1:]
+	for _, t := range ts.Tiles {
+		if t.Off < 0 || t.Len < 0 || t.Off+t.Len > len(ts.payload) {
+			return nil, fmt.Errorf("analysis: tile set index out of payload bounds")
+		}
+	}
+	return &ts, nil
+}
+
+// TilesPerSide returns the tile count along one edge of level z (0 when
+// z is out of range).
+func (ts *TileSet) TilesPerSide(z int) int {
+	if z < 0 || z >= ts.Levels {
+		return 0
+	}
+	return (ts.N >> z) / ts.TileSize
+}
+
+// Tile returns the PGM bytes of tile (z, x, y), or false when the
+// coordinates are outside the pyramid.
+func (ts *TileSet) Tile(z, x, y int) ([]byte, bool) {
+	per := ts.TilesPerSide(z)
+	if per == 0 || x < 0 || x >= per || y < 0 || y >= per {
+		return nil, false
+	}
+	// Tiles are ordered by (z, y, x), so the index is arithmetic — O(1)
+	// on the serving hot path; the coordinate check guards a header that
+	// lies about its ordering.
+	idx := 0
+	for l := 0; l < z; l++ {
+		p := ts.TilesPerSide(l)
+		idx += p * p
+	}
+	idx += y*per + x
+	if idx >= len(ts.Tiles) {
+		return nil, false
+	}
+	t := ts.Tiles[idx]
+	if t.Z != z || t.X != x || t.Y != y {
+		return nil, false
+	}
+	return ts.payload[t.Off : t.Off+t.Len], true
+}

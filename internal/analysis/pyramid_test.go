@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+func TestPyramidNormalize(t *testing.T) {
+	r, err := OutputRequest{Kind: KindPyramid}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N != 256 || r.NSamp != 256 || r.Field != "rho" || r.Format != "" || r.Coord != 0 {
+		t.Fatalf("pyramid defaults wrong: %+v", r)
+	}
+	bad := []OutputRequest{
+		{Kind: KindPyramid, N: 100},                // not a power of two
+		{Kind: KindPyramid, N: 32},                 // below the tile size
+		{Kind: KindPyramid, Format: FormatPNG},     // tiles are always PGM
+		{Kind: KindPyramid, Field: "nonsense"},     // unknown field
+		{Kind: KindPyramid, N: 128, NSamp: 100000}, // nsamp out of range
+	}
+	for _, r := range bad {
+		if _, err := r.Normalize(); err == nil {
+			t.Errorf("Normalize(%+v) did not fail", r)
+		}
+	}
+}
+
+// gradientMap builds a deterministic non-constant n×n test field.
+func gradientMap(n int) [][]float64 {
+	data := make([][]float64, n)
+	for b := range data {
+		data[b] = make([]float64, n)
+		for a := range data[b] {
+			data[b][a] = float64(a*a+3*b) / float64(n)
+		}
+	}
+	return data
+}
+
+// stitchLevel0 reassembles the level-0 tiles into a full-resolution PGM.
+func stitchLevel0(t *testing.T, ts *TileSet) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	fmt.Fprintf(&out, "P5\n%d %d\n255\n", ts.N, ts.N)
+	per := ts.TilesPerSide(0)
+	tileHeader := len(fmt.Sprintf("P5\n%d %d\n255\n", ts.TileSize, ts.TileSize))
+	for r := 0; r < ts.N; r++ {
+		for x := 0; x < per; x++ {
+			tile, ok := ts.Tile(0, x, r/ts.TileSize)
+			if !ok {
+				t.Fatalf("missing tile (0,%d,%d)", x, r/ts.TileSize)
+			}
+			rows := tile[tileHeader:]
+			rr := r % ts.TileSize
+			out.Write(rows[rr*ts.TileSize : (rr+1)*ts.TileSize])
+		}
+	}
+	return out.Bytes()
+}
+
+func TestTileSetGeometryAndStitch(t *testing.T) {
+	const n = 128
+	data := gradientMap(n)
+	payload, err := BuildTileSet(data, PyramidTileSize, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := ParseTileSet(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.N != n || ts.TileSize != PyramidTileSize || ts.Levels != 2 {
+		t.Fatalf("geometry wrong: %+v", ts)
+	}
+	if len(ts.Tiles) != 4+1 {
+		t.Fatalf("tile count %d, want 5", len(ts.Tiles))
+	}
+	// Every tile is a standalone PGM of the tile size.
+	for _, ref := range ts.Tiles {
+		tile, ok := ts.Tile(ref.Z, ref.X, ref.Y)
+		if !ok {
+			t.Fatalf("tile (%d,%d,%d) not found", ref.Z, ref.X, ref.Y)
+		}
+		if !bytes.HasPrefix(tile, []byte(fmt.Sprintf("P5\n%d %d\n255\n", PyramidTileSize, PyramidTileSize))) {
+			t.Fatalf("tile (%d,%d,%d) is not a %d-pixel PGM", ref.Z, ref.X, ref.Y, PyramidTileSize)
+		}
+	}
+	// Level-0 tiles stitch back into the exact full-resolution PGM.
+	var want bytes.Buffer
+	if err := WritePGM(&want, data); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stitchLevel0(t, ts), want.Bytes()) {
+		t.Fatal("stitched level-0 raster differs from WritePGM output")
+	}
+	// Out-of-bounds coordinates are rejected, in-bounds coarse level is not.
+	for _, c := range [][3]int{{0, 2, 0}, {0, 0, -1}, {1, 1, 0}, {2, 0, 0}, {-1, 0, 0}} {
+		if _, ok := ts.Tile(c[0], c[1], c[2]); ok {
+			t.Errorf("tile %v should be out of bounds", c)
+		}
+	}
+	if _, ok := ts.Tile(1, 0, 0); !ok {
+		t.Fatal("coarsest tile missing")
+	}
+}
+
+func TestParseTileSetRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{
+		nil,
+		[]byte("P5\n64 64\n255\n"),
+		[]byte("tileset1 999999\n{}"),
+		[]byte("tileset1 2\n{}"), // missing payload separator
+	} {
+		if _, err := ParseTileSet(b); err == nil {
+			t.Errorf("ParseTileSet(%q...) did not fail", b)
+		}
+	}
+}
+
+// TestPyramidBitwiseAcrossWorkersAndMatchesProjection is the acceptance
+// guard: the container is bitwise identical at 1 and NumCPU workers, and
+// its level-0 tiles reassemble into the byte-exact PGM of the equivalent
+// projection request.
+func TestPyramidBitwiseAcrossWorkersAndMatchesProjection(t *testing.T) {
+	h := buildTestHierarchy(t)
+	req, err := OutputRequest{Kind: KindPyramid, N: 128, NSamp: 8, Axis: 2}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := req.Evaluate(h, "test", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := req.Evaluate(h, "test", 0, runtime.NumCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Data, parallel.Data) {
+		t.Fatal("pyramid payload depends on the worker count")
+	}
+	if serial.ContentType != TileSetContentType || serial.Name != "pyramid_rho_z_step0000.tiles" {
+		t.Fatalf("bad artifact meta: %+v", serial)
+	}
+
+	proj, err := OutputRequest{Kind: KindProjection, N: 128, NSamp: 8, Axis: 2, Format: FormatPGM}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := proj.Evaluate(h, "test", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := ParseTileSet(serial.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stitchLevel0(t, ts), full.Data) {
+		t.Fatal("stitched level-0 tiles differ from the projection PGM")
+	}
+}

@@ -11,7 +11,8 @@ import (
 // everything but the payload bytes. Size is always the stored (on-wire)
 // byte count; for compressed products (snapshot/checkpoint payloads)
 // RawSize additionally reports the uncompressed gob size, so the index
-// shows both sides of the compression.
+// shows both sides of the compression. Hash is the payload's sha256
+// content hash — the blob-store key and the artifact's strong HTTP ETag.
 type ArtifactMeta struct {
 	Name        string  `json:"name"`
 	Kind        string  `json:"kind"`
@@ -21,6 +22,7 @@ type ArtifactMeta struct {
 	ContentType string  `json:"content_type"`
 	Size        int     `json:"size"`
 	RawSize     int64   `json:"raw_size,omitempty"`
+	Hash        string  `json:"content_hash,omitempty"`
 }
 
 func metaOf(a analysis.Artifact) ArtifactMeta {
@@ -36,6 +38,21 @@ func metaOf(a analysis.Artifact) ArtifactMeta {
 	}
 }
 
+// artifactOf rebuilds the analysis.Artifact form from a metadata row
+// plus its payload bytes.
+func artifactOf(m ArtifactMeta, data []byte) analysis.Artifact {
+	return analysis.Artifact{
+		Name:        m.Name,
+		Kind:        analysis.OutputKind(m.Kind),
+		Field:       m.Field,
+		Step:        m.Step,
+		Time:        m.Time,
+		ContentType: m.ContentType,
+		RawSize:     m.RawSize,
+		Data:        data,
+	}
+}
+
 // ArtifactIndex is the GET /jobs/{id}/artifacts payload: the retained
 // artifacts in production order plus the store's bookkeeping.
 type ArtifactIndex struct {
@@ -48,119 +65,198 @@ type ArtifactIndex struct {
 }
 
 // ArtifactStore is a bounded, per-job collection of derived-output
-// artifacts. Artifacts are retained in production order up to a byte and
-// count budget; when a new artifact would exceed it, the oldest retained
-// artifacts are evicted first (a long run's trailing products win over
-// its head). Watchers stream artifact-ready metadata with full replay,
-// mirroring Job.Watch.
+// artifacts. It retains metadata rows in production order up to a byte
+// and count budget; the payload bytes live in the scheduler's shared
+// content-addressed BlobCache, referenced by hash. When a new artifact
+// would exceed the budget, the oldest retained artifacts are evicted
+// first (a long run's trailing products win over its head). Watchers
+// stream artifact-ready metadata with full replay, mirroring Job.Watch.
 type ArtifactStore struct {
 	mu       sync.Mutex
+	blobs    *BlobCache
 	maxBytes int
 	maxCount int
 	bytes    int
 	dropped  int
-	arts     []analysis.Artifact
+	arts     []ArtifactMeta
+	idx      *ArtifactIndex // cached Index snapshot; nil after any mutation
 	subs     []chan ArtifactMeta
 	closed   bool
 }
 
-// newArtifactStore sizes a store; budgets <= 0 take the scheduler
-// defaults.
-func newArtifactStore(maxBytes, maxCount int) *ArtifactStore {
+// newArtifactStore sizes a store over the shared blob tier; budgets <= 0
+// take the scheduler defaults.
+func newArtifactStore(maxBytes, maxCount int, blobs *BlobCache) *ArtifactStore {
 	if maxBytes <= 0 {
 		maxBytes = DefaultArtifactBytes
 	}
 	if maxCount <= 0 {
 		maxCount = DefaultArtifactCount
 	}
-	return &ArtifactStore{maxBytes: maxBytes, maxCount: maxCount}
+	if blobs == nil {
+		blobs = NewBlobCache(NewMemStore(), 0)
+	}
+	return &ArtifactStore{maxBytes: maxBytes, maxCount: maxCount, blobs: blobs}
 }
 
 // Put stores one artifact, evicting oldest-first to fit the budgets.
-// It reports whether the artifact was retained at all, and the names it
-// evicted to make room — both so a persistent backing store can mirror
-// the store's contents exactly (a refused artifact must not be
-// persisted, an evicted one must be deleted). An artifact with the name
-// of a retained one replaces it in place — the path a resumed job takes
-// when it re-derives a product it had already emitted before the
-// interruption; the replacement bytes are bitwise identical, so
-// position and identity are preserved. An artifact larger than the
-// whole byte budget is refused (counted in Dropped). Watchers are
-// notified without blocking.
-func (s *ArtifactStore) Put(a analysis.Artifact) (evicted []string, stored bool) {
+// It reports whether the artifact was retained at all, the payload's
+// content hash when it was, and the names it evicted to make room — all
+// so a persistent backing store can mirror the store's contents exactly
+// (a refused artifact must not be persisted, an evicted one must be
+// deleted). An artifact with the name of a retained one replaces it in
+// place — the path a resumed job takes when it re-derives a product it
+// had already emitted before the interruption; the replacement bytes
+// are bitwise identical, so position, identity, and (via the content
+// hash) the ETag are preserved. An artifact larger than the whole byte
+// budget is refused (counted in Dropped). Watchers are notified without
+// blocking.
+func (s *ArtifactStore) Put(a analysis.Artifact) (evicted []string, hash string, stored bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(a.Data) > s.maxBytes {
 		s.dropped++
+		s.idx = nil // the refusal shows up in Index().Dropped
+		return nil, "", false
+	}
+	m := metaOf(a)
+	m.Hash = s.blobs.Acquire(a.Data)
+	evicted = s.insertLocked(m)
+	return evicted, m.Hash, true
+}
+
+// putRecovered re-registers a persisted artifact by metadata alone: the
+// payload stays in the store's blob tier (referenced, not resident)
+// until a reader asks for it. The metadata row must carry its content
+// hash; rows without one (a pre-content-addressing store) are refused.
+func (s *ArtifactStore) putRecovered(m ArtifactMeta) (evicted []string, stored bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.Size > s.maxBytes || m.Hash == "" {
+		s.dropped++
+		s.idx = nil
 		return nil, false
 	}
+	if err := s.blobs.AcquireRef(m.Hash, int64(m.Size)); err != nil {
+		s.dropped++
+		s.idx = nil
+		return nil, false
+	}
+	return s.insertLocked(m), true
+}
+
+// insertLocked places a referenced metadata row, replacing its name or
+// evicting oldest rows to fit, and notifies watchers; s.mu must be held
+// and the row's blob reference already acquired.
+func (s *ArtifactStore) insertLocked(m ArtifactMeta) (evicted []string) {
 	replaced := false
 	for i := range s.arts {
-		if s.arts[i].Name == a.Name {
-			s.bytes += len(a.Data) - len(s.arts[i].Data)
-			s.arts[i] = a
+		if s.arts[i].Name == m.Name {
+			s.bytes += m.Size - s.arts[i].Size
+			s.blobs.Release(s.arts[i].Hash)
+			s.arts[i] = m
 			replaced = true
 			break
 		}
 	}
 	if !replaced {
-		for len(s.arts) > 0 && (s.bytes+len(a.Data) > s.maxBytes || len(s.arts)+1 > s.maxCount) {
-			s.bytes -= len(s.arts[0].Data)
+		for len(s.arts) > 0 && (s.bytes+m.Size > s.maxBytes || len(s.arts)+1 > s.maxCount) {
+			s.bytes -= s.arts[0].Size
+			s.blobs.Release(s.arts[0].Hash)
 			evicted = append(evicted, s.arts[0].Name)
-			s.arts[0] = analysis.Artifact{} // release the payload; the backing array outlives the re-slice
+			s.arts[0] = ArtifactMeta{} // release the row; the backing array outlives the re-slice
 			s.arts = s.arts[1:]
 			s.dropped++
 		}
-		s.arts = append(s.arts, a)
-		s.bytes += len(a.Data)
+		s.arts = append(s.arts, m)
+		s.bytes += m.Size
 	}
-	m := metaOf(a)
+	s.idx = nil
 	for _, ch := range s.subs {
 		select {
 		case ch <- m:
 		default: // lagging subscriber: drop, never stall the job
 		}
 	}
-	return evicted, true
+	return evicted
 }
 
-// Get returns the retained artifact with the given name.
-func (s *ArtifactStore) Get(name string) (analysis.Artifact, bool) {
+// Stat returns the metadata row of the named artifact without touching
+// the payload tier — the serving fast path (HEAD, If-None-Match).
+func (s *ArtifactStore) Stat(name string) (ArtifactMeta, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, a := range s.arts {
-		if a.Name == name {
-			return a, true
+	for _, m := range s.arts {
+		if m.Name == name {
+			return m, true
 		}
 	}
-	return analysis.Artifact{}, false
+	return ArtifactMeta{}, false
 }
 
-// All returns the retained artifacts in production order. The payload
-// bytes are shared, not copied; treat them as read-only.
+// Open returns the metadata row and payload bytes of the named
+// artifact, fetching the payload through the blob tier (hot-tier hit or
+// disk read). The bytes are shared — read-only.
+func (s *ArtifactStore) Open(name string) (ArtifactMeta, []byte, error) {
+	m, ok := s.Stat(name)
+	if !ok {
+		return m, nil, fmt.Errorf("no artifact %q", name)
+	}
+	data, err := s.blobs.Get(m.Hash)
+	if err != nil {
+		return m, nil, err
+	}
+	return m, data, nil
+}
+
+// Get returns the retained artifact with the given name, payload
+// included (false also when the payload read fails).
+func (s *ArtifactStore) Get(name string) (analysis.Artifact, bool) {
+	m, data, err := s.Open(name)
+	if err != nil {
+		return analysis.Artifact{}, false
+	}
+	return artifactOf(m, data), true
+}
+
+// All returns the retained artifacts in production order, payloads
+// included. The payload bytes are shared, not copied; treat them as
+// read-only.
 func (s *ArtifactStore) All() []analysis.Artifact {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]analysis.Artifact, len(s.arts))
-	copy(out, s.arts)
+	metas := make([]ArtifactMeta, len(s.arts))
+	copy(metas, s.arts)
+	s.mu.Unlock()
+	out := make([]analysis.Artifact, 0, len(metas))
+	for _, m := range metas {
+		data, err := s.blobs.Get(m.Hash)
+		if err != nil {
+			continue
+		}
+		out = append(out, artifactOf(m, data))
+	}
 	return out
 }
 
-// Index snapshots the store's metadata.
+// Index snapshots the store's metadata. The snapshot is cached between
+// mutations, so the index endpoint — on the hot read path — costs a
+// pointer copy, not a per-request rebuild; the shared Artifacts slice
+// is read-only.
 func (s *ArtifactStore) Index() ArtifactIndex {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	idx := ArtifactIndex{
-		Count:     len(s.arts),
-		Bytes:     s.bytes,
-		Dropped:   s.dropped,
-		Capacity:  s.maxBytes,
-		Artifacts: make([]ArtifactMeta, len(s.arts)),
+	if s.idx == nil {
+		arts := make([]ArtifactMeta, len(s.arts))
+		copy(arts, s.arts)
+		s.idx = &ArtifactIndex{
+			Count:     len(s.arts),
+			Bytes:     s.bytes,
+			Dropped:   s.dropped,
+			Capacity:  s.maxBytes,
+			Artifacts: arts,
+		}
 	}
-	for i, a := range s.arts {
-		idx.Artifacts[i] = metaOf(a)
-	}
-	return idx
+	return *s.idx
 }
 
 // Count returns the number of retained artifacts and their total bytes.
@@ -179,8 +275,8 @@ func (s *ArtifactStore) Watch() <-chan ArtifactMeta {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ch := make(chan ArtifactMeta, len(s.arts)+64)
-	for _, a := range s.arts {
-		ch <- metaOf(a)
+	for _, m := range s.arts {
+		ch <- m
 	}
 	if s.closed {
 		close(ch)
@@ -217,6 +313,20 @@ func (s *ArtifactStore) close() {
 		close(ch)
 	}
 	s.subs = nil
+}
+
+// release drops the store's blob references — called when the job is
+// forgotten entirely (cache eviction), so the shared tier does not pin
+// payloads nobody can reach.
+func (s *ArtifactStore) release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.arts {
+		s.blobs.Release(m.Hash)
+	}
+	s.arts = nil
+	s.bytes = 0
+	s.idx = nil
 }
 
 // Artifact-store sizing defaults: enough for a sweep's worth of images

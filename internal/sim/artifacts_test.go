@@ -18,7 +18,7 @@ func art(name string, size int) analysis.Artifact {
 }
 
 func TestArtifactStoreBounds(t *testing.T) {
-	s := newArtifactStore(100, 3)
+	s := newArtifactStore(100, 3, nil)
 	s.Put(art("a", 40))
 	s.Put(art("b", 40))
 	if n, b := s.Count(); n != 2 || b != 80 {
@@ -50,7 +50,7 @@ func TestArtifactStoreBounds(t *testing.T) {
 }
 
 func TestArtifactStoreWatchReplayAndClose(t *testing.T) {
-	s := newArtifactStore(1000, 10)
+	s := newArtifactStore(1000, 10, nil)
 	s.Put(art("a", 1))
 	ch := s.Watch()
 	if m := <-ch; m.Name != "a" {

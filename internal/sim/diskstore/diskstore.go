@@ -4,20 +4,27 @@
 // completed results and artifacts as cache hits and resumes interrupted
 // jobs from their latest checkpoint.
 //
-// On-disk layout (everything written via temp-file + atomic rename, so
-// a kill at any instant leaves either the old record or the new one,
-// never a torn file):
+// On-disk layout (everything written via temp-file + atomic rename with
+// fsync of the file and its parent directory, so a kill — or a power
+// cut right after the rename — leaves either the old record or the new
+// one, never a torn or lost file):
 //
 //	<root>/jobs/<id>/manifest.json        the job-state WAL (latest transition wins)
 //	<root>/jobs/<id>/result.json          the terminal Result of a done job
-//	<root>/jobs/<id>/artifacts/index.json retained artifact metadata, production order
-//	<root>/jobs/<id>/artifacts/<name>     one payload per artifact
+//	<root>/jobs/<id>/artifacts/index.json retained artifact metadata rows
+//	                                      (name → meta + content hash), production order
+//	<root>/blobs/<hh>/<hash>              content-addressed artifact payloads,
+//	                                      one per distinct sha256 across ALL jobs
 //	<root>/jobs/<id>/checkpoints/step_NNNNNNNN.ckpt
 //	                                      snapshot-format restart points; the
 //	                                      latest two are retained
 //
-// Size gauges (checkpoint/artifact bytes) are scanned once at open and
-// maintained incrementally afterwards.
+// Artifact payloads are content-addressed: identical products emitted
+// by any number of jobs occupy one blob file, refcounted by the index
+// rows that name their hash; the last dereference deletes the blob.
+// Size gauges (checkpoint/artifact/blob bytes) are scanned once at open
+// and maintained incrementally afterwards; blobs no index references
+// (a crash between blob write and index write) are swept at open.
 package diskstore
 
 import (
@@ -43,22 +50,32 @@ const keepCheckpoints = 2
 // Store implements sim.Store on a directory tree. Safe for concurrent
 // use; a single mutex serializes metadata writes (the payloads are
 // large, but job persistence is off the step hot path — checkpoint
-// cadence bounds how often it runs).
+// cadence bounds how often it runs). Blob reads (LoadBlob) take the
+// mutex only long enough to consult the refcount table.
 type Store struct {
 	root string
 
 	mu        sync.Mutex
 	ckptBytes int64
 	ckptCount int
-	artBytes  int64
+	artBytes  int64 // logical bytes: sum of index-row sizes, before dedupe
 	artCount  int
+	blobBytes int64 // physical bytes: each distinct payload once
+	blobCount int
+	dedupe    int64          // bytes not rewritten because the blob existed
+	refs      map[string]int // content hash -> referencing index rows
 }
 
-// New opens (creating if needed) a disk store rooted at dir and scans
-// its current sizes.
+// New opens (creating if needed) a disk store rooted at dir, scans its
+// current sizes, rebuilds the blob refcount table from the per-job
+// indexes, and sweeps crash residue (orphaned temp files, unreferenced
+// blobs).
 func New(dir string) (*Store, error) {
-	s := &Store{root: dir}
+	s := &Store{root: dir, refs: make(map[string]int)}
 	if err := os.MkdirAll(s.jobsDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	if err := os.MkdirAll(s.blobsDir(), 0o755); err != nil {
 		return nil, fmt.Errorf("diskstore: %w", err)
 	}
 	ids, err := s.jobIDs()
@@ -70,16 +87,56 @@ func New(dir string) (*Store, error) {
 		sweepTemps(s.ckptDir(id))
 		sweepTemps(s.artDir(id))
 		s.ckptBytes += dirBytes(s.ckptDir(id), &s.ckptCount)
-		s.artBytes += dirBytes(s.artDir(id), &s.artCount)
-	}
-	// index.json is metadata, not payload: don't count it as artifact bytes.
-	for _, id := range ids {
-		if fi, err := os.Stat(filepath.Join(s.artDir(id), indexFile)); err == nil {
-			s.artBytes -= fi.Size()
-			s.artCount--
+		rows, err := s.loadArtIndex(id)
+		if err != nil {
+			continue // an unreadable index degrades to "no artifacts", never blocks startup
+		}
+		for _, row := range rows {
+			if row.Hash == "" {
+				continue
+			}
+			s.artBytes += row.Size
+			s.artCount++
+			s.refs[row.Hash]++
 		}
 	}
+	s.sweepBlobs()
 	return s, nil
+}
+
+// sweepBlobs walks the blob tier, counting referenced blobs into the
+// gauges and deleting unreferenced ones (a kill between the blob write
+// and the index write orphans the blob; the index write ordering
+// guarantees the reverse — a referenced-but-missing blob — cannot
+// happen).
+func (s *Store) sweepBlobs() {
+	shards, err := os.ReadDir(s.blobsDir())
+	if err != nil {
+		return
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		dir := filepath.Join(s.blobsDir(), shard.Name())
+		sweepTemps(dir)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			fi, err := e.Info()
+			if err != nil || !fi.Mode().IsRegular() {
+				continue
+			}
+			if s.refs[e.Name()] > 0 {
+				s.blobBytes += fi.Size()
+				s.blobCount++
+			} else {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
 }
 
 // indexFile is the per-job artifact metadata index.
@@ -89,6 +146,13 @@ func (s *Store) jobsDir() string          { return filepath.Join(s.root, "jobs")
 func (s *Store) jobDir(id string) string  { return filepath.Join(s.jobsDir(), id) }
 func (s *Store) ckptDir(id string) string { return filepath.Join(s.jobDir(id), "checkpoints") }
 func (s *Store) artDir(id string) string  { return filepath.Join(s.jobDir(id), "artifacts") }
+func (s *Store) blobsDir() string         { return filepath.Join(s.root, "blobs") }
+
+// blobPath shards blob files by the first two hash characters so one
+// directory never holds the whole tier.
+func (s *Store) blobPath(hash string) string {
+	return filepath.Join(s.blobsDir(), hash[:2], hash)
+}
 
 // tmpPrefix marks in-flight writeAtomic files; they are never payloads.
 const tmpPrefix = ".tmp-"
@@ -145,7 +209,10 @@ func (s *Store) jobIDs() ([]string, error) {
 }
 
 // writeAtomic writes data to path via a temp file + rename, creating
-// the parent directory if needed.
+// the parent directory if needed. The temp file is fsynced before the
+// rename and the parent directory after it: rename alone makes the
+// *contents* crash-safe, but until the directory entry itself is on
+// disk a power cut can lose the whole record.
 func writeAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -160,11 +227,34 @@ func writeAtomic(path string, data []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss. Best-effort on platforms whose directories reject fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
 }
 
 // Persistent reports true: this store is the durability backend.
@@ -197,7 +287,7 @@ func (s *Store) SaveResult(id string, res *sim.Result) error {
 }
 
 // storedArtifact is one index.json row: the artifact metadata minus the
-// payload, which lives in the sibling file of the same name.
+// payload, which lives in the shared blob tier under Hash.
 type storedArtifact struct {
 	Name        string  `json:"name"`
 	Kind        string  `json:"kind"`
@@ -205,7 +295,9 @@ type storedArtifact struct {
 	Step        int     `json:"step"`
 	Time        float64 `json:"time"`
 	ContentType string  `json:"content_type"`
+	Size        int64   `json:"size"`
 	RawSize     int64   `json:"raw_size,omitempty"`
+	Hash        string  `json:"content_hash"`
 }
 
 // loadArtIndex reads a job's artifact index (empty when absent).
@@ -242,10 +334,30 @@ func cleanName(name string) error {
 	return nil
 }
 
-// SaveArtifact writes the payload file and appends (or replaces) the
-// index row, keeping production order.
-func (s *Store) SaveArtifact(id string, a analysis.Artifact) error {
+// cleanHash rejects content hashes that are not plain lowercase sha256
+// hex — defense against a hash ever reaching filepath.Join.
+func cleanHash(hash string) error {
+	if len(hash) != 64 {
+		return fmt.Errorf("diskstore: bad content hash %q", hash)
+	}
+	for _, c := range hash {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("diskstore: bad content hash %q", hash)
+		}
+	}
+	return nil
+}
+
+// SaveArtifact writes the payload into the content-addressed blob tier
+// (skipping the write when an identical blob exists — the cross-job
+// dedupe) and appends or replaces the job's index row, keeping
+// production order. The blob lands before the index row referencing it,
+// so a crash can orphan a blob (swept at next open) but never a row.
+func (s *Store) SaveArtifact(id string, a analysis.Artifact, hash string) error {
 	if err := cleanName(a.Name); err != nil {
+		return err
+	}
+	if err := cleanHash(hash); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -254,21 +366,27 @@ func (s *Store) SaveArtifact(id string, a analysis.Artifact) error {
 	if err != nil {
 		return fmt.Errorf("diskstore: artifact index %s: %w", id, err)
 	}
-	path := filepath.Join(s.artDir(id), a.Name)
-	var oldSize int64
-	if fi, err := os.Stat(path); err == nil {
-		oldSize = fi.Size()
-	}
-	if err := writeAtomic(path, a.Data); err != nil {
-		return fmt.Errorf("diskstore: artifact %s/%s: %w", id, a.Name, err)
+	if s.refs[hash] == 0 {
+		if err := writeAtomic(s.blobPath(hash), a.Data); err != nil {
+			return fmt.Errorf("diskstore: blob %s: %w", hash, err)
+		}
+		s.blobBytes += int64(len(a.Data))
+		s.blobCount++
+	} else {
+		s.dedupe += int64(len(a.Data))
 	}
 	row := storedArtifact{
 		Name: a.Name, Kind: string(a.Kind), Field: a.Field,
-		Step: a.Step, Time: a.Time, ContentType: a.ContentType, RawSize: a.RawSize,
+		Step: a.Step, Time: a.Time, ContentType: a.ContentType,
+		Size: int64(len(a.Data)), RawSize: a.RawSize, Hash: hash,
 	}
+	s.refs[hash]++
 	replaced := false
+	var oldHash string
 	for i := range idx {
 		if idx[i].Name == a.Name {
+			s.artBytes += row.Size - idx[i].Size
+			oldHash = idx[i].Hash
 			idx[i] = row
 			replaced = true
 			break
@@ -277,16 +395,49 @@ func (s *Store) SaveArtifact(id string, a analysis.Artifact) error {
 	if !replaced {
 		idx = append(idx, row)
 		s.artCount++
+		s.artBytes += row.Size
 	}
-	s.artBytes += int64(len(a.Data)) - oldSize
 	if err := s.saveArtIndex(id, idx); err != nil {
 		return fmt.Errorf("diskstore: artifact index %s: %w", id, err)
+	}
+	if replaced && oldHash != "" {
+		s.unrefLocked(oldHash)
 	}
 	return nil
 }
 
-// DeleteArtifacts removes the named payloads and their index rows —
-// mirroring the in-memory store's oldest-first eviction.
+// unrefLocked drops one reference to a blob, deleting the file when the
+// last one goes; s.mu must be held.
+func (s *Store) unrefLocked(hash string) {
+	s.refs[hash]--
+	if s.refs[hash] > 0 {
+		return
+	}
+	delete(s.refs, hash)
+	path := s.blobPath(hash)
+	if fi, err := os.Stat(path); err == nil {
+		s.blobBytes -= fi.Size()
+		s.blobCount--
+	}
+	os.Remove(path)
+}
+
+// LoadBlob reads one content-addressed payload — the hot tier's miss
+// path. The caller (sim.BlobCache) verifies the bytes against the hash.
+func (s *Store) LoadBlob(hash string) ([]byte, error) {
+	if err := cleanHash(hash); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(s.blobPath(hash))
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: blob %s: %w", hash, err)
+	}
+	return data, nil
+}
+
+// DeleteArtifacts removes the named index rows — mirroring the
+// in-memory store's oldest-first eviction — and reclaims blobs no
+// remaining row references.
 func (s *Store) DeleteArtifacts(id string, names []string) error {
 	if len(names) == 0 {
 		return nil
@@ -302,20 +453,25 @@ func (s *Store) DeleteArtifacts(id string, names []string) error {
 		doomed[n] = true
 	}
 	kept := idx[:0]
+	var unref []string
 	for _, row := range idx {
 		if !doomed[row.Name] {
 			kept = append(kept, row)
 			continue
 		}
-		path := filepath.Join(s.artDir(id), row.Name)
-		if fi, err := os.Stat(path); err == nil {
-			s.artBytes -= fi.Size()
-			s.artCount--
+		s.artBytes -= row.Size
+		s.artCount--
+		if row.Hash != "" {
+			unref = append(unref, row.Hash)
 		}
-		os.Remove(path)
 	}
 	if err := s.saveArtIndex(id, kept); err != nil {
 		return fmt.Errorf("diskstore: artifact index %s: %w", id, err)
+	}
+	// Index first, blobs second: a kill in between leaves orphaned blobs
+	// (swept at open), never rows pointing at deleted payloads.
+	for _, h := range unref {
+		s.unrefLocked(h)
 	}
 	return nil
 }
@@ -424,21 +580,24 @@ func (s *Store) DeleteCheckpoints(id string) error {
 	return nil
 }
 
-// DeleteJob removes the job's whole directory.
+// DeleteJob removes the job's whole directory and dereferences every
+// blob its index rows named.
 func (s *Store) DeleteJob(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var n int
 	s.ckptBytes -= dirBytes(s.ckptDir(id), &n)
 	s.ckptCount -= n
-	n = 0
-	ab := dirBytes(s.artDir(id), &n)
-	if fi, err := os.Stat(filepath.Join(s.artDir(id), indexFile)); err == nil {
-		ab -= fi.Size()
-		n--
+	if rows, err := s.loadArtIndex(id); err == nil {
+		for _, row := range rows {
+			if row.Hash == "" {
+				continue
+			}
+			s.artBytes -= row.Size
+			s.artCount--
+			s.unrefLocked(row.Hash)
+		}
 	}
-	s.artBytes -= ab
-	s.artCount -= n
 	if err := os.RemoveAll(s.jobDir(id)); err != nil {
 		return fmt.Errorf("diskstore: %w", err)
 	}
@@ -446,10 +605,12 @@ func (s *Store) DeleteJob(id string) error {
 }
 
 // Recover loads every persisted job: its manifest, the terminal result
-// of done jobs, and the retained artifacts in production order. Job
-// directories whose manifest is missing or unreadable are skipped (a
-// kill between MkdirAll and the first manifest write can leave one);
-// recovery must never take the service down.
+// of done jobs, and the retained artifact metadata in production order
+// — rows only, no payload reads; the bytes stay in the blob tier until
+// a reader asks. Job directories whose manifest is missing or
+// unreadable are skipped (a kill between MkdirAll and the first
+// manifest write can leave one); recovery must never take the service
+// down.
 func (s *Store) Recover() ([]sim.RecoveredJob, error) {
 	ids, err := s.jobIDs()
 	if err != nil {
@@ -475,14 +636,13 @@ func (s *Store) Recover() ([]sim.RecoveredJob, error) {
 		idx, err := s.loadArtIndex(id)
 		if err == nil {
 			for _, row := range idx {
-				payload, err := os.ReadFile(filepath.Join(s.artDir(id), row.Name))
-				if err != nil {
-					continue
+				if row.Hash == "" {
+					continue // pre-content-addressing row: payload location unknown
 				}
-				rec.Artifacts = append(rec.Artifacts, analysis.Artifact{
-					Name: row.Name, Kind: analysis.OutputKind(row.Kind), Field: row.Field,
+				rec.Artifacts = append(rec.Artifacts, sim.ArtifactMeta{
+					Name: row.Name, Kind: row.Kind, Field: row.Field,
 					Step: row.Step, Time: row.Time, ContentType: row.ContentType,
-					RawSize: row.RawSize, Data: payload,
+					Size: int(row.Size), RawSize: row.RawSize, Hash: row.Hash,
 				})
 			}
 		}
@@ -505,6 +665,9 @@ func (s *Store) Stats() sim.StoreStats {
 		CheckpointCount: s.ckptCount,
 		ArtifactBytes:   s.artBytes,
 		ArtifactCount:   s.artCount,
+		BlobBytes:       s.blobBytes,
+		BlobCount:       s.blobCount,
+		DedupeBytes:     s.dedupe,
 	}
 }
 

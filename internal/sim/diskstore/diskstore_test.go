@@ -118,14 +118,15 @@ func TestArtifactOrderReplaceAndEviction(t *testing.T) {
 		{Name: "00_c.gob.gz", Kind: "snapshot", Step: 2, ContentType: "application/gzip", Data: []byte("ccccc"), RawSize: 50},
 	}
 	for _, a := range arts {
-		if err := s.SaveArtifact("j", a); err != nil {
+		if err := s.SaveArtifact("j", a, sim.HashBytes(a.Data)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Replace the middle one; order must be preserved.
-	if err := s.SaveArtifact("j", analysis.Artifact{
+	repl := analysis.Artifact{
 		Name: "01_b.json", Kind: "profile", Step: 3, ContentType: "application/json", Data: []byte("B2"),
-	}); err != nil {
+	}
+	if err := s.SaveArtifact("j", repl, sim.HashBytes(repl.Data)); err != nil {
 		t.Fatal(err)
 	}
 	recs, err := s.Recover()
@@ -154,11 +155,18 @@ func TestArtifactOrderReplaceAndEviction(t *testing.T) {
 			t.Fatalf("production order lost: slot %d = %q, want %q", i, got[i].Name, name)
 		}
 	}
-	if string(got[1].Data) != "B2" || got[1].Step != 3 {
+	if got[1].Step != 3 || got[1].Size != 2 || got[1].Hash != sim.HashBytes([]byte("B2")) {
 		t.Fatalf("replacement not applied: %+v", got[1])
+	}
+	if data, err := s.LoadBlob(got[1].Hash); err != nil || string(data) != "B2" {
+		t.Fatalf("replacement payload: %q, %v", data, err)
 	}
 	if got[2].RawSize != 50 {
 		t.Fatalf("raw size lost: %+v", got[2])
+	}
+	// The replaced payload's blob lost its last reference and is gone.
+	if _, err := s.LoadBlob(sim.HashBytes([]byte("bbbb"))); err == nil {
+		t.Fatal("replaced blob not reclaimed")
 	}
 
 	if err := s.DeleteArtifacts("j", []string{"00_a.pgm"}); err != nil {
@@ -176,8 +184,17 @@ func TestArtifactOrderReplaceAndEviction(t *testing.T) {
 func TestUnsafeArtifactNamesRejected(t *testing.T) {
 	s := open(t, t.TempDir())
 	for _, name := range []string{"", "../escape", "a/b", ".hidden", "index.json"} {
-		if err := s.SaveArtifact("j", analysis.Artifact{Name: name, Data: []byte("x")}); err == nil {
+		if err := s.SaveArtifact("j", analysis.Artifact{Name: name, Data: []byte("x")}, sim.HashBytes([]byte("x"))); err == nil {
 			t.Fatalf("name %q accepted", name)
+		}
+	}
+	// Hashes that are not plain sha256 hex never reach the filesystem.
+	for _, hash := range []string{"", "short", "../../etc/passwd", string(make([]byte, 64))} {
+		if err := s.SaveArtifact("j", analysis.Artifact{Name: "ok.pgm", Data: []byte("x")}, hash); err == nil {
+			t.Fatalf("hash %q accepted", hash)
+		}
+		if _, err := s.LoadBlob(hash); err == nil {
+			t.Fatalf("LoadBlob accepted hash %q", hash)
 		}
 	}
 }
@@ -191,7 +208,7 @@ func TestStatsSurviveReopen(t *testing.T) {
 	if err := s.SaveCheckpoint("j", 3, make([]byte, 1000)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.SaveArtifact("j", analysis.Artifact{Name: "00_x.pgm", Data: make([]byte, 300)}); err != nil {
+	if err := s.SaveArtifact("j", analysis.Artifact{Name: "00_x.pgm", Data: make([]byte, 300)}, sim.HashBytes(make([]byte, 300))); err != nil {
 		t.Fatal(err)
 	}
 	want := s.Stats()
@@ -246,6 +263,125 @@ func TestOrphanTempFilesSweptAndUncounted(t *testing.T) {
 	}
 	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
 		t.Fatalf("orphan temp file not swept: %v", err)
+	}
+}
+
+// countBlobs walks <root>/blobs and returns the blob files on disk.
+func countBlobs(t *testing.T, root string) []string {
+	t.Helper()
+	var blobs []string
+	shards, _ := os.ReadDir(filepath.Join(root, "blobs"))
+	for _, shard := range shards {
+		entries, _ := os.ReadDir(filepath.Join(root, "blobs", shard.Name()))
+		for _, e := range entries {
+			blobs = append(blobs, e.Name())
+		}
+	}
+	return blobs
+}
+
+func TestIdenticalPayloadsAcrossJobsShareOneBlob(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	payload := []byte("same bytes from two different jobs")
+	hash := sim.HashBytes(payload)
+	a := analysis.Artifact{Name: "00_p.pgm", Kind: "projection", ContentType: "image/x-portable-graymap", Data: payload}
+	if err := s.SaveArtifact("job1", a, hash); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveArtifact("job2", a, hash); err != nil {
+		t.Fatal(err)
+	}
+	if blobs := countBlobs(t, dir); len(blobs) != 1 || blobs[0] != hash {
+		t.Fatalf("want exactly one shared blob %s, got %v", hash, blobs)
+	}
+	st := s.Stats()
+	if st.BlobCount != 1 || st.BlobBytes != int64(len(payload)) {
+		t.Fatalf("physical gauges wrong: %+v", st)
+	}
+	if st.ArtifactCount != 2 || st.ArtifactBytes != 2*int64(len(payload)) {
+		t.Fatalf("logical gauges wrong: %+v", st)
+	}
+	if st.DedupeBytes != int64(len(payload)) {
+		t.Fatalf("dedupe counter %d, want %d", st.DedupeBytes, len(payload))
+	}
+	// The blob survives the first dereference and dies with the last.
+	if err := s.DeleteJob("job1"); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := s.LoadBlob(hash); err != nil || string(data) != string(payload) {
+		t.Fatalf("blob lost while job2 still references it: %v", err)
+	}
+	if err := s.DeleteJob("job2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(countBlobs(t, dir)) != 0 {
+		t.Fatal("blob survived its last dereference")
+	}
+	if st := s.Stats(); st.BlobBytes != 0 || st.BlobCount != 0 {
+		t.Fatalf("blob gauges not zeroed: %+v", st)
+	}
+}
+
+func TestContentHashStableAcrossReopen(t *testing.T) {
+	// The content hash is the HTTP ETag: a restart must recover the
+	// exact same hash for the same payload, and reopening must rebuild
+	// the refcount table so the blob remains readable and reclaimable.
+	dir := t.TempDir()
+	s := open(t, dir)
+	payload := []byte("etag-stable payload")
+	hash := sim.HashBytes(payload)
+	if err := s.SaveManifest(sim.JobManifest{ID: "j", State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveArtifact("j", analysis.Artifact{Name: "00_e.pgm", Data: payload}, hash); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir)
+	recs, err := s2.Recover()
+	if err != nil || len(recs) != 1 || len(recs[0].Artifacts) != 1 {
+		t.Fatalf("recover: %v %+v", err, recs)
+	}
+	if got := recs[0].Artifacts[0].Hash; got != hash {
+		t.Fatalf("hash changed across reopen: %s != %s", got, hash)
+	}
+	if data, err := s2.LoadBlob(hash); err != nil || string(data) != string(payload) {
+		t.Fatalf("blob unreadable after reopen: %v", err)
+	}
+	if err := s2.DeleteJob("j"); err != nil {
+		t.Fatal(err)
+	}
+	if len(countBlobs(t, dir)) != 0 {
+		t.Fatal("rebuilt refcounts did not reclaim the blob")
+	}
+}
+
+func TestOrphanBlobsSweptAtOpen(t *testing.T) {
+	// A kill between the blob write and the index write leaves a blob no
+	// row references; New must sweep it without touching referenced ones.
+	dir := t.TempDir()
+	s := open(t, dir)
+	payload := []byte("kept")
+	if err := s.SaveArtifact("j", analysis.Artifact{Name: "00_k.pgm", Data: payload}, sim.HashBytes(payload)); err != nil {
+		t.Fatal(err)
+	}
+	orphanHash := sim.HashBytes([]byte("orphan"))
+	orphanPath := filepath.Join(dir, "blobs", orphanHash[:2], orphanHash)
+	if err := os.MkdirAll(filepath.Dir(orphanPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(orphanPath, []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir)
+	if _, err := os.Stat(orphanPath); !os.IsNotExist(err) {
+		t.Fatalf("orphan blob not swept: %v", err)
+	}
+	if st := s2.Stats(); st.BlobCount != 1 || st.BlobBytes != int64(len(payload)) {
+		t.Fatalf("blob gauges after sweep: %+v", st)
+	}
+	if _, err := s2.LoadBlob(sim.HashBytes(payload)); err != nil {
+		t.Fatalf("referenced blob swept: %v", err)
 	}
 }
 

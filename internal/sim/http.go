@@ -1,12 +1,16 @@
 package sim
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/problems"
 )
 
@@ -21,10 +25,18 @@ import (
 //	GET    /jobs/{id}/artifacts         derived-output index (JSON)
 //	GET    /jobs/{id}/artifacts/events  artifact-ready stream (NDJSON)
 //	GET    /jobs/{id}/artifacts/{name}  one artifact body (PGM/PNG/JSON/…)
+//	GET    /jobs/{id}/artifacts/{name}/{z}/{x}/{y}  one pyramid tile (PGM)
 //	DELETE /jobs/{id}        cancel
 //	GET    /problems         the registered problem catalog
 //	GET    /healthz          liveness + uptime
 //	GET    /metrics          scheduler counters, Prometheus text format
+//
+// Artifact bodies are served read-optimized: a strong ETag (the
+// payload's content hash) with If-None-Match short-circuiting to 304
+// before any payload fetch, HEAD answered from metadata alone, byte
+// Range requests (206/416) via http.ServeContent, and Cache-Control
+// that marks terminal jobs' artifacts immutable — so a CDN or a million
+// polling readers cost the origin almost nothing.
 func (s *Scheduler) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -35,6 +47,7 @@ func (s *Scheduler) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/artifacts", s.handleArtifactIndex)
 	mux.HandleFunc("GET /jobs/{id}/artifacts/events", s.handleArtifactEvents)
 	mux.HandleFunc("GET /jobs/{id}/artifacts/{name}", s.handleArtifact)
+	mux.HandleFunc("GET /jobs/{id}/artifacts/{name}/{z}/{x}/{y}", s.handleArtifactTile)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /problems", handleProblems)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -240,23 +253,149 @@ func (s *Scheduler) handleArtifactIndex(w http.ResponseWriter, r *http.Request) 
 	}
 }
 
-// handleArtifact serves one artifact body under its own content type, so
-// a browser renders a PNG projection directly and `curl -O` saves a
-// ready-to-open file.
-func (s *Scheduler) handleArtifact(w http.ResponseWriter, r *http.Request) {
+// etagMatch reports whether an If-None-Match header matches a strong
+// ETag: "*", or any member of its comma-separated list (weak-comparison,
+// so W/ prefixes are ignored — correct for If-None-Match per RFC 9110).
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimPrefix(strings.TrimSpace(part), "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// artifactCacheControl is the Cache-Control policy of artifact bodies:
+// a terminal job's artifacts can never change again (and their ETag is
+// the content hash), so clients and CDNs may cache them forever; while
+// the job still runs a resume could replace a name, so clients must
+// revalidate — which the ETag makes a free 304.
+func artifactCacheControl(j *Job) string {
+	if j.State().terminal() {
+		return "public, max-age=31536000, immutable"
+	}
+	return "no-cache"
+}
+
+// countingWriter tallies body bytes for the sim_artifact_bytes_served
+// counter (headers excluded; 304/HEAD responses count zero).
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// openArtifact is the shared front half of the artifact body handlers:
+// resolve the job and metadata row, set the caching headers, and answer
+// If-None-Match with 304 — all before the payload is touched, so
+// revalidation never costs a blob fetch. It reports handled=true when
+// the response was already written.
+func (s *Scheduler) openArtifact(w http.ResponseWriter, r *http.Request) (j *Job, m ArtifactMeta, etag string, handled bool) {
 	j, ok := s.job(w, r)
 	if !ok {
-		return
+		return nil, ArtifactMeta{}, "", true
 	}
 	name := r.PathValue("name")
-	a, ok := j.Artifacts().Get(name)
+	m, ok = j.Artifacts().Stat(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("job %s has no artifact %q (it may not be ready, or was evicted)", j.ID, name))
+		return nil, ArtifactMeta{}, "", true
+	}
+	etag = `"` + m.Hash + `"`
+	if z := r.PathValue("z"); z != "" {
+		// Tiles carry their coordinates in the ETag so each tile
+		// revalidates independently.
+		etag = `"` + m.Hash + "-" + z + "." + r.PathValue("x") + "." + r.PathValue("y") + `"`
+	}
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Cache-Control", artifactCacheControl(j))
+	h.Set("Accept-Ranges", "bytes")
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		s.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return nil, ArtifactMeta{}, "", true
+	}
+	return j, m, etag, false
+}
+
+// handleArtifact serves one artifact body under its own content type, so
+// a browser renders a PNG projection directly and `curl -O` saves a
+// ready-to-open file. HEAD is answered from the metadata row alone;
+// GET goes through the blob hot tier and honors byte ranges.
+func (s *Scheduler) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	j, m, _, handled := s.openArtifact(w, r)
+	if handled {
 		return
 	}
-	w.Header().Set("Content-Type", a.ContentType)
-	w.WriteHeader(http.StatusOK)
-	w.Write(a.Data)
+	w.Header().Set("Content-Type", m.ContentType)
+	if r.Method == http.MethodHead {
+		w.Header().Set("Content-Length", strconv.Itoa(m.Size))
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	_, data, err := j.Artifacts().Open(m.Name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("artifact %q: %w", m.Name, err))
+		return
+	}
+	cw := &countingWriter{ResponseWriter: w}
+	http.ServeContent(cw, r, "", time.Time{}, bytes.NewReader(data))
+	s.bytesServed.Add(cw.n)
+}
+
+// handleArtifactTile serves one tile of a pyramid artifact as a
+// standalone PGM: /jobs/{id}/artifacts/{name}/{z}/{x}/{y}, z=0 the
+// full-resolution level, x growing rightward and y downward. Out-of-
+// range coordinates are 404 (a tile that does not exist), non-numeric
+// ones 400, and tile requests against a non-pyramid artifact 400.
+func (s *Scheduler) handleArtifactTile(w http.ResponseWriter, r *http.Request) {
+	coords := [3]int{}
+	for i, key := range []string{"z", "x", "y"} {
+		v, err := strconv.Atoi(r.PathValue(key))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad tile coordinate %s=%q", key, r.PathValue(key)))
+			return
+		}
+		coords[i] = v
+	}
+	j, m, _, handled := s.openArtifact(w, r)
+	if handled {
+		return
+	}
+	if m.Kind != string(analysis.KindPyramid) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("artifact %q is kind %q, not a tile pyramid", m.Name, m.Kind))
+		return
+	}
+	_, data, err := j.Artifacts().Open(m.Name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("artifact %q: %w", m.Name, err))
+		return
+	}
+	ts, err := analysis.ParseTileSet(data)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("artifact %q: %w", m.Name, err))
+		return
+	}
+	tile, ok := ts.Tile(coords[0], coords[1], coords[2])
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("pyramid %q has no tile %d/%d/%d (%d levels)",
+			m.Name, coords[0], coords[1], coords[2], ts.Levels))
+		return
+	}
+	w.Header().Set("Content-Type", "image/x-portable-graymap")
+	cw := &countingWriter{ResponseWriter: w}
+	http.ServeContent(cw, r, "", time.Time{}, bytes.NewReader(tile))
+	s.bytesServed.Add(cw.n)
 }
 
 // handleArtifactEvents streams artifact-ready metadata as
@@ -332,6 +471,7 @@ func handleProblems(w http.ResponseWriter, r *http.Request) {
 
 func (s *Scheduler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	recovered, resumed, storeErr := s.RecoverState()
+	bs := s.blobs.Stats()
 	body := map[string]any{
 		"ok":             true,
 		"uptime_seconds": s.Uptime().Seconds(),
@@ -340,6 +480,8 @@ func (s *Scheduler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"durable":        s.store.Persistent(),
 		"jobs_recovered": recovered,
 		"jobs_resumed":   resumed,
+		"blob_bytes":     s.store.Stats().BlobBytes,
+		"hot_tier_bytes": bs.HotBytes,
 	}
 	if storeErr != nil {
 		body["store_error"] = storeErr.Error()
@@ -383,6 +525,22 @@ func (s *Scheduler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "sim_cache_evictions_total %d\n", st.CacheEvictions)
 	fmt.Fprintf(w, "sim_jobs_recovered %d\n", st.Recovered)
 	fmt.Fprintf(w, "sim_jobs_resumed %d\n", st.Resumed)
+	// Read-path counters: the blob hot tier fronting artifact payloads,
+	// conditional-request wins, and the content-addressing dedupe — the
+	// gauges that say what serving a million readers actually costs.
+	bs := s.blobs.Stats()
+	fmt.Fprintf(w, "sim_artifact_cache_hits_total %d\n", bs.Hits)
+	fmt.Fprintf(w, "sim_artifact_cache_misses_total %d\n", bs.Misses)
+	fmt.Fprintf(w, "sim_artifact_cache_evictions_total %d\n", bs.Evictions)
+	fmt.Fprintf(w, "sim_artifact_disk_reads_total %d\n", bs.DiskReads)
+	fmt.Fprintf(w, "sim_artifact_bytes_served_total %d\n", s.bytesServed.Load())
+	fmt.Fprintf(w, "sim_artifact_not_modified_total %d\n", s.notModified.Load())
+	fmt.Fprintf(w, "sim_blob_dedupe_bytes_total %d\n", bs.DedupeBytes)
+	fmt.Fprintf(w, "sim_store_dedupe_bytes_total %d\n", ss.DedupeBytes)
+	fmt.Fprintf(w, "sim_store_blob_bytes %d\n", ss.BlobBytes)
+	fmt.Fprintf(w, "sim_store_blobs %d\n", ss.BlobCount)
+	fmt.Fprintf(w, "sim_hot_tier_bytes %d\n", bs.HotBytes)
+	fmt.Fprintf(w, "sim_hot_tier_blobs %d\n", bs.HotCount)
 }
 
 // boolGauge renders a bool as a 0/1 Prometheus gauge value.

@@ -19,10 +19,11 @@ import (
 
 // curlCmd is one parsed README example.
 type curlCmd struct {
-	line   string
-	method string
-	path   string
-	body   string
+	line    string
+	method  string
+	path    string
+	body    string
+	headers map[string]string
 }
 
 // readmeCurlLines extracts the curl command lines from README.md's
@@ -77,10 +78,10 @@ func tokenize(line string) []string {
 }
 
 // parseCurl understands exactly the curl dialect the README is allowed
-// to use: -s/-sS/-O flag noise, -X METHOD, -d BODY (implies POST), a
-// :8080-rooted URL, and a trailing "| ..." pipe or "# ..." comment. An
-// unrecognized token fails the test — examples must stay simple enough
-// to be machine-verified.
+// to use: -s/-sS/-O flag noise, -X METHOD, -d BODY (implies POST),
+// -H 'Header: value', a :8080-rooted URL, and a trailing "| ..." pipe
+// or "# ..." comment. An unrecognized token fails the test — examples
+// must stay simple enough to be machine-verified.
 func parseCurl(t *testing.T, line string) curlCmd {
 	t.Helper()
 	cmd := curlCmd{line: line, method: http.MethodGet}
@@ -107,6 +108,19 @@ func parseCurl(t *testing.T, line string) curlCmd {
 			if cmd.method == http.MethodGet {
 				cmd.method = http.MethodPost
 			}
+		case tok == "-H":
+			i++
+			if i >= len(tokens) {
+				t.Fatalf("README example has -H with no header: %q", line)
+			}
+			k, v, ok := strings.Cut(tokens[i], ":")
+			if !ok {
+				t.Fatalf("README example has a malformed -H header: %q", line)
+			}
+			if cmd.headers == nil {
+				cmd.headers = map[string]string{}
+			}
+			cmd.headers[strings.TrimSpace(k)] = strings.TrimSpace(v)
 		case strings.HasPrefix(tok, ":8080/"):
 			cmd.path = strings.TrimPrefix(tok, ":8080")
 		default:
@@ -174,6 +188,9 @@ func TestReadmeCurlExamples(t *testing.T) {
 		}
 		if cmd.body != "" {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		for k, v := range cmd.headers {
+			req.Header.Set(k, v)
 		}
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {

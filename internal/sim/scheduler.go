@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
@@ -38,6 +39,10 @@ type Config struct {
 	// ArtifactCount bounds the artifacts a job retains (default
 	// DefaultArtifactCount).
 	ArtifactCount int
+	// HotBytes bounds the shared in-memory blob hot tier fronting a
+	// persistent store's artifact payloads (default DefaultHotTierBytes).
+	// Ignored on a memory store, where referenced payloads are pinned.
+	HotBytes int64
 	// Store is the persistence layer (nil = NewMemStore, nothing
 	// survives a restart). With a persistent store — diskstore.New —
 	// the scheduler recovers completed results/artifacts as cache hits
@@ -74,6 +79,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ArtifactCount <= 0 {
 		c.ArtifactCount = DefaultArtifactCount
+	}
+	if c.HotBytes <= 0 {
+		c.HotBytes = DefaultHotTierBytes
 	}
 	return c
 }
@@ -430,10 +438,16 @@ type Stats struct {
 type Scheduler struct {
 	cfg     Config
 	store   Store
+	blobs   *BlobCache
 	baseCtx context.Context
 	stop    context.CancelFunc
 	queue   chan *Job
 	wg      sync.WaitGroup
+
+	// Artifact-serving counters (hot read path: updated atomically, not
+	// under s.mu).
+	bytesServed atomic.Int64
+	notModified atomic.Int64
 
 	// recoverWG tracks the startup goroutine that feeds recovered jobs
 	// into the queue; shutdown waits for it before closing the channel.
@@ -461,6 +475,7 @@ func NewScheduler(cfg Config) *Scheduler {
 	s := &Scheduler{
 		cfg:     cfg,
 		store:   cfg.Store,
+		blobs:   NewBlobCache(cfg.Store, cfg.HotBytes),
 		baseCtx: ctx,
 		stop:    cancel,
 		queue:   make(chan *Job, cfg.QueueDepth),
@@ -558,7 +573,7 @@ func (s *Scheduler) recoverJob(rec RecoveredJob) (resumableJob *Job, err error) 
 		sched:      s,
 		res:        r,
 		doneCh:     make(chan struct{}),
-		artifacts:  newArtifactStore(s.cfg.ArtifactBytes, s.cfg.ArtifactCount),
+		artifacts:  newArtifactStore(s.cfg.ArtifactBytes, s.cfg.ArtifactCount, s.blobs),
 		submitted:  m.SubmittedAt,
 		started:    m.StartedAt,
 		finished:   m.FinishedAt,
@@ -567,16 +582,17 @@ func (s *Scheduler) recoverJob(rec RecoveredJob) (resumableJob *Job, err error) 
 		ckptStep:   m.CheckpointStep,
 		ckptAt:     m.CheckpointAt,
 	}
-	// Rehydrate artifacts (already persisted: no store write-back), but
-	// mirror any evictions — this process may run with smaller artifact
-	// budgets than the one that wrote them, and payloads the in-memory
-	// store refuses must not linger unreachable on disk.
+	// Rehydrate artifact metadata (already persisted: no store
+	// write-back, and the payload bytes stay in the blob tier until a
+	// reader asks), but mirror any evictions — this process may run with
+	// smaller artifact budgets than the one that wrote them, and rows
+	// the in-memory store refuses must not linger unreachable on disk.
 	var evicted []string
-	for _, a := range rec.Artifacts {
-		ev, stored := j.artifacts.Put(a)
+	for _, m := range rec.Artifacts {
+		ev, stored := j.artifacts.putRecovered(m)
 		evicted = append(evicted, ev...)
 		if !stored {
-			evicted = append(evicted, a.Name) // refused outright: reclaim its payload too
+			evicted = append(evicted, m.Name) // refused outright: reclaim its payload too
 		}
 	}
 	if err := s.store.DeleteArtifacts(m.ID, evicted); err != nil {
@@ -809,7 +825,7 @@ func (s *Scheduler) SubmitWithDisposition(req Request) (*Job, Disposition, error
 		sched:      s,
 		res:        r,
 		doneCh:     make(chan struct{}),
-		artifacts:  newArtifactStore(s.cfg.ArtifactBytes, s.cfg.ArtifactCount),
+		artifacts:  newArtifactStore(s.cfg.ArtifactBytes, s.cfg.ArtifactCount, s.blobs),
 		submitted:  time.Now(),
 		ckptStep:   -1,
 	}
@@ -920,8 +936,13 @@ func (s *Scheduler) Uptime() time.Duration { return time.Since(s.start) }
 
 // removeLocked forgets a job in memory; s.mu must be held. The caller
 // owns the matching store deletion (synchronously for a re-run of a
-// stale configuration, via reap after unlocking for evictions).
+// stale configuration, via reap after unlocking for evictions). The
+// job's blob references are dropped so the shared payload tier does not
+// pin bytes nobody can reach.
 func (s *Scheduler) removeLocked(id string) {
+	if j, ok := s.jobs[id]; ok {
+		j.artifacts.release()
+	}
 	delete(s.jobs, id)
 	for i, oid := range s.order {
 		if oid == id {
@@ -1128,12 +1149,12 @@ func (s *Scheduler) evolve(ctx context.Context, j *Job) (res *Result, err error)
 	var analysisWall time.Duration
 	var outputErr error
 	emit := func(a analysis.Artifact) error {
-		evicted, stored := j.artifacts.Put(a)
+		evicted, hash, stored := j.artifacts.Put(a)
 		if stored {
 			// Persist only what the in-memory store retained: an
 			// artifact refused by the byte budget must not linger
 			// unreachable on disk.
-			if err := s.store.SaveArtifact(j.ID, a); err != nil {
+			if err := s.store.SaveArtifact(j.ID, a, hash); err != nil {
 				s.noteStoreErr(err)
 			}
 		}

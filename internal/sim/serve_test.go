@@ -1,0 +1,391 @@
+package sim_test
+
+// The read-path acceptance suite: artifact bodies served with strong
+// ETags (content hashes) that survive restarts, If-None-Match answered
+// 304 without touching the payload tier, byte ranges via 206/416,
+// pyramid tiles with out-of-range coordinates as 404, and the hot-tier
+// LRU evicting under byte pressure while every cold read is verified
+// against its hash. This file lives in package sim_test so it can wire
+// the real disk store under the scheduler.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/sim"
+	"repro/internal/sim/diskstore"
+)
+
+// serveReq is a small sedov run that emits one projection and one tile
+// pyramid at the end of the run.
+const serveReq = `{"problem":"sedov","rootn":8,"maxlevel":1,"steps":2,"workers":1,
+	"outputs":[{"kind":"projection","n":64,"nsamp":8,"axis":2},
+	           {"kind":"pyramid","n":128,"nsamp":8,"axis":2}]}`
+
+// runServeJob submits serveReq and waits for it to finish, returning
+// the job ID.
+func runServeJob(t *testing.T, s *sim.Scheduler, base string) string {
+	t.Helper()
+	sub := postJob(t, base, serveReq)
+	j, ok := s.Get(sub.ID)
+	if !ok {
+		t.Fatalf("job %s not found after submit", sub.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if _, err := j.Wait(ctx); err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+	return sub.ID
+}
+
+// metricValue scrapes one counter from /metrics.
+func metricValue(t *testing.T, base, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if v, ok := strings.CutPrefix(sc.Text(), name+" "); ok {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				t.Fatalf("metric %s: %v", name, err)
+			}
+			return n
+		}
+	}
+	t.Fatalf("metric %s not exported", name)
+	return 0
+}
+
+// artifactNamed returns the name of the job's first artifact of a kind.
+func artifactNamed(t *testing.T, base, id, kind string) sim.ArtifactMeta {
+	t.Helper()
+	var idx sim.ArtifactIndex
+	getJSON(t, base+"/jobs/"+id+"/artifacts", &idx)
+	for _, m := range idx.Artifacts {
+		if m.Kind == kind {
+			return m
+		}
+	}
+	t.Fatalf("no %s artifact in %+v", kind, idx.Artifacts)
+	return sim.ArtifactMeta{}
+}
+
+func get(t *testing.T, url string, header map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf []byte
+	b := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(b)
+		buf = append(buf, b[:n]...)
+		if err != nil {
+			return buf
+		}
+	}
+}
+
+func TestArtifactConditionalAndRangeServing(t *testing.T) {
+	store, err := diskstore.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewScheduler(sim.Config{MaxConcurrent: 1, TotalWorkers: 1, Store: store})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	id := runServeJob(t, s, srv.URL)
+	m := artifactNamed(t, srv.URL, id, "projection")
+	url := srv.URL + "/jobs/" + id + "/artifacts/" + m.Name
+
+	// Plain GET: strong ETag = quoted content hash, immutable caching
+	// (the job is terminal), range support advertised.
+	resp := get(t, url, nil)
+	body := readAll(t, resp)
+	etag := resp.Header.Get("ETag")
+	if want := `"` + m.Hash + `"`; etag != want {
+		t.Fatalf("ETag %q, want %q", etag, want)
+	}
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "immutable") {
+		t.Fatalf("terminal job artifact not immutable: Cache-Control %q", cc)
+	}
+	if ar := resp.Header.Get("Accept-Ranges"); ar != "bytes" {
+		t.Fatalf("Accept-Ranges %q", ar)
+	}
+	if len(body) != m.Size {
+		t.Fatalf("body %d bytes, meta says %d", len(body), m.Size)
+	}
+
+	// HEAD: metadata only, no body.
+	headResp, err := http.Head(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := readAll(t, headResp); len(b) != 0 || headResp.Header.Get("Content-Length") != strconv.Itoa(m.Size) {
+		t.Fatalf("HEAD: %d body bytes, Content-Length %q", len(b), headResp.Header.Get("Content-Length"))
+	}
+
+	// If-None-Match revalidation: 304, empty body, and — the point — no
+	// payload-tier access at all (disk reads, hits and misses all flat).
+	reads0 := metricValue(t, srv.URL, "sim_artifact_disk_reads_total")
+	hits0 := metricValue(t, srv.URL, "sim_artifact_cache_hits_total")
+	misses0 := metricValue(t, srv.URL, "sim_artifact_cache_misses_total")
+	nm0 := metricValue(t, srv.URL, "sim_artifact_not_modified_total")
+	for _, inm := range []string{etag, "*", `"zzz", ` + etag, "W/" + etag} {
+		resp := get(t, url, map[string]string{"If-None-Match": inm})
+		b := readAll(t, resp)
+		if resp.StatusCode != http.StatusNotModified || len(b) != 0 {
+			t.Fatalf("If-None-Match %q: %s with %d body bytes", inm, resp.Status, len(b))
+		}
+		if got := resp.Header.Get("ETag"); got != etag {
+			t.Fatalf("304 lost the ETag: %q", got)
+		}
+	}
+	if r := metricValue(t, srv.URL, "sim_artifact_disk_reads_total"); r != reads0 {
+		t.Fatalf("304 touched the disk: %d reads, was %d", r, reads0)
+	}
+	if h := metricValue(t, srv.URL, "sim_artifact_cache_hits_total"); h != hits0 {
+		t.Fatalf("304 touched the hot tier: %d hits, was %d", h, hits0)
+	}
+	if mi := metricValue(t, srv.URL, "sim_artifact_cache_misses_total"); mi != misses0 {
+		t.Fatalf("304 missed the hot tier: %d misses, was %d", mi, misses0)
+	}
+	if nm := metricValue(t, srv.URL, "sim_artifact_not_modified_total"); nm != nm0+4 {
+		t.Fatalf("not-modified counter %d, want %d", nm, nm0+4)
+	}
+	// A stale validator serves the full body.
+	if resp := get(t, url, map[string]string{"If-None-Match": `"stale"`}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale If-None-Match: %s", resp.Status)
+	} else {
+		readAll(t, resp)
+	}
+
+	// Byte ranges: a satisfiable window is 206 with exactly that window;
+	// malformed and unsatisfiable ranges are 416.
+	resp = get(t, url, map[string]string{"Range": "bytes=0-9"})
+	part := readAll(t, resp)
+	if resp.StatusCode != http.StatusPartialContent || string(part) != string(body[:10]) {
+		t.Fatalf("range 0-9: %s, %d bytes", resp.Status, len(part))
+	}
+	if cr := resp.Header.Get("Content-Range"); cr != fmt.Sprintf("bytes 0-9/%d", m.Size) {
+		t.Fatalf("Content-Range %q", cr)
+	}
+	for _, rng := range []string{"bytes=abc-def", fmt.Sprintf("bytes=%d-", m.Size+100)} {
+		resp := get(t, url, map[string]string{"Range": rng})
+		readAll(t, resp)
+		if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+			t.Fatalf("Range %q: %s, want 416", rng, resp.Status)
+		}
+	}
+	// Served-bytes counter moved by at least the full body + the range.
+	if served := metricValue(t, srv.URL, "sim_artifact_bytes_served_total"); served < int64(m.Size)+10 {
+		t.Fatalf("bytes served %d, want >= %d", served, m.Size+10)
+	}
+}
+
+func TestETagStableAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	store1, err := diskstore.New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := sim.NewScheduler(sim.Config{MaxConcurrent: 1, TotalWorkers: 1, Store: store1})
+	srv1 := httptest.NewServer(s1.Handler())
+	id := runServeJob(t, s1, srv1.URL)
+	m1 := artifactNamed(t, srv1.URL, id, "projection")
+	resp := get(t, srv1.URL+"/jobs/"+id+"/artifacts/"+m1.Name, nil)
+	body1 := readAll(t, resp)
+	etag := resp.Header.Get("ETag")
+	srv1.Close()
+	s1.Close()
+
+	// Restart on the same data dir: the recovered artifact serves the
+	// same bytes under the same ETag, and a client that cached against
+	// the old process revalidates straight to 304.
+	store2, err := diskstore.New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := sim.NewScheduler(sim.Config{MaxConcurrent: 1, TotalWorkers: 1, Store: store2})
+	defer s2.Close()
+	srv2 := httptest.NewServer(s2.Handler())
+	defer srv2.Close()
+	if _, _, err := s2.RecoverState(); err != nil {
+		t.Fatal(err)
+	}
+	url := srv2.URL + "/jobs/" + id + "/artifacts/" + m1.Name
+	resp = get(t, url, nil)
+	body2 := readAll(t, resp)
+	if got := resp.Header.Get("ETag"); got != etag {
+		t.Fatalf("ETag changed across restart: %q -> %q", etag, got)
+	}
+	if string(body1) != string(body2) {
+		t.Fatal("artifact bytes changed across restart")
+	}
+	resp = get(t, url, map[string]string{"If-None-Match": etag})
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation after restart: %s, want 304", resp.Status)
+	}
+}
+
+func TestPyramidTileServing(t *testing.T) {
+	s := sim.NewScheduler(sim.Config{MaxConcurrent: 1, TotalWorkers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	id := runServeJob(t, s, srv.URL)
+	m := artifactNamed(t, srv.URL, id, "pyramid")
+	base := srv.URL + "/jobs/" + id + "/artifacts/" + m.Name
+
+	full := getBytes(t, base)
+	ts, err := analysis.ParseTileSet(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.N != 128 || ts.Levels != 2 {
+		t.Fatalf("tile set geometry %+v", ts)
+	}
+	// Every tile of every level serves byte-equal to the container's
+	// copy, as a standalone PGM, with a per-tile ETag honoring 304.
+	for z := 0; z < ts.Levels; z++ {
+		per := ts.TilesPerSide(z)
+		for y := 0; y < per; y++ {
+			for x := 0; x < per; x++ {
+				url := fmt.Sprintf("%s/%d/%d/%d", base, z, x, y)
+				resp := get(t, url, nil)
+				tile := readAll(t, resp)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("tile %d/%d/%d: %s", z, x, y, resp.Status)
+				}
+				if ct := resp.Header.Get("Content-Type"); ct != "image/x-portable-graymap" {
+					t.Fatalf("tile content type %q", ct)
+				}
+				want, _ := ts.Tile(z, x, y)
+				if string(tile) != string(want) {
+					t.Fatalf("tile %d/%d/%d differs from container copy", z, x, y)
+				}
+				etag := resp.Header.Get("ETag")
+				if wantTag := fmt.Sprintf(`"%s-%d.%d.%d"`, m.Hash, z, x, y); etag != wantTag {
+					t.Fatalf("tile ETag %q, want %q", etag, wantTag)
+				}
+				resp = get(t, url, map[string]string{"If-None-Match": etag})
+				readAll(t, resp)
+				if resp.StatusCode != http.StatusNotModified {
+					t.Fatalf("tile revalidation: %s", resp.Status)
+				}
+			}
+		}
+	}
+	// Out-of-range coordinates are 404; non-numeric ones 400; tile
+	// requests against a non-pyramid artifact 400.
+	for _, path := range []string{"/0/2/0", "/0/0/-1", "/1/1/0", "/2/0/0", "/-1/0/0"} {
+		resp := get(t, base+path, nil)
+		readAll(t, resp)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("tile %s: %s, want 404", path, resp.Status)
+		}
+	}
+	resp := get(t, base+"/a/0/0", nil)
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-numeric tile coordinate: %s, want 400", resp.Status)
+	}
+	proj := artifactNamed(t, srv.URL, id, "projection")
+	resp = get(t, srv.URL+"/jobs/"+id+"/artifacts/"+proj.Name+"/0/0/0", nil)
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tile request on non-pyramid artifact: %s, want 400", resp.Status)
+	}
+}
+
+func TestHotTierEvictionUnderBytePressure(t *testing.T) {
+	store, err := diskstore.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1-byte hot tier: nothing fits, so every read after the strict
+	// budget enforcement is a miss that re-reads and re-verifies disk.
+	s := sim.NewScheduler(sim.Config{MaxConcurrent: 1, TotalWorkers: 1, Store: store, HotBytes: 1})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	id := runServeJob(t, s, srv.URL)
+	m := artifactNamed(t, srv.URL, id, "projection")
+	url := srv.URL + "/jobs/" + id + "/artifacts/" + m.Name
+
+	if ev := metricValue(t, srv.URL, "sim_artifact_cache_evictions_total"); ev == 0 {
+		t.Fatal("no evictions under a 1-byte budget")
+	}
+	if hot := metricValue(t, srv.URL, "sim_hot_tier_bytes"); hot > 1 {
+		t.Fatalf("hot tier holds %d bytes over its 1-byte budget", hot)
+	}
+	reads0 := metricValue(t, srv.URL, "sim_artifact_disk_reads_total")
+	first := readAll(t, get(t, url, nil))
+	second := readAll(t, get(t, url, nil))
+	if string(first) != string(second) || len(first) != m.Size {
+		t.Fatalf("cold re-reads disagree: %d vs %d bytes", len(first), len(second))
+	}
+	reads1 := metricValue(t, srv.URL, "sim_artifact_disk_reads_total")
+	if reads1 != reads0+2 {
+		t.Fatalf("expected 2 cold disk reads, counter moved %d -> %d", reads0, reads1)
+	}
+	if mi := metricValue(t, srv.URL, "sim_artifact_cache_misses_total"); mi < 2 {
+		t.Fatalf("miss counter %d, want >= 2", mi)
+	}
+}
+
+func TestWarmHotTierServesFromMemory(t *testing.T) {
+	store, err := diskstore.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewScheduler(sim.Config{MaxConcurrent: 1, TotalWorkers: 1, Store: store})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	id := runServeJob(t, s, srv.URL)
+	m := artifactNamed(t, srv.URL, id, "projection")
+	url := srv.URL + "/jobs/" + id + "/artifacts/" + m.Name
+
+	readAll(t, get(t, url, nil)) // ensure resident
+	reads0 := metricValue(t, srv.URL, "sim_artifact_disk_reads_total")
+	hits0 := metricValue(t, srv.URL, "sim_artifact_cache_hits_total")
+	for i := 0; i < 5; i++ {
+		readAll(t, get(t, url, nil))
+	}
+	if r := metricValue(t, srv.URL, "sim_artifact_disk_reads_total"); r != reads0 {
+		t.Fatalf("warm reads touched disk: %d -> %d", reads0, r)
+	}
+	if h := metricValue(t, srv.URL, "sim_artifact_cache_hits_total"); h != hits0+5 {
+		t.Fatalf("hit counter %d -> %d, want +5", hits0, h)
+	}
+}

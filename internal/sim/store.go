@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/analysis"
@@ -36,11 +37,19 @@ type Store interface {
 	// SaveResult persists a completed job's terminal result.
 	SaveResult(id string, res *Result) error
 	// SaveArtifact persists one derived-output artifact in production
-	// order; saving a name again replaces its payload.
-	SaveArtifact(id string, a analysis.Artifact) error
+	// order; saving a name again replaces its payload. hash is the
+	// payload's content hash (HashBytes): persistent stores write the
+	// bytes once per hash in a shared blob tier and record the hash in
+	// the per-job index.
+	SaveArtifact(id string, a analysis.Artifact, hash string) error
 	// DeleteArtifacts forgets named artifacts of a job — the mirror of
-	// ArtifactStore's oldest-first eviction.
+	// ArtifactStore's oldest-first eviction. Blob payloads are reclaimed
+	// when their last referencing index row goes.
 	DeleteArtifacts(id string, names []string) error
+	// LoadBlob reads one content-addressed payload back by its hash —
+	// the hot tier's miss path. Non-persistent stores never see this
+	// call (their resident bytes are the only copy).
+	LoadBlob(hash string) ([]byte, error)
 	// SaveCheckpoint persists checkpoint bytes for the job at the given
 	// root step. Implementations retain at least the latest checkpoint;
 	// older ones may be pruned.
@@ -125,8 +134,11 @@ type RecoveredJob struct {
 	// Result is the terminal result of a done job, nil otherwise.
 	Result *Result
 	// Artifacts are the retained derived-output products in production
-	// order.
-	Artifacts []analysis.Artifact
+	// order — metadata only (name, kind, size, content hash). The
+	// payload bytes stay in the store's blob tier until a reader asks
+	// for them, so recovery of a large artifact history is index reads,
+	// not payload reads.
+	Artifacts []ArtifactMeta
 }
 
 // StoreStats are the store's size gauges, exported on /metrics.
@@ -136,10 +148,19 @@ type StoreStats struct {
 	CheckpointBytes int64 `json:"checkpoint_bytes"`
 	CheckpointCount int   `json:"checkpoint_count"`
 	// ArtifactBytes and ArtifactCount describe the persisted artifact
-	// payloads (0 for memory stores — the in-memory artifact bytes are
+	// payloads as indexed per job — logical bytes, before cross-job
+	// dedupe (0 for memory stores — the in-memory artifact bytes are
 	// reported per job instead).
 	ArtifactBytes int64 `json:"artifact_bytes"`
 	ArtifactCount int   `json:"artifact_count"`
+	// BlobBytes and BlobCount describe the physical content-addressed
+	// blob tier: each distinct payload once, however many index rows
+	// reference it.
+	BlobBytes int64 `json:"blob_bytes"`
+	BlobCount int   `json:"blob_count"`
+	// DedupeBytes totals the payload bytes SaveArtifact did not write
+	// again because the blob already existed (process-lifetime counter).
+	DedupeBytes int64 `json:"dedupe_bytes"`
 }
 
 // ErrStore wraps persistence failures so the HTTP layer can answer 500
@@ -167,10 +188,16 @@ func (memStore) SaveManifest(JobManifest) error { return nil }
 func (memStore) SaveResult(string, *Result) error { return nil }
 
 // SaveArtifact is a no-op.
-func (memStore) SaveArtifact(string, analysis.Artifact) error { return nil }
+func (memStore) SaveArtifact(string, analysis.Artifact, string) error { return nil }
 
 // DeleteArtifacts is a no-op.
 func (memStore) DeleteArtifacts(string, []string) error { return nil }
+
+// LoadBlob fails: a memory store has no disk tier to read back from
+// (the blob cache pins every referenced payload instead).
+func (memStore) LoadBlob(hash string) ([]byte, error) {
+	return nil, fmt.Errorf("sim: memory store holds no blob %s", hash)
+}
 
 // SaveCheckpoint is a no-op; the scheduler never checkpoints against a
 // non-persistent store.
