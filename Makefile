@@ -4,7 +4,7 @@ GO ?= go
 # staticcheck job; bump deliberately, in its own commit.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test test-full vet staticcheck bench bench-scaling bench-kernels bench-sim bench-serve bench-projection perfgate golden-update problems docs clean
+.PHONY: build test test-full vet staticcheck bench bench-scaling bench-kernels bench-sim bench-serve bench-projection perfgate golden-update problems cluster docs clean
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,12 @@ problems:
 		bin/enzogo -problem $$p -steps 2 -rootn 8 >/dev/null || exit 1; \
 	done < bin/problems.txt
 	@echo "all registered problems ran clean"
+
+# The distributed acceptance suite the CI cluster job runs: three serve
+# peers over real TCP, sharded placement, cross-peer proxying, and
+# kill-the-owner checkpoint takeover, all under the race detector.
+cluster:
+	$(GO) test -race -short -run 'TestCluster' ./internal/sim
 
 # The documentation gate the CI docs job runs: clean gofmt, documented
 # exports in every internal package, and README curl examples that

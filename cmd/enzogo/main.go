@@ -37,8 +37,16 @@
 // start, and SIGTERM drains gracefully (checkpoint, then exit). See the
 // README's "Serving & batch sweeps" section for the endpoints.
 //
+// With -peers/-self, several serve processes form a static cluster:
+// each owns a consistent-hash slice of the job-ID space, routes the
+// rest one hop to the owner, and replicates running-job state to each
+// job's ring successor so a killed peer's jobs resume elsewhere (see
+// ARCHITECTURE.md "Distributed topology").
+//
 //	enzogo serve -addr :8080 -slots 4
 //	enzogo serve -addr :8080 -data /var/lib/enzogo -checkpoint-every 5
+//	enzogo serve -addr :8081 -data /var/lib/enzogo1 \
+//	    -self http://10.0.0.1:8081 -peers http://10.0.0.1:8081,http://10.0.0.2:8081
 package main
 
 import (
@@ -55,6 +63,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"slices"
+	"strings"
 	"syscall"
 	"time"
 
@@ -85,6 +94,10 @@ func serve(args []string) {
 	dataDir := fs.String("data", "", "durable job store directory (empty = in-memory only: nothing survives a restart)")
 	ckptEvery := fs.Int("checkpoint-every", 5, "with -data: checkpoint running jobs every N root steps (0 = no step cadence)")
 	ckptTime := fs.Float64("checkpoint-time", 0, "with -data: checkpoint running jobs every T code time (0 = no time cadence)")
+	peerList := fs.String("peers", "", "comma-separated advertised base URLs of every cluster peer (empty = single node); requires -self")
+	self := fs.String("self", "", "this peer's advertised base URL, must appear in -peers")
+	vnodes := fs.Int("ring-vnodes", 0, "virtual nodes per peer on the ownership ring (0 = default); must match on every peer")
+	pingEvery := fs.Duration("peer-ping", time.Second, "peer health-check cadence")
 	fs.Parse(args)
 
 	cfg := sim.Config{
@@ -112,11 +125,32 @@ func serve(args []string) {
 		log.Printf("enzogo serve: data dir %s: recovered %d jobs (%d resumed mid-run)",
 			*dataDir, recovered, resumed)
 	}
+	// With -peers, wrap the scheduler in the distributed peer layer: this
+	// node owns a consistent-hash slice of the job-ID space, forwards or
+	// proxies the rest one hop, and replicates job state to each job's
+	// ring successor for takeover if this node dies.
+	api := sched.Handler()
+	var peer *sim.Peer
+	if *peerList != "" {
+		members := strings.Split(*peerList, ",")
+		var err error
+		peer, err = sim.NewPeer(sched, sim.PeerConfig{
+			Self:      *self,
+			Peers:     members,
+			Vnodes:    *vnodes,
+			PingEvery: *pingEvery,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		api = peer.Handler()
+		log.Printf("enzogo serve: peer %s in a %d-member ring", *self, len(members))
+	}
 	// The job API plus the standard pprof endpoints: profile a live
 	// service with e.g.
 	//   go tool pprof http://localhost:8080/debug/pprof/profile?seconds=30
 	mux := http.NewServeMux()
-	mux.Handle("/", sched.Handler())
+	mux.Handle("/", api)
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
@@ -142,6 +176,11 @@ func serve(args []string) {
 	// in-flight handlers (e.g. /events streams) to finish before tearing
 	// the scheduler down under them.
 	<-drained
+	if peer != nil {
+		// Stop pinging and replicating before the scheduler goes down; the
+		// peers' health checks will mark this node dead and take over.
+		peer.Close()
+	}
 	if *dataDir != "" {
 		// Graceful drain: running jobs checkpoint at their next root-step
 		// boundary and are recorded as interrupted, so the next

@@ -32,43 +32,58 @@ type Message struct {
 	Data     any
 }
 
-// Runtime carries the rank communication channels and global statistics.
+// Runtime carries the rank transport and global statistics. The default
+// transport is in-process channels (the virtual-time model); NewRuntimeOver
+// runs the same runtime over any Transport, including TCP peers.
 type Runtime struct {
 	NRanks int
-	queues []chan Message
+	tr     Transport
 
 	sends  atomic.Int64
 	bytes  atomic.Int64
 	probes atomic.Int64
 }
 
-// NewRuntime creates a runtime with n ranks and buffered mailboxes.
+// NewRuntime creates a runtime with n ranks over in-process buffered
+// mailboxes.
 func NewRuntime(n int) (*Runtime, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("mp: need at least 1 rank, got %d", n)
+	tr, err := NewChanTransport(n)
+	if err != nil {
+		return nil, err
 	}
-	r := &Runtime{NRanks: n, queues: make([]chan Message, n)}
-	for i := range r.queues {
-		r.queues[i] = make(chan Message, 1024)
-	}
-	return r, nil
+	return NewRuntimeOver(tr), nil
+}
+
+// NewRuntimeOver creates a runtime over an existing transport. The caller
+// keeps ownership of the transport's lifetime (Close).
+func NewRuntimeOver(tr Transport) *Runtime {
+	return &Runtime{NRanks: tr.NRanks(), tr: tr}
 }
 
 // Send delivers a message asynchronously (buffered).
 func (r *Runtime) Send(m Message) error {
-	if m.To < 0 || m.To >= r.NRanks {
-		return fmt.Errorf("mp: bad destination rank %d", m.To)
+	if err := r.tr.Send(m); err != nil {
+		return err
 	}
 	r.sends.Add(1)
 	r.bytes.Add(int64(m.Bytes))
-	r.queues[m.To] <- m
 	return nil
 }
 
-// Recv blocks until a message arrives for the rank.
+// Recv blocks until a message arrives for the rank. A transport failure
+// (peer death, closed transport) panics: the modeling runtime has no
+// recovery story mid-phase, and callers that need one should use the
+// Transport directly.
 func (r *Runtime) Recv(rank int) Message {
-	return <-r.queues[rank]
+	m, err := r.tr.Recv(rank)
+	if err != nil {
+		panic(fmt.Sprintf("mp: recv on rank %d: %v", rank, err))
+	}
+	return m
 }
+
+// Close closes the underlying transport.
+func (r *Runtime) Close() error { return r.tr.Close() }
 
 // Probe models the neighbour-discovery query a rank must issue when it
 // does not hold sterile metadata: one round-trip per queried rank.

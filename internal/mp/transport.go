@@ -1,0 +1,360 @@
+package mp
+
+// Transport abstracts how Messages move between ranks, so the same
+// Runtime (and the same statistics) can run over in-process channels —
+// the paper-model configuration — or over real TCP connections between
+// peer processes. The interface is deliberately the minimal mailbox
+// surface the Runtime needs: validated addressed sends and a blocking
+// per-rank receive.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Transport delivers Messages between ranks. Implementations must be safe
+// for concurrent Send and Recv from multiple goroutines.
+type Transport interface {
+	// NRanks returns the number of ranks the transport connects.
+	NRanks() int
+	// Send delivers m to rank m.To (buffered/asynchronous where the
+	// medium allows). It fails on an out-of-range destination or a
+	// closed transport.
+	Send(m Message) error
+	// Recv blocks until a message addressed to rank arrives, or the
+	// transport is closed. Process-wide transports (channels) serve any
+	// rank; peer transports (TCP) serve only their local rank.
+	Recv(rank int) (Message, error)
+	// Close releases the transport; blocked Recv calls return ErrClosed.
+	Close() error
+}
+
+// ErrClosed is returned by Send and Recv after a transport is closed.
+var ErrClosed = errors.New("mp: transport closed")
+
+// ChanTransport is the in-process Transport: one buffered channel per
+// rank, exactly the mailbox semantics the virtual-time model has always
+// used.
+type ChanTransport struct {
+	queues []chan Message
+	done   chan struct{}
+	once   sync.Once
+}
+
+// NewChanTransport creates an in-process transport with n ranks and
+// buffered mailboxes.
+func NewChanTransport(n int) (*ChanTransport, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mp: need at least 1 rank, got %d", n)
+	}
+	t := &ChanTransport{queues: make([]chan Message, n), done: make(chan struct{})}
+	for i := range t.queues {
+		t.queues[i] = make(chan Message, 1024)
+	}
+	return t, nil
+}
+
+// NRanks returns the rank count.
+func (t *ChanTransport) NRanks() int { return len(t.queues) }
+
+// Send delivers m to rank m.To's mailbox.
+func (t *ChanTransport) Send(m Message) error {
+	if m.To < 0 || m.To >= len(t.queues) {
+		return fmt.Errorf("mp: bad destination rank %d", m.To)
+	}
+	select {
+	case t.queues[m.To] <- m:
+		return nil
+	case <-t.done:
+		return ErrClosed
+	}
+}
+
+// Recv blocks until a message arrives for the rank. Messages already
+// buffered when the transport closes are still drained before ErrClosed.
+func (t *ChanTransport) Recv(rank int) (Message, error) {
+	if rank < 0 || rank >= len(t.queues) {
+		return Message{}, fmt.Errorf("mp: bad rank %d", rank)
+	}
+	select {
+	case m := <-t.queues[rank]:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-t.queues[rank]:
+		return m, nil
+	case <-t.done:
+		return Message{}, ErrClosed
+	}
+}
+
+// Close unblocks all pending and future Recv calls.
+func (t *ChanTransport) Close() error {
+	t.once.Do(func() { close(t.done) })
+	return nil
+}
+
+// RegisterWireType registers a concrete Message.Data payload type with
+// the TCP wire codec (gob requires concrete types behind the `any` field
+// to be registered on both ends). The common scalar, slice and GridMeta
+// payloads are pre-registered.
+func RegisterWireType(v any) { gob.Register(v) }
+
+func init() {
+	for _, v := range []any{int(0), int64(0), float64(0), "", []byte(nil),
+		[]int(nil), []float64(nil), GridMeta{}, []GridMeta(nil)} {
+		gob.Register(v)
+	}
+}
+
+// dialTimeout bounds how long a TCP send waits for a peer that is still
+// starting up before reporting the connection as failed.
+const dialTimeout = 10 * time.Second
+
+// TCPTransport is the peer Transport: rank i of an N-peer group listens
+// on addrs[i] and lazily dials the other peers on first send. Each
+// message is one length-prefixed frame — a 4-byte big-endian payload
+// length followed by the gob-encoded Message — so frames survive
+// arbitrary TCP segmentation and a reader can resynchronize only at
+// frame boundaries (a torn frame fails the connection, never delivers a
+// partial message).
+//
+// Unlike ChanTransport, a TCPTransport instance serves exactly one rank:
+// Recv is only valid for the local rank, and Send to the local rank
+// short-circuits through the inbox without touching the network.
+type TCPTransport struct {
+	self  int
+	addrs []string
+	ln    net.Listener
+	inbox chan Message
+	done  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	conns   map[int]*peerConn
+	inbound map[net.Conn]struct{}
+}
+
+// peerConn is one outbound connection with its send lock (frames from
+// concurrent senders must not interleave).
+type peerConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// NewTCPTransport creates the peer transport for rank self of the group
+// addrs, listening on addrs[self].
+func NewTCPTransport(self int, addrs []string) (*TCPTransport, error) {
+	if self < 0 || self >= len(addrs) {
+		return nil, fmt.Errorf("mp: self rank %d outside %d peers", self, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, fmt.Errorf("mp: listen %s: %w", addrs[self], err)
+	}
+	return NewTCPTransportOn(self, addrs, ln), nil
+}
+
+// NewTCPTransportOn is NewTCPTransport over a pre-bound listener, for
+// callers (and tests) that bind port 0 first to learn their address.
+func NewTCPTransportOn(self int, addrs []string, ln net.Listener) *TCPTransport {
+	t := &TCPTransport{
+		self:    self,
+		addrs:   append([]string(nil), addrs...),
+		ln:      ln,
+		inbox:   make(chan Message, 1024),
+		done:    make(chan struct{}),
+		conns:   make(map[int]*peerConn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t
+}
+
+// NRanks returns the peer-group size.
+func (t *TCPTransport) NRanks() int { return len(t.addrs) }
+
+// Addr returns the local listen address (useful when bound to port 0).
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// acceptLoop accepts inbound peer connections and spawns a frame reader
+// per connection.
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		t.inbound[c] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+// readLoop decodes frames from one inbound connection into the inbox
+// until the connection or the transport dies.
+func (t *TCPTransport) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		c.Close()
+		t.mu.Lock()
+		delete(t.inbound, c)
+		t.mu.Unlock()
+	}()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		const maxFrame = 64 << 20
+		if n > maxFrame {
+			return // corrupt stream; drop the connection
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return
+		}
+		var m Message
+		if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&m); err != nil {
+			return
+		}
+		select {
+		case t.inbox <- m:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// Send frames and ships m to peer m.To, dialing (with startup retry) on
+// first use. Sends to the local rank bypass the network.
+func (t *TCPTransport) Send(m Message) error {
+	if m.To < 0 || m.To >= len(t.addrs) {
+		return fmt.Errorf("mp: bad destination rank %d", m.To)
+	}
+	select {
+	case <-t.done:
+		return ErrClosed
+	default:
+	}
+	if m.To == t.self {
+		select {
+		case t.inbox <- m:
+			return nil
+		case <-t.done:
+			return ErrClosed
+		}
+	}
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // frame header placeholder
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return fmt.Errorf("mp: encode message for rank %d: %w", m.To, err)
+	}
+	frame := buf.Bytes()
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+
+	pc, err := t.conn(m.To)
+	if err != nil {
+		return err
+	}
+	pc.mu.Lock()
+	_, werr := pc.c.Write(frame)
+	pc.mu.Unlock()
+	if werr != nil {
+		// Drop the broken connection so the next send re-dials.
+		t.mu.Lock()
+		if t.conns[m.To] == pc {
+			delete(t.conns, m.To)
+		}
+		t.mu.Unlock()
+		pc.c.Close()
+		return fmt.Errorf("mp: send to rank %d: %w", m.To, werr)
+	}
+	return nil
+}
+
+// conn returns the cached outbound connection to a peer, dialing it if
+// needed. Peers of a group start concurrently, so the dial retries with
+// backoff until the peer's listener is up or dialTimeout expires.
+func (t *TCPTransport) conn(to int) (*peerConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pc, ok := t.conns[to]; ok {
+		return pc, nil
+	}
+	deadline := time.Now().Add(dialTimeout)
+	backoff := 5 * time.Millisecond
+	for {
+		c, err := net.DialTimeout("tcp", t.addrs[to], time.Until(deadline))
+		if err == nil {
+			pc := &peerConn{c: c}
+			t.conns[to] = pc
+			return pc, nil
+		}
+		select {
+		case <-t.done:
+			return nil, ErrClosed
+		default:
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("mp: dial rank %d at %s: %w", to, t.addrs[to], err)
+		}
+		time.Sleep(backoff)
+		if backoff < 200*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// Recv blocks until a message for the local rank arrives. Asking for any
+// other rank's mail is a programming error on a peer transport.
+func (t *TCPTransport) Recv(rank int) (Message, error) {
+	if rank != t.self {
+		return Message{}, fmt.Errorf("mp: TCP transport serves rank %d, not %d", t.self, rank)
+	}
+	select {
+	case m := <-t.inbox:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-t.inbox:
+		return m, nil
+	case <-t.done:
+		return Message{}, ErrClosed
+	}
+}
+
+// Close shuts the listener and all connections; pending Recv calls
+// return ErrClosed.
+func (t *TCPTransport) Close() error {
+	t.once.Do(func() {
+		close(t.done)
+		t.ln.Close()
+		t.mu.Lock()
+		for to, pc := range t.conns {
+			pc.c.Close()
+			delete(t.conns, to)
+		}
+		for c := range t.inbound {
+			c.Close()
+		}
+		t.mu.Unlock()
+	})
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,164 @@
+package mp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTCPGroup builds n connected TCPTransports on loopback port-0
+// listeners, returning them with cleanup registered.
+func newTCPGroup(t *testing.T, n int) []*TCPTransport {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	trs := make([]*TCPTransport, n)
+	for i := range trs {
+		tr := NewTCPTransportOn(i, addrs, lns[i])
+		trs[i] = tr
+		t.Cleanup(func() { tr.Close() })
+	}
+	return trs
+}
+
+func TestChanTransportDrainsBufferedAfterClose(t *testing.T) {
+	tr, err := NewChanTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(Message{From: 0, To: 1, Tag: "x", Data: 7}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	m, err := tr.Recv(1)
+	if err != nil || m.Data.(int) != 7 {
+		t.Fatalf("buffered message lost on close: %v %v", m, err)
+	}
+	if _, err := tr.Recv(1); err != ErrClosed {
+		t.Fatalf("drained closed transport: want ErrClosed, got %v", err)
+	}
+	if err := tr.Send(Message{To: 5}); err == nil {
+		t.Fatal("send to out-of-range rank succeeded")
+	}
+}
+
+// TestTCPTransportRingExchange: every rank sends a struct payload to its
+// right neighbour over real sockets; everyone receives the expected
+// message with the payload type intact.
+func TestTCPTransportRingExchange(t *testing.T) {
+	const n = 3
+	trs := newTCPGroup(t, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr := trs[rank]
+			meta := GridMeta{ID: rank, Level: 1, N: [3]int{8, 8, 8}, Owner: rank}
+			if err := tr.Send(Message{From: rank, To: (rank + 1) % n, Tag: "ring", Bytes: 64, Data: meta}); err != nil {
+				errs[rank] = err
+				return
+			}
+			m, err := tr.Recv(rank)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			want := (rank + n - 1) % n
+			got, ok := m.Data.(GridMeta)
+			if m.From != want || m.Tag != "ring" || !ok || got.ID != want {
+				errs[rank] = fmt.Errorf("rank %d got %+v", rank, m)
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+func TestTCPTransportSelfSendAndBadRank(t *testing.T) {
+	trs := newTCPGroup(t, 2)
+	if err := trs[0].Send(Message{From: 0, To: 0, Tag: "self", Data: "hi"}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := trs[0].Recv(0)
+	if err != nil || m.Data.(string) != "hi" {
+		t.Fatalf("self-send lost: %v %v", m, err)
+	}
+	if err := trs[0].Send(Message{To: 9}); err == nil {
+		t.Fatal("send to out-of-range rank succeeded")
+	}
+	if _, err := trs[0].Recv(1); err == nil {
+		t.Fatal("recv for a non-local rank succeeded on a peer transport")
+	}
+}
+
+// TestRuntimeOverTCP: the same Runtime API (send/recv/statistics) works
+// with a TCP transport per rank — one runtime per peer, message counts
+// observed on the sender side.
+func TestRuntimeOverTCP(t *testing.T) {
+	const n = 3
+	trs := newTCPGroup(t, n)
+	rts := make([]*Runtime, n)
+	for i := range rts {
+		rts[i] = NewRuntimeOver(trs[i])
+	}
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			rt := rts[rank]
+			if err := rt.Send(Message{From: rank, To: (rank + 1) % n, Tag: "tick", Bytes: 100, Data: rank}); err != nil {
+				t.Errorf("rank %d send: %v", rank, err)
+				return
+			}
+			m := rt.Recv(rank)
+			if m.Data.(int) != (rank+n-1)%n {
+				t.Errorf("rank %d got %+v", rank, m)
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for rank, rt := range rts {
+		sends, bytes, _ := rt.Stats()
+		if sends != 1 || bytes != 100 {
+			t.Fatalf("rank %d stats: %d sends, %d bytes", rank, sends, bytes)
+		}
+	}
+}
+
+// TestTCPTransportCloseUnblocksRecv: Close must wake a blocked reader
+// promptly (the failure-detection path in a peer group).
+func TestTCPTransportCloseUnblocksRecv(t *testing.T) {
+	trs := newTCPGroup(t, 2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := trs[0].Recv(0)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	trs[0].Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("want ErrClosed, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv still blocked after Close")
+	}
+}

@@ -109,63 +109,78 @@ func (g GridGeom) RelPos(p *Particles, i int) (x, y, z float64) {
 // the active region deposit into ghost zones; periodic callers fold ghosts
 // back with FoldGhostsPeriodic. Returns the number of particles whose
 // cloud touched the grid.
+//
+// DepositCIC is the serial execution of the same fixed-chunk algorithm
+// DepositCICWorkers runs in parallel, so the deposited field is bitwise
+// identical at every worker count.
 func DepositCIC(p *Particles, rho *mesh.Field3, geom GridGeom) int {
-	return depositCICRange(p, rho, geom, 0, p.Len())
+	return DepositCICWorkers(p, rho, geom, 1)
 }
 
+// depositChunkSize is the fixed particle-chunk width of the CIC deposit.
+// The chunk grid depends only on the particle count — never on the
+// resolved worker count — which is what makes the deposit placement-
+// invariant: chunk c always covers particles [c*size, (c+1)*size), is
+// always accumulated into a buffer that starts from zero, and is always
+// reduced into rho in ascending chunk order.
+const depositChunkSize = 2048
+
 // DepositCICWorkers is DepositCIC with an explicit worker bound (par
-// conventions: 0 = NumCPU, 1 = serial, which delegates to the serial
-// kernel). Each of the resolved W workers deposits a fixed contiguous
-// particle range into a private buffer; the buffers are then reduced into
-// rho in range order. The partition and reduction order depend only on W
-// and the particle order — never on scheduling — so the result is
-// deterministic for a given worker count (though not bitwise identical to
-// the serial sum, which accumulates in a different order).
+// conventions: 0 = NumCPU, 1 = serial). Particles are partitioned into
+// fixed chunks of depositChunkSize regardless of the worker count; chunks
+// are deposited into per-worker scratch buffers in batches of W and the
+// batch is reduced into rho serially in ascending chunk order. Both the
+// chunk partition and the reduction order are independent of W and of
+// goroutine scheduling, so the result is bitwise identical for every
+// worker count — a job's canonical checksum cannot depend on where (or
+// how wide) it ran.
 func DepositCICWorkers(p *Particles, rho *mesh.Field3, geom GridGeom, workers int) int {
-	w := par.Workers(workers)
 	n := p.Len()
-	// Per-range field buffers cost a full zeroed grid copy each; stay
-	// serial unless there is enough work to amortize them, and never
-	// spread fewer than ~2048 particles over a buffer (on a many-core
-	// machine an uncapped w would allocate NumCPU grid copies for a
-	// handful of particles each).
-	const minPerRange = 2048
-	if w > n/minPerRange {
-		w = n / minPerRange
+	if n == 0 {
+		return 0
 	}
-	if w <= 1 {
-		return DepositCIC(p, rho, geom)
+	nchunks := (n + depositChunkSize - 1) / depositChunkSize
+	w := par.Workers(workers)
+	if w > nchunks {
+		w = nchunks
 	}
+	// One scratch grid per worker slot, reused (re-zeroed) across
+	// batches, so the live buffer cost is W grid copies, not nchunks.
 	bufs := make([]*mesh.Field3, w)
+	for s := range bufs {
+		bufs[s] = mesh.NewField3(rho.Nx, rho.Ny, rho.Nz, rho.Ng)
+	}
 	counts := make([]int, w)
-	span := (n + w - 1) / w
-	// Exactly one index per range: the range id doubles as the slot id,
-	// so results do not depend on which worker claims which range.
-	par.For(w, w, 1, func(_, lo, hi int) {
-		for slot := lo; slot < hi; slot++ {
-			plo, phi := slot*span, (slot+1)*span
-			if phi > n {
-				phi = n
-			}
-			if plo >= phi {
-				continue
-			}
-			buf := mesh.NewField3(rho.Nx, rho.Ny, rho.Nz, rho.Ng)
-			bufs[slot] = buf
-			counts[slot] = depositCICRange(p, buf, geom, plo, phi)
-		}
-	})
 	total := 0
-	for slot := 0; slot < w; slot++ {
-		if bufs[slot] == nil {
-			continue
+	for base := 0; base < nchunks; base += w {
+		batch := w
+		if batch > nchunks-base {
+			batch = nchunks - base
 		}
-		total += counts[slot]
-		src := bufs[slot].Data
-		dst := rho.Data
-		for i, v := range src {
-			if v != 0 {
-				dst[i] += v
+		// Exactly one index per chunk: the batch slot doubles as the
+		// buffer id, so results do not depend on which worker claims
+		// which chunk.
+		par.For(w, batch, 1, func(_, lo, hi int) {
+			for s := lo; s < hi; s++ {
+				plo := (base + s) * depositChunkSize
+				phi := plo + depositChunkSize
+				if phi > n {
+					phi = n
+				}
+				counts[s] = depositCICRange(p, bufs[s], geom, plo, phi)
+			}
+		})
+		for s := 0; s < batch; s++ {
+			total += counts[s]
+			src := bufs[s].Data
+			dst := rho.Data
+			for i, v := range src {
+				if v != 0 {
+					dst[i] += v
+				}
+			}
+			if base+batch < nchunks {
+				bufs[s].Zero()
 			}
 		}
 	}

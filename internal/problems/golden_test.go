@@ -28,18 +28,18 @@ type goldenEntry struct {
 const goldenFile = "testdata/golden.json"
 const goldenSteps = 2
 
-// goldenOpts shrinks a spec's defaults to the pinned golden size: 16³,
-// at most two refinement levels, and — critically — a serial worker
-// budget, because the CIC deposit's reduction order (alone among the
-// kernels) depends on the worker count and the committed hashes must not
-// depend on the host's core count.
+// goldenOpts shrinks a spec's defaults to the pinned golden size: 16³
+// and at most two refinement levels. The worker budget is deliberately
+// left at the spec default (0 = NumCPU): every kernel, including the CIC
+// deposit's fixed-chunk reduction, is bitwise invariant under the worker
+// count, so the committed hashes must not depend on the host's core
+// count — this test is the proof.
 func goldenOpts(spec Spec) Opts {
 	o := spec.Defaults
 	o.RootN = 16
 	if o.MaxLevel > 2 {
 		o.MaxLevel = 2
 	}
-	o.Workers = 1
 	return o
 }
 

@@ -1,0 +1,16 @@
+package diskstore
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/sim/storetest"
+)
+
+// TestDiskStoreConformance runs the shared Store conformance suite
+// against the disk-backed implementation — the same behavioral
+// contract the memory store passes, plus everything Persistent()
+// unlocks (recovery, blobs, checkpoints).
+func TestDiskStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) sim.Store { return open(t, t.TempDir()) })
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -17,7 +18,7 @@ import (
 // Handler exposes the scheduler as an HTTP/JSON API (`enzogo serve`):
 //
 //	POST   /jobs             submit a Request; identical configs coalesce
-//	GET    /jobs             list retained jobs in submit order
+//	GET    /jobs             list retained jobs in (submit time, id) order
 //	                         (?status= filter, ?limit=/?offset= pagination)
 //	GET    /jobs/{id}        one job's status
 //	GET    /jobs/{id}/result the completed Result (409 until done)
@@ -114,13 +115,18 @@ func (s *Scheduler) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, SubmitResponse{Status: j.Status(), Disposition: string(disp)})
 }
 
-// handleList serves the retained job table in submit order, with
-// optional filtering and pagination for large (or freshly restored)
-// tables: ?status= keeps only jobs in that lifecycle state
-// (queued|running|done|failed|cancelled), ?offset= skips that many
-// matching rows, and ?limit= caps the rows returned (0 = no cap). The
-// response stays a bare JSON array; X-Total-Count carries the matching
-// row count before pagination.
+// handleList serves the retained job table with optional filtering and
+// pagination for large (or freshly restored) tables: ?status= keeps only
+// jobs in that lifecycle state (queued|running|done|failed|cancelled),
+// ?offset= skips that many matching rows, and ?limit= caps the rows
+// returned (0 = no cap). The response stays a bare JSON array;
+// X-Total-Count carries the matching row count before pagination.
+//
+// Rows are sorted by (submit time, id) — a documented, stable key — so
+// ?offset= pages cannot shuffle as jobs change state between requests:
+// the raw retention order moves a job to the back when a failed
+// configuration is resubmitted, which would make offset-based pages skip
+// or duplicate rows mid-walk.
 func (s *Scheduler) handleList(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	wantState := ""
@@ -158,6 +164,12 @@ func (s *Scheduler) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, st)
 	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].SubmittedAt.Equal(out[k].SubmittedAt) {
+			return out[i].SubmittedAt.Before(out[k].SubmittedAt)
+		}
+		return out[i].ID < out[k].ID
+	})
 	total := len(out)
 	if offset > len(out) {
 		offset = len(out)

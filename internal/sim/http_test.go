@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -275,6 +276,75 @@ func TestHTTPListFilterAndPagination(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("GET /jobs%s: %s, want 400", bad, resp.Status)
+		}
+	}
+}
+
+// TestHTTPListPaginationStable: GET /jobs pages on a documented stable
+// sort key — (submit time, id) — so an ?offset= walk over a scheduler
+// whose jobs are changing state never skips or duplicates a job id, and
+// ties on submit time break deterministically by id (the raw retention
+// order, which moves resubmitted configurations to the back and makes
+// no promise about equal timestamps, is NOT the pagination order).
+func TestHTTPListPaginationStable(t *testing.T) {
+	s := NewScheduler(Config{MaxConcurrent: 1, TotalWorkers: 1, CacheSize: 64})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	const n = 9
+	want := map[string]bool{}
+	for i := 0; i < n; i++ {
+		sub := postJob(t, srv.URL, Request{Problem: "sedov", RootN: 8, MaxLevel: Int(0), Steps: 2,
+			Knobs: map[string]float64{"e0": float64(i + 1)}})
+		want[sub.ID] = true
+	}
+	// Force submit-time ties: with one shared timestamp the only order
+	// left is the id tiebreak, which the raw retention order does not
+	// provide.
+	tied := time.Now()
+	for _, j := range s.Jobs() {
+		j.mu.Lock()
+		j.submitted = tied
+		j.mu.Unlock()
+	}
+
+	// Page through the table repeatedly while the single slot churns the
+	// jobs queued→running→done underneath the walk.
+	for walk := 0; walk < 25; walk++ {
+		seen := map[string]bool{}
+		var order []string
+		for offset := 0; ; offset += 3 {
+			resp, err := http.Get(fmt.Sprintf("%s/jobs?limit=3&offset=%d", srv.URL, offset))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var page []Status
+			if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if len(page) == 0 {
+				break
+			}
+			for _, st := range page {
+				if seen[st.ID] {
+					t.Fatalf("walk %d: job %s appeared twice", walk, st.ID)
+				}
+				seen[st.ID] = true
+				order = append(order, st.ID)
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("walk %d: saw %d of %d jobs (a page skipped rows)", walk, len(seen), n)
+		}
+		for id := range seen {
+			if !want[id] {
+				t.Fatalf("walk %d: unknown job %s", walk, id)
+			}
+		}
+		if !sort.StringsAreSorted(order) {
+			t.Fatalf("walk %d: tied submit times not ordered by id: %v", walk, order)
 		}
 	}
 }

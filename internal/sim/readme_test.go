@@ -8,7 +8,9 @@ package sim
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -21,6 +23,7 @@ import (
 type curlCmd struct {
 	line    string
 	method  string
+	port    string // README port token: ":8080", ":8081" or ":8082"
 	path    string
 	body    string
 	headers map[string]string
@@ -79,9 +82,11 @@ func tokenize(line string) []string {
 
 // parseCurl understands exactly the curl dialect the README is allowed
 // to use: -s/-sS/-O flag noise, -X METHOD, -d BODY (implies POST),
-// -H 'Header: value', a :8080-rooted URL, and a trailing "| ..." pipe
-// or "# ..." comment. An unrecognized token fails the test — examples
-// must stay simple enough to be machine-verified.
+// -H 'Header: value', a URL rooted at one of the three documented
+// ports (:8080 single node, :8080–:8082 for the cluster quickstart),
+// and a trailing "| ..." pipe or "# ..." comment. An unrecognized
+// token fails the test — examples must stay simple enough to be
+// machine-verified.
 func parseCurl(t *testing.T, line string) curlCmd {
 	t.Helper()
 	cmd := curlCmd{line: line, method: http.MethodGet}
@@ -121,33 +126,73 @@ func parseCurl(t *testing.T, line string) curlCmd {
 				cmd.headers = map[string]string{}
 			}
 			cmd.headers[strings.TrimSpace(k)] = strings.TrimSpace(v)
-		case strings.HasPrefix(tok, ":8080/"):
-			cmd.path = strings.TrimPrefix(tok, ":8080")
+		case strings.HasPrefix(tok, ":8080/") || strings.HasPrefix(tok, ":8081/") || strings.HasPrefix(tok, ":8082/"):
+			cmd.port = tok[:len(":8080")]
+			cmd.path = tok[len(":8080"):]
 		default:
 			t.Fatalf("README example uses a curl feature the smoke test cannot verify: %q in %q", tok, line)
 		}
 	}
 	if cmd.path == "" {
-		t.Fatalf("README example has no :8080 URL: %q", line)
+		t.Fatalf("README example has no :8080/:8081/:8082 URL: %q", line)
 	}
 	return cmd
 }
 
 // TestReadmeCurlExamples replays every README curl example against a
-// live server in document order, threading the job ID and artifact name
-// of the most recent POST through the <id> and <name> placeholders.
+// live three-peer cluster in document order, threading the job ID and
+// artifact name of the most recent POST through the <id> and <name>
+// placeholders. The README's :8080/:8081/:8082 port tokens map onto
+// the three peers, so the single-node examples run unchanged against
+// the first member while the cluster-quickstart examples exercise real
+// cross-peer forwarding and proxying.
 func TestReadmeCurlExamples(t *testing.T) {
-	s := NewScheduler(Config{MaxConcurrent: 2, TotalWorkers: 2})
-	defer s.Close()
-	srv := httptest.NewServer(s.Handler())
-	defer srv.Close()
+	const members = 3
+	lns := make([]net.Listener, members)
+	urls := make([]string, members)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	scheds := make([]*Scheduler, members)
+	base := map[string]string{} // README port token -> live server URL
+	for i := range scheds {
+		// Identical config on every member: the canonical job ID folds in
+		// the effective worker budget, so ownership agreement requires it.
+		scheds[i] = NewScheduler(Config{MaxConcurrent: 2, TotalWorkers: 2})
+		defer scheds[i].Close()
+		p, err := NewPeer(scheds[i], PeerConfig{Self: urls[i], Peers: urls, PingEvery: 100 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		srv := &httptest.Server{Listener: lns[i], Config: &http.Server{Handler: p.Handler()}}
+		srv.Start()
+		defer srv.Close()
+		base[fmt.Sprintf(":%d", 8080+i)] = urls[i]
+	}
+
+	// A job lives on exactly one peer (its ring owner), which need not be
+	// the peer the README submitted it through.
+	find := func(id string) (*Job, bool) {
+		for _, s := range scheds {
+			if j, ok := s.Get(id); ok {
+				return j, true
+			}
+		}
+		return nil, false
+	}
 
 	var lastID string
 	waitDone := func() {
 		t.Helper()
-		j, ok := s.Get(lastID)
+		j, ok := find(lastID)
 		if !ok {
-			t.Fatalf("submitted job %s not found", lastID)
+			t.Fatalf("submitted job %s not found on any peer", lastID)
 		}
 		select {
 		case <-j.Done():
@@ -162,7 +207,7 @@ func TestReadmeCurlExamples(t *testing.T) {
 	firstArtifact := func() string {
 		t.Helper()
 		waitDone()
-		j, _ := s.Get(lastID)
+		j, _ := find(lastID)
 		arts := j.Artifacts().All()
 		if len(arts) == 0 {
 			t.Fatalf("README example needs an artifact, but job %s produced none", lastID)
@@ -182,7 +227,7 @@ func TestReadmeCurlExamples(t *testing.T) {
 		if strings.Contains(cmd.path, "<name>") {
 			cmd.path = strings.ReplaceAll(cmd.path, "<name>", firstArtifact())
 		}
-		req, err := http.NewRequest(cmd.method, srv.URL+cmd.path, strings.NewReader(cmd.body))
+		req, err := http.NewRequest(cmd.method, base[cmd.port]+cmd.path, strings.NewReader(cmd.body))
 		if err != nil {
 			t.Fatalf("%q: %v", line, err)
 		}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringPeers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://peer%d:8080", i)
+	}
+	return out
+}
+
+func TestRingAgreementAndBalance(t *testing.T) {
+	peers := ringPeers(3)
+	a, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ring built from the same peers in a different order must agree on
+	// every owner (peers share only the unordered -peers set).
+	b, err := NewRing([]string{peers[2], peers[0], peers[1]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		id := fmt.Sprintf("%016x", i*2654435761)
+		oa, ob := a.Owner(id), b.Owner(id)
+		if oa != ob {
+			t.Fatalf("rings disagree on %s: %s vs %s", id, oa, ob)
+		}
+		counts[oa]++
+	}
+	for _, peer := range peers {
+		if c := counts[peer]; c < 300 {
+			t.Fatalf("ring is badly imbalanced: %v", counts)
+		}
+	}
+}
+
+func TestRingExclusionAndSuccessor(t *testing.T) {
+	peers := ringPeers(3)
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		id := fmt.Sprintf("%016x", i*40503)
+		owner := r.Owner(id)
+		succ := r.Successor(id, owner, nil)
+		if succ == owner || succ == "" {
+			t.Fatalf("successor of %s for %s is %q", owner, id, succ)
+		}
+		// The replication invariant: the standby is exactly who becomes
+		// owner once the current owner dies.
+		after := r.OwnerExcluding(id, map[string]bool{owner: true})
+		if after != succ {
+			t.Fatalf("takeover owner %s != replication target %s for %s", after, succ, id)
+		}
+		// Excluding a non-owner never moves ownership.
+		other := peers[0]
+		if other == owner {
+			other = peers[1]
+		}
+		if other == succ {
+			// excluding the successor must keep the owner too
+			if got := r.OwnerExcluding(id, map[string]bool{other: true}); got != owner {
+				t.Fatalf("excluding standby moved owner of %s: %s", id, got)
+			}
+		}
+	}
+	if got := r.OwnerExcluding("deadbeef", map[string]bool{peers[0]: true, peers[1]: true, peers[2]: true}); got != "" {
+		t.Fatalf("all-excluded ring returned owner %q", got)
+	}
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring built")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+}
+
+func TestRingSinglePeerOwnsAll(t *testing.T) {
+	r, err := NewRing([]string{"http://solo:8080"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Owner("anything"); got != "http://solo:8080" {
+		t.Fatalf("single-peer ring owner %q", got)
+	}
+	if got := r.Successor("anything", "http://solo:8080", nil); got != "" {
+		t.Fatalf("single-peer ring has standby %q", got)
+	}
+}

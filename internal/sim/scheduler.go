@@ -341,14 +341,17 @@ func (j *Job) finishLocked(state State, res *Result, err error) bool {
 
 // Status is the JSON-facing snapshot of a job.
 type Status struct {
-	ID          string   `json:"id"`
-	Problem     string   `json:"problem"`
-	State       string   `json:"state"`
-	Workers     int      `json:"workers"`
-	StepBudget  int      `json:"step_budget"`
-	Progress    Progress `json:"progress"`
-	Submissions int      `json:"submissions"`
-	CacheHits   int      `json:"cache_hits"`
+	ID      string `json:"id"`
+	Problem string `json:"problem"`
+	State   string `json:"state"`
+	// SubmittedAt is the job's first-submission time — with the ID, the
+	// stable sort key of GET /jobs pagination.
+	SubmittedAt time.Time `json:"submitted_at"`
+	Workers     int       `json:"workers"`
+	StepBudget  int       `json:"step_budget"`
+	Progress    Progress  `json:"progress"`
+	Submissions int       `json:"submissions"`
+	CacheHits   int       `json:"cache_hits"`
 	// Artifacts and ArtifactBytes count the derived-output products
 	// retained so far (see GET /jobs/{id}/artifacts).
 	Artifacts     int     `json:"artifacts"`
@@ -378,6 +381,7 @@ func (j *Job) Status() Status {
 		ID:          j.ID,
 		Problem:     j.Req.Problem,
 		State:       j.state.String(),
+		SubmittedAt: j.submitted,
 		Workers:     j.Workers,
 		StepBudget:  j.StepBudget,
 		Progress:    j.prog,
@@ -453,6 +457,12 @@ type Scheduler struct {
 	// into the queue; shutdown waits for it before closing the channel.
 	recoverWG sync.WaitGroup
 
+	// repl holds the distributed-peer observation hooks, if any. An
+	// atomic pointer because a Peer attaches after NewScheduler has
+	// already started the slot goroutines; nil (the single-node case)
+	// costs one atomic load on the paths that would fire a hook.
+	repl atomic.Pointer[replHooks]
+
 	mu       sync.Mutex
 	closed   bool
 	draining bool // Drain in progress: interrupted jobs checkpoint before the slots exit
@@ -462,6 +472,32 @@ type Scheduler struct {
 	start    time.Time
 	storeErr error
 }
+
+// replHooks are the scheduler's distributed-replication observation
+// points: a Peer registers them to mirror job state to the job's standby
+// peer. All hooks run on scheduler goroutines (submit callers and slot
+// workers) and must not call back into the scheduler.
+type replHooks struct {
+	// scheduled fires after a fresh job's queued manifest is persisted
+	// and the job registered.
+	scheduled func(m JobManifest)
+	// checkpoint fires after a restart checkpoint (and the manifest
+	// recording it) is persisted.
+	checkpoint func(m JobManifest, step int, data []byte)
+	// artifact fires after a derived-output artifact is retained and
+	// persisted; a takeover peer needs the pre-checkpoint artifacts too,
+	// or the resumed job's artifact set would start at the resume step.
+	artifact func(id string, a analysis.Artifact, hash string)
+	// artifactDrop fires after retained artifacts are evicted, so the
+	// standby's replicated set tracks the owner's.
+	artifactDrop func(id string, names []string)
+	// terminal fires after a job reaches a persisted terminal state
+	// (done, failed, cancelled — not shutdown-interrupted).
+	terminal func(id string)
+}
+
+// setReplHooks attaches (or, with nil, detaches) the peer hooks.
+func (s *Scheduler) setReplHooks(h *replHooks) { s.repl.Store(h) }
 
 // NewScheduler starts a scheduler with cfg's slots running. With a
 // persistent store, it first recovers the store's persisted jobs:
@@ -856,7 +892,61 @@ func (s *Scheduler) SubmitWithDisposition(req Request) (*Job, Disposition, error
 	doomed := s.evictLocked()
 	s.mu.Unlock()
 	s.reap(doomed)
+	if h := s.repl.Load(); h != nil && h.scheduled != nil {
+		h.scheduled(j.manifestOf(Queued.String()))
+	}
 	return j, Scheduled, nil
+}
+
+// CanonicalID resolves a request to its canonical configuration hash —
+// the job ID Submit would assign it — without scheduling anything. The
+// distributed peer router uses it for ownership decisions before any
+// state is created.
+func (s *Scheduler) CanonicalID(req Request) (string, error) {
+	r, err := resolve(req, s.cfg.slotWorkers(), s.cfg.TotalWorkers)
+	if err != nil {
+		return "", err
+	}
+	return r.key(), nil
+}
+
+// readmit re-admits a replicated job record whose owning peer died: the
+// standby manifest is persisted as interrupted (this store now owns the
+// WAL record) and the job is queued exactly like a startup-recovered
+// one, so a slot resumes it from the latest checkpoint this store holds
+// — for a takeover, the replicated one. arts are the replicated
+// artifact rows (their payloads already live in this store's blob
+// tier); rehydrating them keeps the resumed job's artifact set equal to
+// an uninterrupted run's instead of starting at the resume step.
+func (s *Scheduler) readmit(m JobManifest, arts []ArtifactMeta) error {
+	m.State = ManifestInterrupted
+	if err := s.store.SaveManifest(m); err != nil {
+		return fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	j, err := s.recoverJob(RecoveredJob{Manifest: m, Artifacts: arts})
+	if err != nil {
+		return err
+	}
+	if j == nil {
+		return ErrClosed // scheduler closed mid-takeover
+	}
+	// The queue send holds s.mu with a closed re-check, like Submit:
+	// shutdown closes the channel only after it can take the lock, so the
+	// send cannot race the close.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		s.removeLocked(m.ID)
+		s.stats.Recovered--
+		s.stats.Resumed--
+		return fmt.Errorf("%w (%d jobs waiting)", ErrQueueFull, s.cfg.QueueDepth)
+	}
 }
 
 // Get returns the job with the given ID.
@@ -901,6 +991,7 @@ func (s *Scheduler) Cancel(id string) bool {
 		s.persist(j, Cancelled.String())
 		s.store.DeleteCheckpoints(id)
 		s.count(func(st *Stats) { st.Cancelled++ })
+		s.notifyTerminal(id)
 		return true
 	default:
 		cancel := j.cancel
@@ -1028,6 +1119,7 @@ func (s *Scheduler) execute(j *Job) {
 			s.persist(j, Done.String())
 			s.store.DeleteCheckpoints(j.ID)
 			s.count(func(st *Stats) { st.Succeeded++ })
+			s.notifyTerminal(j.ID)
 		}
 	case ctx.Err() != nil && s.baseCtx.Err() != nil && !j.wasUserCancelled():
 		// The service is stopping, not the submitter cancelling: the
@@ -1052,12 +1144,14 @@ func (s *Scheduler) execute(j *Job) {
 			s.persist(j, Cancelled.String())
 			s.store.DeleteCheckpoints(j.ID)
 			s.count(func(st *Stats) { st.Cancelled++ })
+			s.notifyTerminal(j.ID)
 		}
 	default:
 		if j.finish(Failed, nil, err) {
 			s.persist(j, Failed.String())
 			s.store.DeleteCheckpoints(j.ID)
 			s.count(func(st *Stats) { st.Failed++ })
+			s.notifyTerminal(j.ID)
 		}
 	}
 }
@@ -1157,9 +1251,17 @@ func (s *Scheduler) evolve(ctx context.Context, j *Job) (res *Result, err error)
 			if err := s.store.SaveArtifact(j.ID, a, hash); err != nil {
 				s.noteStoreErr(err)
 			}
+			if h := s.repl.Load(); h != nil && h.artifact != nil {
+				h.artifact(j.ID, a, hash)
+			}
 		}
 		if err := s.store.DeleteArtifacts(j.ID, evicted); err != nil {
 			s.noteStoreErr(err)
+		}
+		if len(evicted) > 0 {
+			if h := s.repl.Load(); h != nil && h.artifactDrop != nil {
+				h.artifactDrop(j.ID, evicted)
+			}
 		}
 		return nil
 	}
@@ -1289,5 +1391,16 @@ func (s *Scheduler) checkpoint(j *Job, step int, data []byte) error {
 	s.stats.Checkpoints++
 	s.mu.Unlock()
 	s.persist(j, Running.String())
+	if h := s.repl.Load(); h != nil && h.checkpoint != nil {
+		h.checkpoint(j.manifestOf(Running.String()), step, data)
+	}
 	return nil
+}
+
+// notifyTerminal fires the peer terminal hook, if attached, after a job
+// reaches a persisted terminal state.
+func (s *Scheduler) notifyTerminal(id string) {
+	if h := s.repl.Load(); h != nil && h.terminal != nil {
+		h.terminal(id)
+	}
 }
