@@ -4,7 +4,7 @@ GO ?= go
 # staticcheck job; bump deliberately, in its own commit.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test test-full vet staticcheck bench bench-scaling bench-kernels bench-sim bench-serve bench-projection perfgate golden-update problems cluster docs clean
+.PHONY: build test test-full vet staticcheck bench bench-scaling bench-kernels bench-sim bench-serve bench-queue bench-projection perfgate golden-update problems cluster docs clean
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,7 @@ staticcheck:
 # All paper-reproduction benchmarks, plus the job-service rows — together
 # these regenerate every committed BENCH_*.json history (append a row; do
 # not overwrite).
-bench: bench-sim bench-serve
+bench: bench-sim bench-serve bench-queue
 	$(GO) test -bench=. -benchmem .
 
 # Serial-vs-parallel scaling of the hot kernels (hydro sweeps, FFT
@@ -51,6 +51,11 @@ bench-sim:
 # BENCH_serve.json.
 bench-serve:
 	$(GO) test -run xxx -bench 'ServeReads' -benchmem ./internal/sim
+
+# Steady-state dispatch cost of the fair-share QoS queue at 1/4/16
+# tenants; the baseline lives in BENCH_queue.json.
+bench-queue:
+	$(GO) test -run xxx -bench '^BenchmarkSchedulerQoS$$' -benchmem ./internal/sim
 
 # The derived-output projection kernel (SurfaceDensity) at 1/2/4/NumCPU
 # workers; the baseline lives in BENCH_projection.json.

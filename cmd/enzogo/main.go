@@ -43,7 +43,14 @@
 // job's ring successor so a killed peer's jobs resume elsewhere (see
 // ARCHITECTURE.md "Distributed topology").
 //
+// Scheduling is cost-model driven: completed jobs train a per-problem
+// runtime predictor, the slot pool dispatches as a weighted fair-share
+// queue over the submissions' tenant labels, and -max-job-seconds turns
+// the prediction into an admission bound (see README "QoS & cost
+// estimates").
+//
 //	enzogo serve -addr :8080 -slots 4
+//	enzogo serve -addr :8080 -max-job-seconds 300 -tenant-weights sci=3,ops=1
 //	enzogo serve -addr :8080 -data /var/lib/enzogo -checkpoint-every 5
 //	enzogo serve -addr :8081 -data /var/lib/enzogo1 \
 //	    -self http://10.0.0.1:8081 -peers http://10.0.0.1:8081,http://10.0.0.2:8081
@@ -63,6 +70,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"slices"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -94,6 +102,8 @@ func serve(args []string) {
 	dataDir := fs.String("data", "", "durable job store directory (empty = in-memory only: nothing survives a restart)")
 	ckptEvery := fs.Int("checkpoint-every", 5, "with -data: checkpoint running jobs every N root steps (0 = no step cadence)")
 	ckptTime := fs.Float64("checkpoint-time", 0, "with -data: checkpoint running jobs every T code time (0 = no time cadence)")
+	maxJobSeconds := fs.Float64("max-job-seconds", 0, "reject submissions the cost model predicts to run longer than this many seconds (0 = no admission bound)")
+	tenantWeights := fs.String("tenant-weights", "", "comma-separated tenant=weight fair-share shares, e.g. sci=3,ops=1 (unlisted tenants weigh 1)")
 	peerList := fs.String("peers", "", "comma-separated advertised base URLs of every cluster peer (empty = single node); requires -self")
 	self := fs.String("self", "", "this peer's advertised base URL, must appear in -peers")
 	vnodes := fs.Int("ring-vnodes", 0, "virtual nodes per peer on the ownership ring (0 = default); must match on every peer")
@@ -108,6 +118,19 @@ func serve(args []string) {
 		ArtifactBytes: *artifactBytes,
 		ArtifactCount: *artifactCount,
 		HotBytes:      *hotBytes,
+		MaxJobSeconds: *maxJobSeconds,
+	}
+	if *tenantWeights != "" {
+		weights := map[string]float64{}
+		for _, kv := range strings.Split(*tenantWeights, ",") {
+			name, val, ok := strings.Cut(kv, "=")
+			w, err := strconv.ParseFloat(val, 64)
+			if !ok || err != nil || !(w > 0) || strings.TrimSpace(name) == "" {
+				log.Fatalf("enzogo serve: bad -tenant-weights entry %q (want tenant=positive-weight)", kv)
+			}
+			weights[strings.TrimSpace(name)] = w
+		}
+		cfg.TenantWeights = weights
 	}
 	if *dataDir != "" {
 		store, err := diskstore.New(*dataDir)

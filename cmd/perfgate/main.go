@@ -1,6 +1,7 @@
 // Command perfgate is the CI performance-regression gate: it runs the
 // repository's named benchmarks (BenchmarkScaling*, BenchmarkChemistry,
-// BenchmarkProjection, BenchmarkSimThroughput, BenchmarkServeReads),
+// BenchmarkProjection, BenchmarkSimThroughput, BenchmarkServeReads,
+// BenchmarkSchedulerQoS),
 // parses the `go test -bench` output, and compares each ns/op against
 // the latest row of the committed BENCH_*.json histories. A benchmark slower than baseline by
 // more than the tolerance is a regression and the gate exits 1; a
@@ -116,6 +117,13 @@ var gates = []gateSpec{
 		Bench: "^BenchmarkServeReads$",
 		Key: func(name string) (string, bool) {
 			return strings.CutPrefix(name, "BenchmarkServeReads/")
+		},
+	},
+	{
+		File: "BENCH_queue.json", Metric: "ns_per_op", Pkg: "./internal/sim",
+		Bench: "^BenchmarkSchedulerQoS$",
+		Key: func(name string) (string, bool) {
+			return strings.CutPrefix(name, "BenchmarkSchedulerQoS/")
 		},
 	},
 }

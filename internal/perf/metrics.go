@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/amr"
@@ -35,6 +36,37 @@ type JobMetrics struct {
 	// OperatorSeconds maps pipeline operator names (hydro.sweep,
 	// gravity.solve, ...) to wall seconds — the Timing.PerOp breakdown.
 	OperatorSeconds map[string]float64 `json:"operator_seconds,omitempty"`
+}
+
+// OpSeconds returns the per-operator wall-second breakdown plus an
+// "other" entry holding the non-negative residual between the total
+// wall clock and the sum of operator timings, so the parts always add
+// up to (at least) the whole. It returns nil when the run recorded no
+// operator breakdown — callers fall back to WallSeconds. The residual
+// is summed in sorted-key order: float addition is not associative, so
+// map-order summation would make "other" differ by an ulp between a
+// live run and the same metrics decoded from the store — and the cost
+// model's recovery backfill dedupes by exact sample equality.
+func (m JobMetrics) OpSeconds() map[string]float64 {
+	if len(m.OperatorSeconds) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(m.OperatorSeconds))
+	for name := range m.OperatorSeconds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[string]float64, len(names)+1)
+	sum := 0.0
+	for _, name := range names {
+		s := m.OperatorSeconds[name]
+		out[name] = s
+		sum += s
+	}
+	if rest := m.WallSeconds - sum; rest > 0 {
+		out["other"] = rest
+	}
+	return out
 }
 
 // CollectJobMetrics assembles a JobMetrics from a run's accumulated

@@ -78,6 +78,7 @@ func New(dir string) (*Store, error) {
 	if err := os.MkdirAll(s.blobsDir(), 0o755); err != nil {
 		return nil, fmt.Errorf("diskstore: %w", err)
 	}
+	sweepTemps(s.root) // a kill mid-SaveCostModel leaves its temp at the root
 	ids, err := s.jobIDs()
 	if err != nil {
 		return nil, err
@@ -654,6 +655,32 @@ func (s *Store) Recover() ([]sim.RecoveredJob, error) {
 		return out[i].Manifest.SubmittedAt.Before(out[j].Manifest.SubmittedAt)
 	})
 	return out, nil
+}
+
+// costModelFile holds the scheduler's serialized cost-model state at
+// the data root (it spans jobs, so it lives beside jobs/, not inside).
+const costModelFile = "costmodel.json"
+
+// SaveCostModel persists the cost-model state atomically; the latest
+// write wins, like the manifest WAL.
+func (s *Store) SaveCostModel(state []byte) error {
+	if err := writeAtomic(filepath.Join(s.root, costModelFile), state); err != nil {
+		return fmt.Errorf("diskstore: cost model: %w", err)
+	}
+	return nil
+}
+
+// LoadCostModel reads the persisted cost-model state back, nil when
+// none has been saved yet.
+func (s *Store) LoadCostModel() ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(s.root, costModelFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: cost model: %w", err)
+	}
+	return data, nil
 }
 
 // Stats reports the maintained size gauges.

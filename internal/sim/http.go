@@ -105,6 +105,18 @@ func (s *Scheduler) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err) // durability defect, not a bad request
 		return
 	case err != nil:
+		var adm *AdmissionError
+		if errors.As(err, &adm) {
+			// Admission rejection carries the estimate that tripped the
+			// bound, so the client can see how far over it was (and
+			// whether shrinking the request would admit it).
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":           adm.Error(),
+				"estimate":        adm.Estimate,
+				"max_job_seconds": adm.Limit,
+			})
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -179,6 +191,23 @@ func (s *Scheduler) handleList(w http.ResponseWriter, r *http.Request) {
 		out = out[:limit]
 	}
 	w.Header().Set("X-Total-Count", strconv.Itoa(total))
+	// Queue-pressure headers so a poller sees the dispatch backlog
+	// without a second request: total depth, and the per-tenant
+	// breakdown as sorted tenant=count pairs.
+	depth, perTenant := s.QueueStats()
+	w.Header().Set("X-Queue-Depth", strconv.Itoa(depth))
+	if len(perTenant) > 0 {
+		names := make([]string, 0, len(perTenant))
+		for name := range perTenant {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		pairs := make([]string, len(names))
+		for i, name := range names {
+			pairs[i] = name + "=" + strconv.Itoa(perTenant[name])
+		}
+		w.Header().Set("X-Tenant-Queued", strings.Join(pairs, ","))
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -484,16 +513,21 @@ func handleProblems(w http.ResponseWriter, r *http.Request) {
 func (s *Scheduler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	recovered, resumed, storeErr := s.RecoverState()
 	bs := s.blobs.Stats()
+	depth, perTenant := s.QueueStats()
 	body := map[string]any{
-		"ok":             true,
-		"uptime_seconds": s.Uptime().Seconds(),
-		"slots":          s.cfg.MaxConcurrent,
-		"slot_workers":   s.SlotWorkers(),
-		"durable":        s.store.Persistent(),
-		"jobs_recovered": recovered,
-		"jobs_resumed":   resumed,
-		"blob_bytes":     s.store.Stats().BlobBytes,
-		"hot_tier_bytes": bs.HotBytes,
+		"ok":                true,
+		"uptime_seconds":    s.Uptime().Seconds(),
+		"slots":             s.cfg.MaxConcurrent,
+		"slot_workers":      s.SlotWorkers(),
+		"durable":           s.store.Persistent(),
+		"jobs_recovered":    recovered,
+		"jobs_resumed":      resumed,
+		"blob_bytes":        s.store.Stats().BlobBytes,
+		"hot_tier_bytes":    bs.HotBytes,
+		"queue_depth":       depth,
+		"tenants_queued":    perTenant,
+		"costmodel_samples": s.CostModelSamples(),
+		"max_job_seconds":   s.cfg.MaxJobSeconds,
 	}
 	if storeErr != nil {
 		body["store_error"] = storeErr.Error()
@@ -553,6 +587,31 @@ func (s *Scheduler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "sim_store_blobs %d\n", ss.BlobCount)
 	fmt.Fprintf(w, "sim_hot_tier_bytes %d\n", bs.HotBytes)
 	fmt.Fprintf(w, "sim_hot_tier_blobs %d\n", bs.HotCount)
+	// QoS gauges: dispatch backlog (total and per tenant), admission
+	// rejections, cost-model training volume, and the estimate-error
+	// histogram — actual/predicted wall-seconds ratio of completed jobs
+	// (1 = a perfect estimate).
+	depth, perTenant := s.QueueStats()
+	fmt.Fprintf(w, "sim_queue_depth %d\n", depth)
+	tenants := make([]string, 0, len(perTenant))
+	for name := range perTenant {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	for _, name := range tenants {
+		fmt.Fprintf(w, "sim_tenant_queued{tenant=%q} %d\n", name, perTenant[name])
+	}
+	fmt.Fprintf(w, "sim_admission_rejected_total %d\n", st.AdmissionRejected)
+	fmt.Fprintf(w, "sim_costmodel_samples %d\n", s.CostModelSamples())
+	buckets, count, sum := s.est.snapshot()
+	cum := int64(0)
+	for i, ub := range estimateBuckets {
+		cum += buckets[i]
+		fmt.Fprintf(w, "sim_estimate_error_ratio_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	fmt.Fprintf(w, "sim_estimate_error_ratio_bucket{le=\"+Inf\"} %d\n", count)
+	fmt.Fprintf(w, "sim_estimate_error_ratio_sum %g\n", sum)
+	fmt.Fprintf(w, "sim_estimate_error_ratio_count %d\n", count)
 }
 
 // boolGauge renders a bool as a 0/1 Prometheus gauge value.

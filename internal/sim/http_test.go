@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -296,7 +297,7 @@ func TestHTTPListPaginationStable(t *testing.T) {
 	want := map[string]bool{}
 	for i := 0; i < n; i++ {
 		sub := postJob(t, srv.URL, Request{Problem: "sedov", RootN: 8, MaxLevel: Int(0), Steps: 2,
-			Knobs: map[string]float64{"e0": float64(i + 1)}})
+			Tenant: "pager", Knobs: map[string]float64{"e0": float64(i + 1)}})
 		want[sub.ID] = true
 	}
 	// Force submit-time ties: with one shared timestamp the only order
@@ -319,6 +320,16 @@ func TestHTTPListPaginationStable(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// Every page carries the queue-pressure headers, and queued
+			// rows are accounted to their tenant.
+			qd, err := strconv.Atoi(resp.Header.Get("X-Queue-Depth"))
+			if err != nil || qd < 0 {
+				t.Fatalf("walk %d: X-Queue-Depth %q: %v", walk, resp.Header.Get("X-Queue-Depth"), err)
+			}
+			if qd > 0 && !strings.Contains(resp.Header.Get("X-Tenant-Queued"), "pager=") {
+				t.Fatalf("walk %d: %d queued but X-Tenant-Queued = %q",
+					walk, qd, resp.Header.Get("X-Tenant-Queued"))
+			}
 			var page []Status
 			if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
 				t.Fatal(err)
@@ -330,6 +341,9 @@ func TestHTTPListPaginationStable(t *testing.T) {
 			for _, st := range page {
 				if seen[st.ID] {
 					t.Fatalf("walk %d: job %s appeared twice", walk, st.ID)
+				}
+				if st.Tenant != "pager" {
+					t.Fatalf("walk %d: job %s lists tenant %q, want pager", walk, st.ID, st.Tenant)
 				}
 				seen[st.ID] = true
 				order = append(order, st.ID)

@@ -101,6 +101,7 @@ type Peer struct {
 	takeovers   atomic.Int64 // replicated jobs re-admitted after an owner death
 	replErrors  atomic.Int64 // replication sends that failed
 	proxyErrors atomic.Int64 // forwards/proxies that failed at the transport
+	modelSyncs  atomic.Int64 // cost-model states broadcast to peers
 
 	stop chan struct{}
 	once sync.Once
@@ -166,6 +167,7 @@ func NewPeer(s *Scheduler, cfg PeerConfig) (*Peer, error) {
 			p.sendJSON(http.MethodDelete, id, "/artifacts", names)
 		},
 		terminal: p.replicaDone,
+		model:    p.replicateModel,
 	})
 	p.wg.Add(1)
 	go p.pingLoop()
@@ -212,6 +214,7 @@ func (p *Peer) Handler() http.Handler {
 	mux.HandleFunc("DELETE /peer/replicas/{id}", p.handleReplicaDelete)
 	mux.HandleFunc("POST /peer/replicas/{id}/artifacts", p.handleReplicaArtifactPut)
 	mux.HandleFunc("DELETE /peer/replicas/{id}/artifacts", p.handleReplicaArtifactDelete)
+	mux.HandleFunc("POST /peer/model", p.handleModelPut)
 	mux.HandleFunc("GET /peer/ring", p.handleRing)
 	mux.HandleFunc("GET /metrics", p.handleMetrics)
 	mux.Handle("POST /jobs", p.routeSubmit(base))
@@ -346,6 +349,47 @@ func (p *Peer) sendJSON(method, id, suffix string, body any) {
 // can drop the replicated record.
 func (p *Peer) replicaDone(id string) {
 	p.sendJSON(http.MethodDelete, id, "", nil)
+}
+
+// replicateModel broadcasts the local cost model's serialized state to
+// every live peer, so each member estimates (and admits) from the whole
+// group's job history, not just the jobs it happened to own. Receivers
+// merge without re-broadcasting, so the gossip cannot loop.
+func (p *Peer) replicateModel(state []byte) {
+	p.mu.Lock()
+	targets := make([]string, 0, len(p.cfg.Peers))
+	for _, peer := range p.cfg.Peers {
+		if peer != p.cfg.Self && !p.dead[peer] {
+			targets = append(targets, peer)
+		}
+	}
+	p.mu.Unlock()
+	for _, target := range targets {
+		req, err := http.NewRequest(http.MethodPost, target+"/peer/model", bytes.NewReader(state))
+		if err != nil {
+			p.replErrors.Add(1)
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		p.do(req)
+		p.modelSyncs.Add(1)
+	}
+}
+
+// handleModelPut merges a peer's broadcast cost-model state into the
+// local model. The merge is a union keyed by job ID, so repeated or
+// crossing broadcasts converge instead of flapping.
+func (p *Peer) handleModelPut(w http.ResponseWriter, r *http.Request) {
+	state, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxReplicaBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad model body: %w", err))
+		return
+	}
+	if err := p.s.MergeCostModel(state); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad model state: %w", err))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // do runs one peer-to-peer request, counting failures.
@@ -518,6 +562,7 @@ func (p *Peer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "sim_peer_takeovers_total %d\n", p.takeovers.Load())
 	fmt.Fprintf(w, "sim_peer_replication_errors_total %d\n", p.replErrors.Load())
 	fmt.Fprintf(w, "sim_peer_proxy_errors_total %d\n", p.proxyErrors.Load())
+	fmt.Fprintf(w, "sim_peer_model_syncs_total %d\n", p.modelSyncs.Load())
 }
 
 // pingLoop polls every other peer's /healthz on the configured cadence.

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/sim/costmodel"
+)
+
+// TestQoSEndToEnd is the predictive-scheduling acceptance test, over
+// real HTTP: three completed jobs train the cost model, a fourth
+// identical-shape submission's 202 body carries an estimate within 2x
+// of its actual runtime, and a request predicted to blow the
+// -max-job-seconds admission bound is rejected 429 with the estimate
+// in the body.
+func TestQoSEndToEnd(t *testing.T) {
+	s := NewScheduler(Config{MaxConcurrent: 1, TotalWorkers: 2, MaxJobSeconds: 120})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// MaxLevel 0 keeps the grid unrefined, so the per-step cost is
+	// constant and the cost surface genuinely linear in work — the
+	// regime the 2x acceptance bound below is about. (With refinement
+	// the blast wave grows the refined region over time, a convex curve
+	// a linear interpolation systematically overshoots.)
+	shape := func(steps int) Request {
+		return Request{Problem: "sedov", RootN: 32, MaxLevel: Int(0), Steps: steps,
+			Workers: 2, Tenant: "sci"}
+	}
+	// One throwaway run of a different problem first: the process's
+	// cold-start costs (page faults, allocator growth) land on it
+	// instead of skewing the training fit, and its sample lives in a
+	// separate per-problem history.
+	warm := postJob(t, srv.URL, Request{Problem: "khi", RootN: 32, MaxLevel: Int(0), Steps: 4, Workers: 2})
+	waitResult(t, srv.URL, warm.ID)
+
+	// Train: three runs of the same shape at different step budgets give
+	// the per-op linear fit a well-conditioned work axis.
+	for _, steps := range []int{10, 30, 50} {
+		sub := postJob(t, srv.URL, shape(steps))
+		if sub.Disposition != "scheduled" {
+			t.Fatalf("training run steps=%d: disposition %q", steps, sub.Disposition)
+		}
+		waitResult(t, srv.URL, sub.ID)
+	}
+	if n := s.CostModelSamples(); n != 4 { // 3 sedov + the khi warm-up
+		t.Fatalf("model holds %d samples after training, want 4", n)
+	}
+
+	// The fourth submission is admitted with a non-vacuous estimate in
+	// the 202 body...
+	sub := postJob(t, srv.URL, shape(20))
+	if sub.Disposition != "scheduled" {
+		t.Fatalf("4th submission: disposition %q", sub.Disposition)
+	}
+	est := sub.Estimate
+	if est == nil || est.Samples != 3 || est.Seconds <= 0 {
+		t.Fatalf("202 body estimate: %+v", est)
+	}
+	// Which predictor wins LOO selection on real timings is
+	// noise-dependent (on a clean linear surface both are near-perfect);
+	// the deterministic selection properties live in the costmodel
+	// package tests. Here we only require that one was actually chosen.
+	if est.Predictor == costmodel.PredictorNone {
+		t.Fatalf("predictor %q with %d samples", est.Predictor, est.Samples)
+	}
+	// ...and the estimate is within 2x of what actually happened.
+	res := waitResult(t, srv.URL, sub.ID)
+	actual := res.Metrics.WallSeconds
+	if actual <= 0 {
+		t.Fatalf("job reported %g wall seconds", actual)
+	}
+	if ratio := actual / est.Seconds; ratio < 0.5 || ratio > 2 {
+		t.Fatalf("estimate %gs vs actual %gs: ratio %g outside [0.5, 2]", est.Seconds, actual, ratio)
+	}
+
+	// A request whose prediction blows the admission bound is refused
+	// 429, with the estimate and the bound in the body.
+	huge, _ := json.Marshal(Request{Problem: "sedov", RootN: 64, MaxLevel: Int(1), Steps: 100000, Workers: 2, Tenant: "sci"})
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit POST: %s (%s)", resp.Status, body)
+	}
+	var rej struct {
+		Error         string             `json:"error"`
+		Estimate      costmodel.Estimate `json:"estimate"`
+		MaxJobSeconds float64            `json:"max_job_seconds"`
+	}
+	if err := json.Unmarshal(body, &rej); err != nil {
+		t.Fatalf("429 body: %v (%s)", err, body)
+	}
+	if rej.Estimate.Samples == 0 || rej.Estimate.Seconds <= 120 || rej.MaxJobSeconds != 120 {
+		t.Fatalf("429 body lacks the rejecting estimate: %s", body)
+	}
+	if !strings.Contains(rej.Error, "admission bound") {
+		t.Fatalf("429 error text: %q", rej.Error)
+	}
+	if st := s.Stats(); st.AdmissionRejected != 1 {
+		t.Fatalf("AdmissionRejected = %d, want 1", st.AdmissionRejected)
+	}
+
+	// The completed 4th job scored its estimate into the error
+	// histogram.
+	if n, mean := s.EstimateErrorStats(); n < 1 || mean <= 0 {
+		t.Fatalf("estimate-error stats: n=%d mean=%g", n, mean)
+	}
+
+	// /healthz exposes the queue and model state...
+	hz, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(hz.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	for _, key := range []string{"queue_depth", "tenants_queued", "costmodel_samples", "max_job_seconds"} {
+		if _, ok := health[key]; !ok {
+			t.Fatalf("/healthz lacks %q: %v", key, health)
+		}
+	}
+	if got := health["costmodel_samples"].(float64); got != 5 {
+		t.Fatalf("/healthz costmodel_samples %g, want 5", got)
+	}
+	if got := health["max_job_seconds"].(float64); got != 120 {
+		t.Fatalf("/healthz max_job_seconds %g, want 120", got)
+	}
+
+	// ...and /metrics carries the QoS series.
+	mr, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	for _, line := range []string{
+		"sim_queue_depth ",
+		"sim_admission_rejected_total 1",
+		"sim_costmodel_samples 5",
+		"sim_estimate_error_ratio_bucket{le=\"+Inf\"} ",
+		"sim_estimate_error_ratio_count ",
+	} {
+		if !strings.Contains(string(metrics), line) {
+			t.Fatalf("/metrics lacks %q:\n%s", line, metrics)
+		}
+	}
+}
+
+// TestQoSRequestValidation: malformed scheduling metadata fails at
+// submit time with 400, before it can poison queue accounting.
+func TestQoSRequestValidation(t *testing.T) {
+	s := NewScheduler(Config{MaxConcurrent: 1, TotalWorkers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	for name, body := range map[string]string{
+		"negative deadline": `{"problem":"sedov","rootn":8,"deadline_seconds":-5}`,
+		"oversized tenant":  fmt.Sprintf(`{"problem":"sedov","rootn":8,"tenant":%q}`, strings.Repeat("x", MaxTenantLen+1)),
+	} {
+		resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: %s, want 400", name, resp.Status)
+		}
+	}
+
+	// Tenant and deadline are scheduling metadata, not identity: the
+	// same configuration from two tenants coalesces onto one job.
+	a, err := s.Submit(Request{Problem: "sedov", RootN: 8, MaxLevel: Int(1), Steps: 2, Tenant: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Submit(Request{Problem: "sedov", RootN: 8, MaxLevel: Int(1), Steps: 2, Tenant: "bob", DeadlineSeconds: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != b.ID {
+		t.Fatalf("tenant leaked into job identity: %s vs %s", a.ID, b.ID)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/perf"
 	"repro/internal/problems"
+	"repro/internal/sim/costmodel"
 	"repro/internal/snapshot"
 )
 
@@ -56,6 +57,20 @@ type Config struct {
 	// CheckpointTime writes a restart checkpoint whenever a job's code
 	// time crosses a multiple of this interval (0 = no time cadence).
 	CheckpointTime float64
+	// MaxJobSeconds is the admission bound: a submission whose cost
+	// estimate exceeds it is rejected with an AdmissionError carrying
+	// the estimate (0 = no bound). Only estimates backed by at least one
+	// observed sample reject — an untrained model admits everything.
+	MaxJobSeconds float64
+	// TenantWeights assigns fair-share weights to named tenants; an
+	// unlisted tenant (including the implicit "default") weighs 1. A
+	// tenant with weight w receives w shares of the dispatch bandwidth
+	// under contention.
+	TenantWeights map[string]float64
+	// Clock is the scheduler's time source (nil = time.Now) — the
+	// injected seam the deterministic queue-fairness and deadline tests
+	// drive with a fake clock.
+	Clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +97,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HotBytes <= 0 {
 		c.HotBytes = DefaultHotTierBytes
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
 	}
 	return c
 }
@@ -172,6 +190,14 @@ type Job struct {
 	res       resolved
 	doneCh    chan struct{}
 	artifacts *ArtifactStore
+
+	// QoS metadata, immutable once the job is visible: the fair-share
+	// tenant the submission bills to, the absolute deadline derived from
+	// the request hint (zero when none), and the cost model's pre-run
+	// estimate (nil only for jobs recovered in a terminal state).
+	tenant   string
+	deadline time.Time
+	est      *costmodel.Estimate
 
 	mu          sync.Mutex
 	state       State
@@ -328,7 +354,7 @@ func (j *Job) finishLocked(state State, res *Result, err error) bool {
 	j.state = state
 	j.result = res
 	j.err = err
-	j.finished = time.Now()
+	j.finished = j.sched.now()
 	for _, ch := range j.subs {
 		close(ch)
 	}
@@ -371,6 +397,14 @@ type Status struct {
 	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds,omitempty"`
 	Recovered            bool    `json:"recovered,omitempty"`
 	ResumedFrom          string  `json:"resumed_from,omitempty"`
+	// Tenant is the fair-share accounting bucket the submission billed
+	// to; DeadlineSeconds echoes the request's QoS hint.
+	Tenant          string  `json:"tenant,omitempty"`
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
+	// Estimate is the cost model's pre-run prediction for this job
+	// (predicted seconds, cells, confidence). Samples == 0 means the
+	// model had no history for the problem and the numbers are vacuous.
+	Estimate *costmodel.Estimate `json:"estimate,omitempty"`
 }
 
 // Status snapshots the job.
@@ -388,13 +422,16 @@ func (j *Job) Status() Status {
 		Submissions: j.submissions,
 		CacheHits:   j.cacheHits,
 	}
+	st.Tenant = j.tenant
+	st.DeadlineSeconds = j.Req.DeadlineSeconds
+	st.Estimate = j.est
 	st.Artifacts, st.ArtifactBytes = j.artifacts.Count()
 	if j.ckpts > 0 {
 		st.Checkpoints = j.ckpts
 		step := j.ckptStep
 		st.CheckpointStep = &step
 		if !j.ckptAt.IsZero() {
-			st.CheckpointAgeSeconds = time.Since(j.ckptAt).Seconds()
+			st.CheckpointAgeSeconds = j.sched.now().Sub(j.ckptAt).Seconds()
 		}
 	}
 	st.Recovered = j.recovered
@@ -409,7 +446,7 @@ func (j *Job) Status() Status {
 	case !j.finished.IsZero() && !j.started.IsZero():
 		st.WallSeconds = j.finished.Sub(j.started).Seconds()
 	case !j.started.IsZero():
-		st.WallSeconds = time.Since(j.started).Seconds()
+		st.WallSeconds = j.sched.now().Sub(j.started).Seconds()
 	}
 	return st
 }
@@ -434,6 +471,9 @@ type Stats struct {
 	Resumed        int64 `json:"resumed"`
 	Checkpoints    int64 `json:"checkpoints"`
 	CacheEvictions int64 `json:"cache_evictions"`
+	// AdmissionRejected counts submissions refused because their cost
+	// estimate exceeded Config.MaxJobSeconds.
+	AdmissionRejected int64 `json:"admission_rejected"`
 }
 
 // Scheduler runs simulation jobs on a bounded set of slots, deduping
@@ -445,17 +485,23 @@ type Scheduler struct {
 	blobs   *BlobCache
 	baseCtx context.Context
 	stop    context.CancelFunc
-	queue   chan *Job
+	fq      *fairQueue
 	wg      sync.WaitGroup
+
+	// model is the cost predictor trained on completed jobs' metrics;
+	// it has its own lock and is persisted through the store, so
+	// estimates survive restarts.
+	model *costmodel.Model
 
 	// Artifact-serving counters (hot read path: updated atomically, not
 	// under s.mu).
 	bytesServed atomic.Int64
 	notModified atomic.Int64
 
-	// recoverWG tracks the startup goroutine that feeds recovered jobs
-	// into the queue; shutdown waits for it before closing the channel.
-	recoverWG sync.WaitGroup
+	// est is the estimate-error histogram: the actual/predicted wall
+	// seconds ratio of every completed job that had a non-vacuous
+	// estimate, exported on /metrics.
+	est estimateErrors
 
 	// repl holds the distributed-peer observation hooks, if any. An
 	// atomic pointer because a Peer attaches after NewScheduler has
@@ -494,6 +540,10 @@ type replHooks struct {
 	// terminal fires after a job reaches a persisted terminal state
 	// (done, failed, cancelled — not shutdown-interrupted).
 	terminal func(id string)
+	// model fires after the owner's cost model absorbs a new
+	// observation, with the full serialized state; the peer broadcasts
+	// it so every member estimates (and admits) from shared history.
+	model func(state []byte)
 }
 
 // setReplHooks attaches (or, with nil, detaches) the peer hooks.
@@ -514,15 +564,29 @@ func NewScheduler(cfg Config) *Scheduler {
 		blobs:   NewBlobCache(cfg.Store, cfg.HotBytes),
 		baseCtx: ctx,
 		stop:    cancel,
-		queue:   make(chan *Job, cfg.QueueDepth),
+		fq:      newFairQueue(cfg.QueueDepth, cfg.TenantWeights, cfg.Clock),
+		model:   costmodel.New(),
 		jobs:    make(map[string]*Job),
-		start:   time.Now(),
+		start:   cfg.Clock(),
+	}
+	// Rehydrate the cost model before recovery: recovered Done jobs then
+	// only backfill observations the persisted state is missing.
+	if state, err := s.store.LoadCostModel(); err != nil {
+		s.storeErr = err
+	} else if len(state) > 0 {
+		if err := s.model.Decode(state); err != nil {
+			s.storeErr = err
+		}
 	}
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for j := range s.queue {
+			for {
+				j, ok := s.fq.pop()
+				if !ok {
+					return
+				}
 				s.execute(j)
 			}
 		}()
@@ -530,6 +594,9 @@ func NewScheduler(cfg Config) *Scheduler {
 	s.recover()
 	return s
 }
+
+// now is the scheduler's injected time source (Config.Clock).
+func (s *Scheduler) now() time.Time { return s.cfg.Clock() }
 
 // RecoverState reports how startup recovery went: how many persisted
 // jobs were rehydrated (of which resumed mid-run) and the first error
@@ -541,10 +608,11 @@ func (s *Scheduler) RecoverState() (recovered, resumed int64, err error) {
 }
 
 // recover rehydrates the persistent store's jobs at startup. Resumable
-// jobs are fed into the queue from a separate goroutine: the queue can
-// be smaller than the recovered backlog, and NewScheduler (and with it
-// `enzogo serve`'s HTTP listener) must not block behind hours of
-// resumed evolution.
+// jobs are pushed straight onto the fair queue in recovery order,
+// bypassing the depth bound (refusing to re-admit persisted work would
+// lose it); pushes never block, so NewScheduler (and with it `enzogo
+// serve`'s HTTP listener) never waits behind hours of resumed
+// evolution.
 func (s *Scheduler) recover() {
 	recs, err := s.store.Recover()
 	if err != nil {
@@ -553,7 +621,6 @@ func (s *Scheduler) recover() {
 		s.mu.Unlock()
 		return
 	}
-	var resumable []*Job
 	for _, rec := range recs {
 		j, err := s.recoverJob(rec)
 		if err != nil {
@@ -565,22 +632,11 @@ func (s *Scheduler) recover() {
 			continue
 		}
 		if j != nil {
-			resumable = append(resumable, j)
+			if err := s.fq.push(j, false); err != nil {
+				s.noteStoreErr(err) // closed mid-startup; the job stays interrupted on disk
+			}
 		}
 	}
-	if len(resumable) == 0 {
-		return
-	}
-	s.recoverWG.Add(1)
-	go func() {
-		defer s.recoverWG.Done()
-		for _, j := range resumable {
-			// Blocking send, in recovery order: the slots drain the
-			// queue (fast once shutdown cancels baseCtx), and shutdown
-			// closes it only after this goroutine exits.
-			s.queue <- j
-		}
-	}()
 }
 
 // recoverJob rehydrates one persisted job: terminal states become
@@ -610,6 +666,7 @@ func (s *Scheduler) recoverJob(rec RecoveredJob) (resumableJob *Job, err error) 
 		res:        r,
 		doneCh:     make(chan struct{}),
 		artifacts:  newArtifactStore(s.cfg.ArtifactBytes, s.cfg.ArtifactCount, s.blobs),
+		tenant:     tenantOf(m.Request),
 		submitted:  m.SubmittedAt,
 		started:    m.StartedAt,
 		finished:   m.FinishedAt,
@@ -618,6 +675,11 @@ func (s *Scheduler) recoverJob(rec RecoveredJob) (resumableJob *Job, err error) 
 		ckptStep:   m.CheckpointStep,
 		ckptAt:     m.CheckpointAt,
 	}
+	// A recovered deadline hint is stale by definition (it was relative
+	// to the original submission), so resumed jobs re-queue without one;
+	// the estimate is recomputed against the current model.
+	est := s.model.Estimate(costQuery(r))
+	j.est = &est
 	// Rehydrate artifact metadata (already persisted: no store
 	// write-back, and the payload bytes stay in the blob tier until a
 	// reader asks), but mirror any evictions — this process may run with
@@ -646,6 +708,9 @@ func (s *Scheduler) recoverJob(rec RecoveredJob) (resumableJob *Job, err error) 
 			MaxLevel: rec.Result.MaxLevel, NumGrids: rec.Result.NumGrids}
 		j.artifacts.close()
 		close(j.doneCh)
+		// Backfill the cost model from results persisted before the
+		// model state was (idempotent when the state already has them).
+		s.trainModel(j, rec.Result)
 	case Failed.String(), Cancelled.String():
 		if m.State == Failed.String() {
 			j.state = Failed
@@ -719,13 +784,14 @@ func (s *Scheduler) shutdown(drain bool) {
 	s.closed = true
 	s.draining = drain && s.store.Persistent()
 	s.mu.Unlock()
-	// Order matters: cancel first so the slots fast-drain whatever the
-	// recovery feeder is still enqueueing, wait the feeder out, and only
-	// then close the channel it sends on. Submit cannot race the close —
-	// it checks s.closed under s.mu before sending.
+	// Order matters: cancel first so the slots fast-drain the backlog
+	// (a cancelled baseCtx makes each queued execution exit at its first
+	// context check), then close the queue. Submit cannot race the
+	// close — it checks s.closed under s.mu before pushing, and shutdown
+	// held that lock first; after close the slots keep draining whatever
+	// is still queued, then exit.
 	s.stop()
-	s.recoverWG.Wait()
-	close(s.queue)
+	s.fq.close()
 	s.wg.Wait()
 	s.store.Close()
 }
@@ -817,6 +883,14 @@ func (s *Scheduler) SubmitWithDisposition(req Request) (*Job, Disposition, error
 		return nil, "", err
 	}
 	id := r.key()
+	// The estimate is computed for every submission (the 202 body and
+	// the queue's fair-share charge both want it), outside s.mu — the
+	// model has its own lock and may recompute its held-out selection.
+	est := s.model.Estimate(costQuery(r))
+	var deadline time.Time
+	if req.DeadlineSeconds > 0 {
+		deadline = s.now().Add(time.Duration(req.DeadlineSeconds * float64(time.Second)))
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -840,6 +914,9 @@ func (s *Scheduler) SubmitWithDisposition(req Request) (*Job, Disposition, error
 		case !state.terminal():
 			s.stats.Submitted++
 			s.stats.Coalesced++
+			// A coalesced submission may tighten the queued entry's
+			// deadline (lock order: s.mu, then the queue's own lock).
+			s.fq.tighten(id, deadline)
 			s.mu.Unlock()
 			return j, Coalesced, nil
 		}
@@ -852,6 +929,15 @@ func (s *Scheduler) SubmitWithDisposition(req Request) (*Job, Disposition, error
 		s.removeLocked(id)
 	}
 
+	// Admission control, on fresh executions only: cache hits and
+	// coalesced submissions above cost nothing new, so the bound never
+	// refuses them. An untrained model (Samples == 0) admits everything.
+	if s.cfg.MaxJobSeconds > 0 && est.Samples > 0 && est.Seconds > s.cfg.MaxJobSeconds {
+		s.stats.AdmissionRejected++
+		s.mu.Unlock()
+		return nil, "", &AdmissionError{Estimate: est, Limit: s.cfg.MaxJobSeconds}
+	}
+
 	j := &Job{
 		ID:         id,
 		Req:        req,
@@ -862,7 +948,10 @@ func (s *Scheduler) SubmitWithDisposition(req Request) (*Job, Disposition, error
 		res:        r,
 		doneCh:     make(chan struct{}),
 		artifacts:  newArtifactStore(s.cfg.ArtifactBytes, s.cfg.ArtifactCount, s.blobs),
-		submitted:  time.Now(),
+		tenant:     tenantOf(req),
+		deadline:   deadline,
+		est:        &est,
+		submitted:  s.now(),
 		ckptStep:   -1,
 	}
 	j.submissions = 1
@@ -876,15 +965,16 @@ func (s *Scheduler) SubmitWithDisposition(req Request) (*Job, Disposition, error
 		s.mu.Unlock()
 		return nil, "", fmt.Errorf("%w: %v", ErrStore, err)
 	}
-	select {
-	case s.queue <- j:
-	default:
+	if err := s.fq.push(j, true); err != nil {
 		s.mu.Unlock()
 		// Roll the manifest back outside the lock; the job was never
 		// registered, so nothing can resurrect the ID concurrently
 		// except an identical future submit, which reap guards against.
 		s.reap([]string{id})
-		return nil, "", fmt.Errorf("%w (%d jobs waiting)", ErrQueueFull, s.cfg.QueueDepth)
+		if errors.Is(err, ErrQueueFull) {
+			return nil, "", fmt.Errorf("%w (%d jobs waiting)", ErrQueueFull, s.cfg.QueueDepth)
+		}
+		return nil, "", err
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
@@ -930,23 +1020,26 @@ func (s *Scheduler) readmit(m JobManifest, arts []ArtifactMeta) error {
 	if j == nil {
 		return ErrClosed // scheduler closed mid-takeover
 	}
-	// The queue send holds s.mu with a closed re-check, like Submit:
-	// shutdown closes the channel only after it can take the lock, so the
-	// send cannot race the close.
+	// The queue push holds s.mu with a closed re-check, like Submit:
+	// shutdown closes the queue only after it can take the lock, so the
+	// push cannot race the close. Takeover respects the depth bound —
+	// unlike startup recovery, the donor peer still holds the record and
+	// retries, so backpressure loses nothing.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	select {
-	case s.queue <- j:
-		return nil
-	default:
+	if err := s.fq.push(j, true); err != nil {
 		s.removeLocked(m.ID)
 		s.stats.Recovered--
 		s.stats.Resumed--
-		return fmt.Errorf("%w (%d jobs waiting)", ErrQueueFull, s.cfg.QueueDepth)
+		if errors.Is(err, ErrQueueFull) {
+			return fmt.Errorf("%w (%d jobs waiting)", ErrQueueFull, s.cfg.QueueDepth)
+		}
+		return err
 	}
+	return nil
 }
 
 // Get returns the job with the given ID.
@@ -988,6 +1081,10 @@ func (s *Scheduler) Cancel(id string) bool {
 		// j.mu to move it to Running, so it cannot slip in between.
 		j.finishLocked(Cancelled, nil, fmt.Errorf("sim: job %s cancelled while queued", id))
 		j.mu.Unlock()
+		// Excise the queued entry so it stops occupying depth and the
+		// tenant gauges; if a slot already popped it, the terminal check
+		// in execute skips it anyway.
+		s.fq.remove(id)
 		s.persist(j, Cancelled.String())
 		s.store.DeleteCheckpoints(id)
 		s.count(func(st *Stats) { st.Cancelled++ })
@@ -1023,7 +1120,7 @@ func (s *Scheduler) Stats() Stats {
 }
 
 // Uptime returns how long the scheduler has been running.
-func (s *Scheduler) Uptime() time.Duration { return time.Since(s.start) }
+func (s *Scheduler) Uptime() time.Duration { return s.now().Sub(s.start) }
 
 // removeLocked forgets a job in memory; s.mu must be held. The caller
 // owns the matching store deletion (synchronously for a re-run of a
@@ -1101,7 +1198,7 @@ func (s *Scheduler) execute(j *Job) {
 	}
 	j.state = Running
 	j.cancel = cancel
-	j.started = time.Now()
+	j.started = s.now()
 	j.mu.Unlock()
 	s.persist(j, Running.String())
 
@@ -1115,6 +1212,12 @@ func (s *Scheduler) execute(j *Job) {
 		if err := s.store.SaveResult(j.ID, res); err != nil {
 			s.noteStoreErr(err)
 		}
+		// Feed the cost model (persisting and replicating its state) and
+		// score the pre-run estimate against what happened — BEFORE the
+		// job turns terminal, so a waiter that saw Done estimates from a
+		// model that already holds this run.
+		s.trainModel(j, res)
+		s.est.observe(j.est, res.Metrics.WallSeconds)
 		if j.finish(Done, res, nil) {
 			s.persist(j, Done.String())
 			s.store.DeleteCheckpoints(j.ID)
@@ -1385,7 +1488,7 @@ func (s *Scheduler) checkpoint(j *Job, step int, data []byte) error {
 	j.mu.Lock()
 	j.ckpts++
 	j.ckptStep = step
-	j.ckptAt = time.Now()
+	j.ckptAt = s.now()
 	j.mu.Unlock()
 	s.mu.Lock()
 	s.stats.Checkpoints++
@@ -1403,4 +1506,177 @@ func (s *Scheduler) notifyTerminal(id string) {
 	if h := s.repl.Load(); h != nil && h.terminal != nil {
 		h.terminal(id)
 	}
+}
+
+// tenantOf is the fair-share bucket of a request: its tenant field, or
+// "default" when unset.
+func tenantOf(req Request) string {
+	if req.Tenant == "" {
+		return "default"
+	}
+	return req.Tenant
+}
+
+// costQuery maps a resolved configuration onto the cost model's
+// feature space: the nominal work unit rootn³×steps the linear
+// predictor fits against, and the canonical knob vector the NN
+// predictor measures distance in.
+func costQuery(r resolved) costmodel.Query {
+	feats := map[string]float64{
+		"rootn":    float64(r.opts.RootN),
+		"maxlevel": float64(r.opts.MaxLevel),
+		"workers":  float64(r.opts.Workers),
+	}
+	if r.opts.Chemistry {
+		feats["chemistry"] = 1
+	}
+	for k, v := range r.opts.Extra {
+		feats["knob:"+k] = v
+	}
+	n := float64(r.opts.RootN)
+	return costmodel.Query{Problem: r.problem, Work: n * n * n * float64(r.steps), Features: feats}
+}
+
+// trainModel feeds one completed job's metrics into the cost model.
+// When the observation is new, the model state is persisted (so
+// estimates survive restarts) and handed to the peer model hook for
+// replication.
+func (s *Scheduler) trainModel(j *Job, res *Result) {
+	if res == nil || res.Metrics.WallSeconds <= 0 {
+		return
+	}
+	q := costQuery(j.res)
+	changed := s.model.Observe(costmodel.Sample{
+		JobID:     j.ID,
+		Problem:   q.Problem,
+		Features:  q.Features,
+		Work:      q.Work,
+		Seconds:   res.Metrics.WallSeconds,
+		Cells:     float64(res.Metrics.CellUpdates),
+		OpSeconds: res.Metrics.OpSeconds(),
+	})
+	if !changed {
+		return
+	}
+	// Encoding is O(samples); skip it when nobody consumes the state —
+	// an in-memory store discards the save and there is no peer to
+	// replicate to.
+	h := s.repl.Load()
+	hook := h != nil && h.model != nil
+	if !s.store.Persistent() && !hook {
+		return
+	}
+	state := s.model.Encode()
+	if err := s.store.SaveCostModel(state); err != nil {
+		s.noteStoreErr(err)
+	}
+	if hook {
+		h.model(state)
+	}
+}
+
+// Estimate predicts the cost of req against the recorded job history
+// without scheduling anything. Estimate.Samples == 0 means the model
+// has no history for the problem and the numbers are vacuous.
+func (s *Scheduler) Estimate(req Request) (costmodel.Estimate, error) {
+	r, err := resolve(req, s.cfg.slotWorkers(), s.cfg.TotalWorkers)
+	if err != nil {
+		return costmodel.Estimate{}, err
+	}
+	return s.model.Estimate(costQuery(r)), nil
+}
+
+// CostModelState returns the serialized cost model, for peer
+// replication and inspection.
+func (s *Scheduler) CostModelState() []byte { return s.model.Encode() }
+
+// CostModelSamples reports how many observations the cost model holds
+// across all problems.
+func (s *Scheduler) CostModelSamples() int { return s.model.TotalSamples() }
+
+// MergeCostModel unions a replicated peer's cost-model state into the
+// local model, persisting on change. Receivers never re-broadcast, so
+// replication cannot loop.
+func (s *Scheduler) MergeCostModel(state []byte) error {
+	changed, err := s.model.Merge(state)
+	if err != nil {
+		return err
+	}
+	if changed {
+		if err := s.store.SaveCostModel(s.model.Encode()); err != nil {
+			s.noteStoreErr(err)
+		}
+	}
+	return nil
+}
+
+// QueueStats reports the dispatch backlog: total queued jobs and the
+// per-tenant breakdown (tenants with nothing queued are omitted).
+func (s *Scheduler) QueueStats() (depth int, perTenant map[string]int) {
+	return s.fq.snapshot()
+}
+
+// AdmissionError is returned by Submit when the cost model predicts
+// the job would exceed Config.MaxJobSeconds; the estimate rides along
+// so clients (and the HTTP 429 body) can see why.
+type AdmissionError struct {
+	// Estimate is the prediction that tripped the bound.
+	Estimate costmodel.Estimate
+	// Limit is the configured MaxJobSeconds.
+	Limit float64
+}
+
+// Error describes the rejected prediction against the bound.
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("sim: predicted %.3gs exceeds the max-job-seconds admission bound %gs", e.Estimate.Seconds, e.Limit)
+}
+
+// estimateBuckets are the upper bounds of the estimate-error histogram:
+// the actual/predicted wall-seconds ratio of completed jobs (1 = a
+// perfect estimate; the final implicit bucket is +Inf).
+var estimateBuckets = [...]float64{0.25, 0.5, 0.8, 1.25, 2, 4}
+
+// estimateErrors is the /metrics histogram of actual/predicted ratios.
+type estimateErrors struct {
+	mu      sync.Mutex
+	buckets [len(estimateBuckets) + 1]int64 // cumulative-on-read; stored per-bucket
+	count   int64
+	sum     float64
+}
+
+// observe scores one finished job's estimate. Vacuous estimates
+// (Samples == 0) and degenerate values are skipped — the histogram
+// measures the trained model only.
+func (e *estimateErrors) observe(est *costmodel.Estimate, actual float64) {
+	if est == nil || est.Samples == 0 || est.Seconds <= 0 || actual <= 0 {
+		return
+	}
+	ratio := actual / est.Seconds
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	i := 0
+	for i < len(estimateBuckets) && ratio > estimateBuckets[i] {
+		i++
+	}
+	e.buckets[i]++
+	e.count++
+	e.sum += ratio
+}
+
+// snapshot returns the per-bucket counts plus the total count and sum
+// of observed ratios.
+func (e *estimateErrors) snapshot() (buckets [len(estimateBuckets) + 1]int64, count int64, sum float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.buckets, e.count, e.sum
+}
+
+// EstimateErrorStats reports how many completed jobs had their estimate
+// scored and the mean actual/predicted ratio (1 = unbiased).
+func (s *Scheduler) EstimateErrorStats() (count int64, meanRatio float64) {
+	_, n, sum := s.est.snapshot()
+	if n == 0 {
+		return 0, 0
+	}
+	return n, sum / float64(n)
 }

@@ -38,6 +38,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"maps"
+	"math"
 
 	"repro/internal/analysis"
 	"repro/internal/problems"
@@ -76,6 +77,19 @@ type Request struct {
 	// /jobs/{id}/artifacts). Order matters: it numbers the artifacts and
 	// is part of the job's identity.
 	Outputs []analysis.OutputRequest `json:"outputs,omitempty"`
+
+	// Tenant names the fair-share accounting bucket this submission
+	// bills to (default "default"). Scheduling metadata only: it is NOT
+	// part of the job's canonical identity, so identical configurations
+	// from different tenants still coalesce onto a single execution.
+	Tenant string `json:"tenant,omitempty"`
+	// DeadlineSeconds is an optional QoS hint: the submitter wants the
+	// result within this many seconds of submission. A queued job whose
+	// slack (deadline minus predicted runtime) runs out is boosted ahead
+	// of the fair-share order, within the starvation-freedom bound. Like
+	// Tenant, it is scheduling metadata, not job identity; a coalesced
+	// resubmission may tighten — never relax — the deadline.
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
 }
 
 // DefaultSteps is the root-step budget of a Request that sets none.
@@ -128,6 +142,12 @@ func Merge(base, over Request) Request {
 		}
 		maps.Copy(merged, over.Knobs)
 		out.Knobs = merged
+	}
+	if over.Tenant != "" {
+		out.Tenant = over.Tenant
+	}
+	if over.DeadlineSeconds != 0 {
+		out.DeadlineSeconds = over.DeadlineSeconds
 	}
 	if len(over.Outputs) > 0 {
 		// A non-empty output list replaces the base's wholesale (order
@@ -220,8 +240,21 @@ func resolve(req Request, slotWorkers, maxWorkers int) (resolved, error) {
 	if o.MaxLevel < 0 || o.MaxLevel > MaxMaxLevel {
 		return resolved{}, fmt.Errorf("sim: maxlevel must be in [0,%d], got %d", MaxMaxLevel, o.MaxLevel)
 	}
+	// QoS metadata sanity: these never enter the identity hash, but a
+	// malformed value must still fail at submit time, not poison the
+	// queue accounting or the per-tenant metric labels.
+	if req.DeadlineSeconds < 0 || math.IsNaN(req.DeadlineSeconds) || math.IsInf(req.DeadlineSeconds, 0) {
+		return resolved{}, fmt.Errorf("sim: deadline_seconds must be a finite value >= 0, got %g", req.DeadlineSeconds)
+	}
+	if len(req.Tenant) > MaxTenantLen {
+		return resolved{}, fmt.Errorf("sim: tenant name exceeds %d bytes", MaxTenantLen)
+	}
 	return r, nil
 }
+
+// MaxTenantLen caps the tenant field: tenant names label per-tenant
+// queue gauges on /metrics, so they must stay bounded.
+const MaxTenantLen = 64
 
 // MaxSteps caps a single job's root-step budget so one request cannot
 // monopolize a service slot indefinitely.

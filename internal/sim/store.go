@@ -67,6 +67,13 @@ type Store interface {
 	// terminal jobs rehydrate the cache, interrupted ones are re-queued
 	// to resume from their latest checkpoint.
 	Recover() ([]RecoveredJob, error)
+	// SaveCostModel persists the scheduler's serialized cost-model state
+	// (an opaque blob; the latest write wins), so cost estimates survive
+	// restarts alongside the results that trained them.
+	SaveCostModel(state []byte) error
+	// LoadCostModel returns the persisted cost-model state, or nil when
+	// none was saved (or the store is non-persistent).
+	LoadCostModel() ([]byte, error)
 	// Stats reports the store's size gauges for /metrics.
 	Stats() StoreStats
 	// Close releases the store. The scheduler calls it from Close/Drain.
@@ -214,6 +221,13 @@ func (memStore) DeleteJob(string) error { return nil }
 
 // Recover finds nothing.
 func (memStore) Recover() ([]RecoveredJob, error) { return nil, nil }
+
+// SaveCostModel is a no-op; the in-memory cost model is authoritative
+// for the process lifetime.
+func (memStore) SaveCostModel([]byte) error { return nil }
+
+// LoadCostModel reports no persisted state.
+func (memStore) LoadCostModel() ([]byte, error) { return nil, nil }
 
 // Stats reports zero gauges.
 func (memStore) Stats() StoreStats { return StoreStats{} }

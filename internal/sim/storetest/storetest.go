@@ -26,6 +26,7 @@ func Run(t *testing.T, open func(t *testing.T) sim.Store) {
 	t.Run("ArtifactsAndBlobs", func(t *testing.T) { testArtifacts(t, open) })
 	t.Run("Checkpoints", func(t *testing.T) { testCheckpoints(t, open) })
 	t.Run("DeleteJob", func(t *testing.T) { testDeleteJob(t, open) })
+	t.Run("CostModel", func(t *testing.T) { testCostModel(t, open) })
 	t.Run("EmptyStore", func(t *testing.T) { testEmpty(t, open) })
 }
 
@@ -299,6 +300,37 @@ func testDeleteJob(t *testing.T, open func(t *testing.T) sim.Store) {
 	}
 	if st := s.Stats(); st != (sim.StoreStats{DedupeBytes: st.DedupeBytes}) {
 		t.Fatalf("gauges non-zero after DeleteJob: %+v", st)
+	}
+}
+
+func testCostModel(t *testing.T, open func(t *testing.T) sim.Store) {
+	s := open(t)
+	defer s.Close()
+	// An empty store (of either kind) holds no model state.
+	if state, err := s.LoadCostModel(); err != nil || state != nil {
+		t.Fatalf("LoadCostModel on empty store: %q, %v", state, err)
+	}
+	first := []byte(`{"version":1,"problems":{"sedov":[]}}`)
+	if err := s.SaveCostModel(first); err != nil {
+		t.Fatal(err)
+	}
+	second := []byte(`{"version":1,"problems":{"sedov":[{"job_id":"a"}]}}`)
+	if err := s.SaveCostModel(second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadCostModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Persistent() {
+		if got != nil {
+			t.Fatalf("non-persistent store kept cost-model state: %q", got)
+		}
+		return
+	}
+	// The blob round-trips byte-for-byte and the latest write wins.
+	if !bytes.Equal(got, second) {
+		t.Fatalf("cost-model state round-trip: got %q want %q", got, second)
 	}
 }
 
