@@ -4,7 +4,7 @@ GO ?= go
 # staticcheck job; bump deliberately, in its own commit.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test test-full vet staticcheck bench bench-scaling bench-kernels bench-sim bench-serve bench-queue bench-projection perfgate golden-update problems cluster docs clean
+.PHONY: build test test-full vet staticcheck bench bench-scaling bench-kernels bench-sim bench-serve bench-queue bench-speculate bench-projection perfgate golden-update problems cluster docs clean
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,7 @@ staticcheck:
 # All paper-reproduction benchmarks, plus the job-service rows — together
 # these regenerate every committed BENCH_*.json history (append a row; do
 # not overwrite).
-bench: bench-sim bench-serve bench-queue
+bench: bench-sim bench-serve bench-queue bench-speculate
 	$(GO) test -bench=. -benchmem .
 
 # Serial-vs-parallel scaling of the hot kernels (hydro sweeps, FFT
@@ -56,6 +56,12 @@ bench-serve:
 # tenants; the baseline lives in BENCH_queue.json.
 bench-queue:
 	$(GO) test -run xxx -bench '^BenchmarkSchedulerQoS$$' -benchmem ./internal/sim
+
+# Wall time of a staggered-arrival sweep with speculative pre-warming
+# off vs on (the enzobatch -server -stagger pattern); the baseline
+# lives in BENCH_speculate.json.
+bench-speculate:
+	$(GO) test -run xxx -bench '^BenchmarkSpeculativeSweep$$' -benchmem ./internal/sim
 
 # The derived-output projection kernel (SurfaceDensity) at 1/2/4/NumCPU
 # workers; the baseline lives in BENCH_projection.json.

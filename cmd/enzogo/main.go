@@ -49,8 +49,15 @@
 // the prediction into an admission bound (see README "QoS & cost
 // estimates").
 //
+// With -speculate, idle slots pre-warm the result cache: announced
+// sweeps (POST /sweeps) and lineage-inferred neighbours run as
+// lowest-class work, preempted at the next root-step boundary when real
+// submissions arrive, so trickling sweep clients find their later rows
+// already computed (see README "Speculative warming").
+//
 //	enzogo serve -addr :8080 -slots 4
 //	enzogo serve -addr :8080 -max-job-seconds 300 -tenant-weights sci=3,ops=1
+//	enzogo serve -addr :8080 -speculate -speculate-budget-seconds 600
 //	enzogo serve -addr :8080 -data /var/lib/enzogo -checkpoint-every 5
 //	enzogo serve -addr :8081 -data /var/lib/enzogo1 \
 //	    -self http://10.0.0.1:8081 -peers http://10.0.0.1:8081,http://10.0.0.2:8081
@@ -104,6 +111,10 @@ func serve(args []string) {
 	ckptTime := fs.Float64("checkpoint-time", 0, "with -data: checkpoint running jobs every T code time (0 = no time cadence)")
 	maxJobSeconds := fs.Float64("max-job-seconds", 0, "reject submissions the cost model predicts to run longer than this many seconds (0 = no admission bound)")
 	tenantWeights := fs.String("tenant-weights", "", "comma-separated tenant=weight fair-share shares, e.g. sci=3,ops=1 (unlisted tenants weigh 1)")
+	speculate := fs.Bool("speculate", false, "pre-warm the result cache on idle slots: run announced sweep rows (POST /sweeps) and lineage-inferred neighbours speculatively, preempting them when real work arrives")
+	specSlots := fs.Int("speculate-slots", 1, "with -speculate: max jobs running speculatively at once")
+	specBudget := fs.Float64("speculate-budget-seconds", 0, "with -speculate: per-tenant wall-second budget for speculative runs (0 = unlimited)")
+	specMax := fs.Float64("speculate-max-seconds", 0, "with -speculate: skip candidates the cost model predicts to run longer than this many seconds (0 = no bound)")
 	peerList := fs.String("peers", "", "comma-separated advertised base URLs of every cluster peer (empty = single node); requires -self")
 	self := fs.String("self", "", "this peer's advertised base URL, must appear in -peers")
 	vnodes := fs.Int("ring-vnodes", 0, "virtual nodes per peer on the ownership ring (0 = default); must match on every peer")
@@ -119,6 +130,11 @@ func serve(args []string) {
 		ArtifactCount: *artifactCount,
 		HotBytes:      *hotBytes,
 		MaxJobSeconds: *maxJobSeconds,
+
+		Speculate:              *speculate,
+		SpeculateSlots:         *specSlots,
+		SpeculateBudgetSeconds: *specBudget,
+		SpeculateMaxSeconds:    *specMax,
 	}
 	if *tenantWeights != "" {
 		weights := map[string]float64{}
@@ -192,6 +208,10 @@ func serve(args []string) {
 	}()
 	log.Printf("enzogo serve: listening on %s (%d slots × %d workers, cache %d)",
 		*addr, *slots, sched.SlotWorkers(), *cache)
+	if *speculate {
+		log.Printf("enzogo serve: speculative warming on (%d slots, budget %gs, max %gs)",
+			*specSlots, *specBudget, *specMax)
+	}
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

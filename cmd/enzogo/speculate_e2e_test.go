@@ -1,0 +1,138 @@
+package main
+
+// The speculative-warming acceptance test: a real `enzogo serve
+// -speculate` process, a real `enzobatch -server -stagger` client. The
+// batch client announces the sweep up front and trickles submissions
+// in; the server's idle slot must pre-warm the later rows so they come
+// back as cache hits flagged speculative — visible in the enzobatch
+// table, its summary line, and the server's /metrics.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTool compiles one of the repo's commands into dir.
+func buildTool(t *testing.T, dir, name, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func TestSpeculativeSweepOverHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-binary E2E; skipped under -short")
+	}
+	tmp := t.TempDir()
+	serveBin := buildTool(t, tmp, "enzogo", ".")
+	batchBin := buildTool(t, tmp, "enzobatch", "repro/cmd/enzobatch")
+
+	addr := freeAddr(t)
+	base := "http://" + addr
+	cmd := startServe(t, serveBin, "-addr", addr, "-slots", "1", "-workers", "1", "-speculate")
+	defer cmd.Process.Kill()
+	waitHealthy(t, base)
+
+	// Four cheap rows along one knob axis. The client staggers its
+	// submissions, so while it sleeps the idle slot runs ahead through
+	// the announced backlog.
+	sweepPath := filepath.Join(tmp, "sweep.json")
+	sweep := `{
+  "name": "warmsweep",
+  "defaults": {"problem": "sedov", "rootn": 8, "maxlevel": 0, "steps": 2, "workers": 1},
+  "jobs": [
+    {"knobs": {"e0": 4}},
+    {"knobs": {"e0": 5}},
+    {"knobs": {"e0": 6}},
+    {"knobs": {"e0": 7}}
+  ]
+}
+`
+	if err := os.WriteFile(sweepPath, []byte(sweep), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := exec.Command(batchBin, "-f", sweepPath, "-server", base, "-stagger", "2s")
+	out, err := batch.CombinedOutput()
+	if err != nil {
+		t.Fatalf("enzobatch: %v\n%s", err, out)
+	}
+	output := string(out)
+
+	// The sweep was announced and rows accepted for pre-warming.
+	if !strings.Contains(output, "accepted for pre-warm (speculate=true)") {
+		t.Fatalf("no pre-warm announcement in output:\n%s", output)
+	}
+	// The summary counts speculative pre-warm hits. The first row races
+	// the planner so its disposition is host-dependent, but with a 2s
+	// stagger per row the later rows must already be warm.
+	var rows, executed, coalesced, cached, prewarmed, failed int
+	summary := ""
+	for _, line := range strings.Split(output, "\n") {
+		if strings.Contains(line, "pre-warmed speculatively") {
+			summary = line
+			break
+		}
+	}
+	if summary == "" {
+		t.Fatalf("no summary line in output:\n%s", output)
+	}
+	if _, err := fmt.Sscanf(summary, "%d rows: %d executed, %d coalesced, %d cache hits (%d pre-warmed speculatively), %d failed",
+		&rows, &executed, &coalesced, &cached, &prewarmed, &failed); err != nil {
+		t.Fatalf("unparseable summary %q: %v", summary, err)
+	}
+	if failed != 0 || rows != 4 {
+		t.Fatalf("sweep failed: %s\n%s", summary, output)
+	}
+	if prewarmed < 2 {
+		t.Fatalf("only %d rows pre-warmed speculatively, want >= 2:\n%s", prewarmed, output)
+	}
+	// The pre-warmed rows show in the table as cache dispositions.
+	if n := strings.Count(output, " cache "); n < prewarmed {
+		t.Fatalf("%d cache rows in the table, summary claims %d pre-warmed:\n%s", n, prewarmed, output)
+	}
+
+	// The server's counters agree.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits int
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "sim_speculative_hits_total ") {
+			fmt.Sscanf(line, "sim_speculative_hits_total %d", &hits)
+		}
+	}
+	if hits < prewarmed {
+		t.Fatalf("sim_speculative_hits_total %d < %d pre-warmed rows reported by enzobatch", hits, prewarmed)
+	}
+
+	// Clean shutdown.
+	cmd.Process.Signal(os.Interrupt)
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("serve did not exit clean: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("serve hung on SIGINT")
+	}
+}

@@ -1,7 +1,7 @@
 // Command perfgate is the CI performance-regression gate: it runs the
 // repository's named benchmarks (BenchmarkScaling*, BenchmarkChemistry,
 // BenchmarkProjection, BenchmarkSimThroughput, BenchmarkServeReads,
-// BenchmarkSchedulerQoS),
+// BenchmarkSchedulerQoS, BenchmarkSpeculativeSweep),
 // parses the `go test -bench` output, and compares each ns/op against
 // the latest row of the committed BENCH_*.json histories. A benchmark slower than baseline by
 // more than the tolerance is a regression and the gate exits 1; a
@@ -124,6 +124,13 @@ var gates = []gateSpec{
 		Bench: "^BenchmarkSchedulerQoS$",
 		Key: func(name string) (string, bool) {
 			return strings.CutPrefix(name, "BenchmarkSchedulerQoS/")
+		},
+	},
+	{
+		File: "BENCH_speculate.json", Metric: "ns_per_op", Pkg: "./internal/sim",
+		Bench: "^BenchmarkSpeculativeSweep$",
+		Key: func(name string) (string, bool) {
+			return strings.CutPrefix(name, "BenchmarkSpeculativeSweep/")
 		},
 	},
 }

@@ -28,6 +28,8 @@ import (
 //	GET    /jobs/{id}/artifacts/{name}  one artifact body (PGM/PNG/JSON/…)
 //	GET    /jobs/{id}/artifacts/{name}/{z}/{x}/{y}  one pyramid tile (PGM)
 //	DELETE /jobs/{id}        cancel
+//	POST   /sweeps           announce a sweep's rows for speculative pre-warming
+//	GET    /tenants          per-tenant historical spend (demand + speculative)
 //	GET    /problems         the registered problem catalog
 //	GET    /healthz          liveness + uptime
 //	GET    /metrics          scheduler counters, Prometheus text format
@@ -50,6 +52,8 @@ func (s *Scheduler) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/artifacts/{name}", s.handleArtifact)
 	mux.HandleFunc("GET /jobs/{id}/artifacts/{name}/{z}/{x}/{y}", s.handleArtifactTile)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /sweeps", s.handleSweep)
+	mux.HandleFunc("GET /tenants", s.handleTenants)
 	mux.HandleFunc("GET /problems", handleProblems)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -484,6 +488,59 @@ func (s *Scheduler) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Status())
 }
 
+// SweepManifest is the POST /sweeps payload: the same shape as an
+// enzobatch sweep file (a defaults block merged under every job row),
+// announcing the full row list so the server can pre-warm the result
+// cache during idle windows. Nothing is scheduled on the demand path.
+type SweepManifest struct {
+	// Name labels the sweep in responses and logs.
+	Name string `json:"name,omitempty"`
+	// Defaults is merged under every row (sim.Merge semantics).
+	Defaults Request `json:"defaults,omitempty"`
+	// Jobs are the sweep rows.
+	Jobs []Request `json:"jobs"`
+}
+
+// handleSweep accepts a sweep manifest and returns the per-row triage
+// (202: the rows were recorded for speculative pre-warming, or triaged
+// with estimates when speculation is off).
+func (s *Scheduler) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var m SweepManifest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad sweep body: %w", err))
+		return
+	}
+	rows := make([]Request, len(m.Jobs))
+	for i, job := range m.Jobs {
+		rows[i] = Merge(m.Defaults, job)
+	}
+	resp, err := s.PrewarmSweep(m.Name, rows)
+	switch {
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// handleTenants serves the per-tenant historical spend table: observed
+// demand and speculative wall seconds, job counts, the configured
+// fair-share weight, and the current backlog — the data -tenant-weights
+// should be derived from.
+func (s *Scheduler) handleTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.TenantSpends())
+}
+
 // ProblemInfo is one row of GET /problems.
 type ProblemInfo struct {
 	Name     string             `json:"name"`
@@ -528,6 +585,20 @@ func (s *Scheduler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"tenants_queued":    perTenant,
 		"costmodel_samples": s.CostModelSamples(),
 		"max_job_seconds":   s.cfg.MaxJobSeconds,
+	}
+	// Speculative-execution gauges: whether the planner runs, its
+	// capacity bounds, and the started/hits/preempted/wasted counters.
+	sps := s.SpeculationStats()
+	body["speculate"] = sps.Enabled
+	if sps.Enabled {
+		body["speculate_slots"] = sps.Slots
+		body["speculate_budget_seconds"] = sps.BudgetSeconds
+		body["speculative_pending"] = sps.Pending
+		body["speculative_inflight"] = sps.Inflight
+		body["speculative_started"] = sps.Started
+		body["speculative_hits"] = sps.Hits
+		body["speculative_preempted"] = sps.Preempted
+		body["speculative_wasted_seconds"] = sps.WastedSeconds
 	}
 	if storeErr != nil {
 		body["store_error"] = storeErr.Error()
@@ -603,6 +674,26 @@ func (s *Scheduler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "sim_admission_rejected_total %d\n", st.AdmissionRejected)
 	fmt.Fprintf(w, "sim_costmodel_samples %d\n", s.CostModelSamples())
+	// Speculative-execution counters: work started in idle windows, the
+	// cache hits it earned, preemptions for demand arrivals, and the
+	// seconds that produced neither a result nor a checkpoint.
+	sps := s.SpeculationStats()
+	fmt.Fprintf(w, "sim_speculative_enabled %d\n", boolGauge(sps.Enabled))
+	fmt.Fprintf(w, "sim_speculative_started_total %d\n", sps.Started)
+	fmt.Fprintf(w, "sim_speculative_completed_total %d\n", sps.Completed)
+	fmt.Fprintf(w, "sim_speculative_hits_total %d\n", sps.Hits)
+	fmt.Fprintf(w, "sim_speculative_preempted_total %d\n", sps.Preempted)
+	fmt.Fprintf(w, "sim_speculative_resumed_total %d\n", sps.Resumed)
+	fmt.Fprintf(w, "sim_speculative_failed_total %d\n", sps.Failed)
+	fmt.Fprintf(w, "sim_speculative_wasted_seconds_total %g\n", sps.WastedSeconds)
+	fmt.Fprintf(w, "sim_speculative_pending %d\n", sps.Pending)
+	fmt.Fprintf(w, "sim_speculative_inflight %d\n", sps.Inflight)
+	// Per-tenant historical spend, demand and speculative classes
+	// labelled separately — the series -tenant-weights derives from.
+	for _, ts := range s.TenantSpends() {
+		fmt.Fprintf(w, "sim_tenant_spend_seconds{tenant=%q,class=\"demand\"} %g\n", ts.Tenant, ts.DemandSeconds)
+		fmt.Fprintf(w, "sim_tenant_spend_seconds{tenant=%q,class=\"speculative\"} %g\n", ts.Tenant, ts.SpeculativeSeconds)
+	}
 	buckets, count, sum := s.est.snapshot()
 	cum := int64(0)
 	for i, ub := range estimateBuckets {

@@ -87,6 +87,7 @@ type fairQueue struct {
 	names     []string // sorted tenant names, for deterministic scans
 	byJob     map[string]*queueEntry
 	size      int
+	running   int // jobs popped and not yet retired with done()
 	seq       uint64
 	vclock    float64 // max vtime ever attained; the re-entry level for idle tenants
 	urgentRun int     // consecutive dispatches the deadline boost has taken
@@ -198,7 +199,26 @@ func (q *fairQueue) pop() (*Job, bool) {
 	pickT.entries = pickT.entries[1:]
 	delete(q.byJob, pick.job.ID)
 	q.size--
+	q.running++ // retired by done() when the slot finishes executing
 	return pick.job, true
+}
+
+// done retires one popped job — the slot finished executing it. With
+// size, running is what the speculation planner's idle test reads: a
+// window is idle only when nothing is queued AND nothing is running.
+func (q *fairQueue) done() {
+	q.mu.Lock()
+	if q.running > 0 {
+		q.running--
+	}
+	q.mu.Unlock()
+}
+
+// busy reports the dispatch backlog and the jobs currently executing.
+func (q *fairQueue) busy() (queued, running int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size, q.running
 }
 
 // remove excises a queued job (Cancel of a queued job) so it neither

@@ -71,6 +71,27 @@ type Config struct {
 	// injected seam the deterministic queue-fairness and deadline tests
 	// drive with a fake clock.
 	Clock func() time.Time
+	// Speculate enables speculative execution: when the QoS queue is
+	// empty and slots sit idle, the scheduler pre-warms the result cache
+	// with candidates from announced sweeps (POST /sweeps) and submission
+	// lineage, preempting them at the next root-step boundary the moment
+	// demand work arrives. See speculate.go.
+	Speculate bool
+	// SpeculateSlots bounds concurrent speculative executions (default 1
+	// when Speculate is set). Speculation only uses idle capacity: a
+	// speculative run also requires a free scheduler slot.
+	SpeculateSlots int
+	// SpeculateBudgetSeconds caps each tenant's accumulated speculative
+	// wall seconds for the process lifetime (0 = no cap).
+	SpeculateBudgetSeconds float64
+	// SpeculateMaxSeconds skips any candidate whose cost estimate
+	// exceeds it (0 = no bound). Only estimates backed by at least one
+	// sample gate — an untrained model skips nothing.
+	SpeculateMaxSeconds float64
+	// SpeculateMinConfidence gates lineage-inferred candidates on the
+	// cost model's confidence (default DefaultSpeculateMinConfidence);
+	// explicit sweep rows are exempt.
+	SpeculateMinConfidence float64
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +121,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
+	}
+	if c.Speculate {
+		if c.SpeculateSlots <= 0 {
+			c.SpeculateSlots = 1
+		}
+		if c.SpeculateMinConfidence <= 0 {
+			c.SpeculateMinConfidence = DefaultSpeculateMinConfidence
+		}
 	}
 	return c
 }
@@ -227,6 +256,11 @@ type Job struct {
 	// shutdown racing the cancellation cannot misclassify the job as
 	// interrupted (and resurrect it on the next start).
 	userCancelled bool
+	// speculative marks a job executed by the speculation planner (set
+	// before the job is visible, immutable after): it bills the
+	// speculative ledger instead of the demand one, writes no cadence
+	// checkpoints, and fires no replication hooks.
+	speculative bool
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -405,6 +439,10 @@ type Status struct {
 	// (predicted seconds, cells, confidence). Samples == 0 means the
 	// model had no history for the problem and the numbers are vacuous.
 	Estimate *costmodel.Estimate `json:"estimate,omitempty"`
+	// Speculative marks a result the speculation planner computed ahead
+	// of any submission — a cache hit on such a job cost its submitter
+	// zero queue time.
+	Speculative bool `json:"speculative,omitempty"`
 }
 
 // Status snapshots the job.
@@ -425,6 +463,7 @@ func (j *Job) Status() Status {
 	st.Tenant = j.tenant
 	st.DeadlineSeconds = j.Req.DeadlineSeconds
 	st.Estimate = j.est
+	st.Speculative = j.speculative
 	st.Artifacts, st.ArtifactBytes = j.artifacts.Count()
 	if j.ckpts > 0 {
 		st.Checkpoints = j.ckpts
@@ -492,6 +531,12 @@ type Scheduler struct {
 	// it has its own lock and is persisted through the store, so
 	// estimates survive restarts.
 	model *costmodel.Model
+
+	// spec is the speculative-execution planner (present but disabled
+	// unless Config.Speculate); spend is the per-tenant historical
+	// wall-second ledger, demand and speculative classes separate.
+	spec  *speculator
+	spend *spendLedger
 
 	// Artifact-serving counters (hot read path: updated atomically, not
 	// under s.mu).
@@ -566,9 +611,11 @@ func NewScheduler(cfg Config) *Scheduler {
 		stop:    cancel,
 		fq:      newFairQueue(cfg.QueueDepth, cfg.TenantWeights, cfg.Clock),
 		model:   costmodel.New(),
+		spend:   newSpendLedger(),
 		jobs:    make(map[string]*Job),
 		start:   cfg.Clock(),
 	}
+	s.spec = newSpeculator(s, cfg)
 	// Rehydrate the cost model before recovery: recovered Done jobs then
 	// only backfill observations the persisted state is missing.
 	if state, err := s.store.LoadCostModel(); err != nil {
@@ -588,10 +635,13 @@ func NewScheduler(cfg Config) *Scheduler {
 					return
 				}
 				s.execute(j)
+				s.fq.done()
+				s.spec.wake() // a slot just freed: an idle window may have opened
 			}
 		}()
 	}
 	s.recover()
+	s.spec.start()
 	return s
 }
 
@@ -645,6 +695,22 @@ func (s *Scheduler) recover() {
 // resuming from the latest checkpoint once a slot picks them up.
 func (s *Scheduler) recoverJob(rec RecoveredJob) (resumableJob *Job, err error) {
 	m := rec.Manifest
+	// An interrupted speculative run must never resurrect as demand
+	// work: re-offer it to the planner (its persisted checkpoint resumes
+	// it warm) when speculation is on, otherwise forget it.
+	if m.Speculative && m.State != Done.String() {
+		if s.cfg.Speculate {
+			req := m.Request
+			req.Workers = m.Workers
+			if r, rerr := resolve(req, s.cfg.slotWorkers(), max(s.cfg.TotalWorkers, m.Workers)); rerr == nil && s.spec.add(req, r, specSourceSweep) {
+				return nil, nil // the record stays; the re-run overwrites it
+			}
+		}
+		if derr := s.store.DeleteJob(m.ID); derr != nil {
+			s.noteStoreErr(derr)
+		}
+		return nil, nil
+	}
 	// Pin the manifest's effective worker budget: the job's canonical
 	// identity (and, via the CIC reduction order, its bitwise answer)
 	// depends on it, so a resumed run must not inherit this process's
@@ -657,23 +723,24 @@ func (s *Scheduler) recoverJob(rec RecoveredJob) (resumableJob *Job, err error) 
 		return nil, fmt.Errorf("sim: recover %s: %w", m.ID, err)
 	}
 	j := &Job{
-		ID:         m.ID, // the store directory is the identity; trust it
-		Req:        m.Request,
-		Workers:    r.opts.Workers,
-		StepBudget: r.steps,
-		MaxTime:    r.maxTime,
-		sched:      s,
-		res:        r,
-		doneCh:     make(chan struct{}),
-		artifacts:  newArtifactStore(s.cfg.ArtifactBytes, s.cfg.ArtifactCount, s.blobs),
-		tenant:     tenantOf(m.Request),
-		submitted:  m.SubmittedAt,
-		started:    m.StartedAt,
-		finished:   m.FinishedAt,
-		recovered:  true,
-		ckpts:      m.Checkpoints,
-		ckptStep:   m.CheckpointStep,
-		ckptAt:     m.CheckpointAt,
+		ID:          m.ID, // the store directory is the identity; trust it
+		Req:         m.Request,
+		Workers:     r.opts.Workers,
+		StepBudget:  r.steps,
+		MaxTime:     r.maxTime,
+		sched:       s,
+		res:         r,
+		doneCh:      make(chan struct{}),
+		artifacts:   newArtifactStore(s.cfg.ArtifactBytes, s.cfg.ArtifactCount, s.blobs),
+		tenant:      tenantOf(m.Request),
+		submitted:   m.SubmittedAt,
+		started:     m.StartedAt,
+		finished:    m.FinishedAt,
+		recovered:   true,
+		speculative: m.Speculative,
+		ckpts:       m.Checkpoints,
+		ckptStep:    m.CheckpointStep,
+		ckptAt:      m.CheckpointAt,
 	}
 	// A recovered deadline hint is stale by definition (it was relative
 	// to the original submission), so resumed jobs re-queue without one;
@@ -792,6 +859,7 @@ func (s *Scheduler) shutdown(drain bool) {
 	// is still queued, then exit.
 	s.stop()
 	s.fq.close()
+	s.spec.close()
 	s.wg.Wait()
 	s.store.Close()
 }
@@ -822,6 +890,7 @@ func (j *Job) manifestOf(state string) JobManifest {
 		SubmittedAt:    j.submitted,
 		StartedAt:      j.started,
 		FinishedAt:     j.finished,
+		Speculative:    j.speculative,
 	}
 	if j.err != nil {
 		m.Error = j.err.Error()
@@ -910,6 +979,9 @@ func (s *Scheduler) SubmitWithDisposition(req Request) (*Job, Disposition, error
 			s.stats.Submitted++
 			s.stats.CacheHits++
 			s.mu.Unlock()
+			if j.speculative {
+				s.spec.hits.Add(1) // a pre-warmed result answered a real submission
+			}
 			return j, CacheHit, nil
 		case !state.terminal():
 			s.stats.Submitted++
@@ -985,6 +1057,9 @@ func (s *Scheduler) SubmitWithDisposition(req Request) (*Job, Disposition, error
 	if h := s.repl.Load(); h != nil && h.scheduled != nil {
 		h.scheduled(j.manifestOf(Queued.String()))
 	}
+	// Demand traffic owns the slots: preempt in-flight speculations and
+	// feed the lineage planner (outside every scheduler lock).
+	s.spec.onDemandScheduled(req, r)
 	return j, Scheduled, nil
 }
 
@@ -1087,8 +1162,10 @@ func (s *Scheduler) Cancel(id string) bool {
 		s.fq.remove(id)
 		s.persist(j, Cancelled.String())
 		s.store.DeleteCheckpoints(id)
+		s.spec.forgetCheckpoint(id)
 		s.count(func(st *Stats) { st.Cancelled++ })
 		s.notifyTerminal(id)
+		s.spec.wake() // the backlog shrank; an idle window may have opened
 		return true
 	default:
 		cancel := j.cancel
@@ -1206,7 +1283,11 @@ func (s *Scheduler) execute(j *Job) {
 	s.stats.Executed++
 	s.mu.Unlock()
 
+	t0 := s.now()
 	res, err := s.evolve(ctx, j)
+	// The historical-spend ledger records observed demand wall seconds
+	// per tenant — the number -tenant-weights should be derived from.
+	s.spend.charge(j.tenant, false, s.now().Sub(t0).Seconds())
 	switch {
 	case err == nil:
 		if err := s.store.SaveResult(j.ID, res); err != nil {
@@ -1221,6 +1302,7 @@ func (s *Scheduler) execute(j *Job) {
 		if j.finish(Done, res, nil) {
 			s.persist(j, Done.String())
 			s.store.DeleteCheckpoints(j.ID)
+			s.spec.forgetCheckpoint(j.ID)
 			s.count(func(st *Stats) { st.Succeeded++ })
 			s.notifyTerminal(j.ID)
 		}
@@ -1246,6 +1328,7 @@ func (s *Scheduler) execute(j *Job) {
 		if j.finish(Cancelled, nil, fmt.Errorf("sim: job %s cancelled after %d steps", j.ID, done)) {
 			s.persist(j, Cancelled.String())
 			s.store.DeleteCheckpoints(j.ID)
+			s.spec.forgetCheckpoint(j.ID)
 			s.count(func(st *Stats) { st.Cancelled++ })
 			s.notifyTerminal(j.ID)
 		}
@@ -1253,6 +1336,7 @@ func (s *Scheduler) execute(j *Job) {
 		if j.finish(Failed, nil, err) {
 			s.persist(j, Failed.String())
 			s.store.DeleteCheckpoints(j.ID)
+			s.spec.forgetCheckpoint(j.ID)
 			s.count(func(st *Stats) { st.Failed++ })
 			s.notifyTerminal(j.ID)
 		}
@@ -1318,7 +1402,7 @@ func (s *Scheduler) evolve(ctx context.Context, j *Job) (res *Result, err error)
 	// store's checkpoint files, not the artifact index, and it has no
 	// Finish guarantee (a completed job deletes its checkpoints instead).
 	var ckptPlan *analysis.OutputPlan
-	if s.store.Persistent() && (s.cfg.CheckpointEvery > 0 || s.cfg.CheckpointTime > 0) {
+	if s.store.Persistent() && !j.speculative && (s.cfg.CheckpointEvery > 0 || s.cfg.CheckpointTime > 0) {
 		ckptPlan, err = analysis.NewOutputPlan([]analysis.OutputRequest{{
 			Kind:      analysis.KindCheckpoint,
 			Every:     s.cfg.CheckpointEvery,
@@ -1409,7 +1493,30 @@ func (s *Scheduler) evolve(ctx context.Context, j *Job) (res *Result, err error)
 		return nil, outputErr
 	}
 	if err != nil {
-		if ctx.Err() != nil && s.isDraining() && taken > 0 && !j.wasUserCancelled() {
+		switch {
+		case j.speculative && ctx.Err() != nil && taken > 0:
+			// A preempted (or shutdown-interrupted) speculation: capture
+			// the root-step boundary it stopped at so the next idle
+			// window — or a demand run of the same configuration —
+			// resumes warm instead of recomputing. The in-memory copy
+			// serves non-persistent stores; the store copy survives a
+			// restart.
+			if data, encErr := snapshot.Encode(sm.H, j.res.problem); encErr == nil {
+				s.spec.saveCheckpoint(j.ID, steps-1, data)
+				if s.store.Persistent() {
+					if ckErr := s.store.SaveCheckpoint(j.ID, steps-1, data); ckErr != nil {
+						s.noteStoreErr(ckErr)
+					}
+				}
+				j.mu.Lock()
+				j.ckpts++
+				j.ckptStep = steps - 1
+				j.ckptAt = s.now()
+				j.mu.Unlock()
+			} else {
+				s.noteStoreErr(encErr)
+			}
+		case ctx.Err() != nil && s.isDraining() && taken > 0 && !j.wasUserCancelled():
 			// Graceful drain: persist the state reached at this root-step
 			// boundary so the next scheduler resumes here, not at the
 			// last cadence checkpoint.
@@ -1451,7 +1558,21 @@ func (s *Scheduler) evolve(ctx context.Context, j *Job) (res *Result, err error)
 // still to take. A checkpoint that fails to decode falls back to a
 // fresh build — a lost resume costs recomputation, never the job.
 func (s *Scheduler) buildOrResume(j *Job) (*core.Simulation, int, error) {
-	if j.recovered && s.store.Persistent() {
+	// A preempted speculation's in-memory checkpoint warm-starts both
+	// its own next idle-window attempt and a demand run of the same
+	// configuration — on any store, persistent or not.
+	if ck := s.spec.checkpointFor(j.ID); ck != nil && ck.Step < j.res.steps {
+		h, problem, err := snapshot.Read(bytes.NewReader(ck.Data))
+		if err == nil {
+			h.Cfg.Workers = j.res.opts.Workers
+			j.mu.Lock()
+			j.resumedFrom = fmt.Sprintf("speculative checkpoint step %d", ck.Step)
+			j.mu.Unlock()
+			return core.Resume(h, problem), ck.Step + 1, nil
+		}
+		s.noteStoreErr(fmt.Errorf("sim: job %s speculative checkpoint unreadable, rebuilding: %w", j.ID, err))
+	}
+	if (j.recovered || j.speculative) && s.store.Persistent() {
 		ck, err := s.store.LatestCheckpoint(j.ID)
 		if err != nil {
 			s.noteStoreErr(err)
@@ -1558,6 +1679,9 @@ func (s *Scheduler) trainModel(j *Job, res *Result) {
 	if !changed {
 		return
 	}
+	// A model that just learned may unlock confidence-gated speculation
+	// candidates.
+	s.spec.wake()
 	// Encoding is O(samples); skip it when nobody consumes the state —
 	// an in-memory store discards the save and there is no peer to
 	// replicate to.

@@ -108,7 +108,12 @@ type JobManifest struct {
 	CheckpointAt   time.Time `json:"checkpoint_at,omitzero"`
 	// ResumedFrom names the checkpoint this run resumed from, when it
 	// did ("checkpoint step 12").
-	ResumedFrom string    `json:"resumed_from,omitempty"`
+	ResumedFrom string `json:"resumed_from,omitempty"`
+	// Speculative marks a run the speculation planner started ahead of
+	// any submission. Recovery must never resurrect a non-terminal
+	// speculative record as demand work — it is re-offered to the
+	// planner instead (or deleted when speculation is off).
+	Speculative bool      `json:"speculative,omitempty"`
 	SubmittedAt time.Time `json:"submitted_at,omitzero"`
 	StartedAt   time.Time `json:"started_at,omitzero"`
 	FinishedAt  time.Time `json:"finished_at,omitzero"`
